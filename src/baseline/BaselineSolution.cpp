@@ -1,0 +1,137 @@
+//===- baseline/BaselineSolution.cpp - Oracle phase identification ---------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/BaselineSolution.h"
+
+#include <algorithm>
+
+using namespace opd;
+
+BaselineSolution::BaselineSolution(uint64_t MPL, uint64_t TotalElements,
+                                   std::vector<AttributedPhase> Phases)
+    : MPL(MPL), TotalElements(TotalElements),
+      Attributed(std::move(Phases)) {
+  this->Phases.reserve(Attributed.size());
+  for (const AttributedPhase &P : Attributed)
+    this->Phases.push_back(P.Interval);
+  States = StateSequence::fromPhases(this->Phases, TotalElements);
+}
+
+double BaselineSolution::fractionInPhase() const {
+  if (TotalElements == 0)
+    return 0.0;
+  uint64_t InPhase = 0;
+  for (const PhaseInterval &P : Phases)
+    InPhase += P.length();
+  return static_cast<double>(InPhase) / static_cast<double>(TotalElements);
+}
+
+namespace {
+
+/// Innermost-first MPL selection over the instance tree.
+class PhaseSelector {
+public:
+  PhaseSelector(const InstanceTree &Tree, uint64_t MPL)
+      : Tree(Tree), MPL(MPL) {}
+
+  std::vector<AttributedPhase> run() {
+    selectIn(0);
+    std::sort(Phases.begin(), Phases.end(),
+              [](const AttributedPhase &A, const AttributedPhase &B) {
+                return A.Interval.Begin < B.Interval.Begin;
+              });
+    return std::move(Phases);
+  }
+
+private:
+  /// Processes the children of node \p Index; returns true if any phase
+  /// was selected inside the node's subtree.
+  bool selectIn(uint32_t Index);
+
+  /// True if a lone instance of this kind is a complete repetitive
+  /// instance by itself: loop executions always, method invocations only
+  /// when they root a recursive execution.
+  static bool isSingletonCandidate(const RepetitionInstance &Node) {
+    if (Node.TheKind == RepetitionInstance::Kind::Loop)
+      return true;
+    return Node.TheKind == RepetitionInstance::Kind::Method &&
+           Node.IsRecursionRoot;
+  }
+
+  const InstanceTree &Tree;
+  uint64_t MPL;
+  std::vector<AttributedPhase> Phases;
+};
+
+} // namespace
+
+bool PhaseSelector::selectIn(uint32_t Index) {
+  const RepetitionInstance &Node = Tree.node(Index);
+  const std::vector<uint32_t> &Children = Node.Children;
+
+  // Innermost-first: fix the children's subtrees before judging groups at
+  // this level.
+  std::vector<char> HasInner(Children.size(), 0);
+  bool AnyPhase = false;
+  for (size_t I = 0; I != Children.size(); ++I)
+    HasInner[I] = selectIn(Children[I]) ? 1 : 0;
+
+  // Chain consecutive same-construct children at distance <= 1 into CRIs
+  // (perfect nests and temporally adjacent repeated invocations).
+  size_t I = 0;
+  while (I != Children.size()) {
+    size_t GroupEnd = I + 1;
+    const RepetitionInstance &First = Tree.node(Children[I]);
+    while (GroupEnd != Children.size()) {
+      const RepetitionInstance &Prev = Tree.node(Children[GroupEnd - 1]);
+      const RepetitionInstance &Next = Tree.node(Children[GroupEnd]);
+      if (Next.TheKind != First.TheKind || Next.StaticId != First.StaticId)
+        break;
+      if (Next.Begin > Prev.End + 1)
+        break; // More than one profile element between executions.
+      ++GroupEnd;
+    }
+
+    const RepetitionInstance &Last = Tree.node(Children[GroupEnd - 1]);
+    uint64_t Span = Last.End - First.Begin;
+    bool GroupHasInner = false;
+    for (size_t J = I; J != GroupEnd; ++J)
+      GroupHasInner |= HasInner[J] != 0;
+    bool IsCandidate =
+        GroupEnd - I >= 2 || isSingletonCandidate(First);
+
+    if (IsCandidate && !GroupHasInner && Span >= MPL && Span > 0) {
+      Phases.push_back({{First.Begin, Last.End},
+                        First.TheKind,
+                        First.StaticId,
+                        static_cast<uint32_t>(GroupEnd - I)});
+      AnyPhase = true;
+    } else {
+      AnyPhase |= GroupHasInner;
+    }
+    I = GroupEnd;
+  }
+  return AnyPhase;
+}
+
+BaselineSolution opd::computeBaseline(const InstanceTree &Tree,
+                                      uint64_t MPL) {
+  assert(MPL > 0 && "minimum phase length must be positive");
+  PhaseSelector Selector(Tree, MPL);
+  return BaselineSolution(MPL, Tree.root().End, Selector.run());
+}
+
+std::vector<BaselineSolution>
+opd::computeBaselines(const CallLoopTrace &Trace, uint64_t TotalElements,
+                      const std::vector<uint64_t> &MPLs) {
+  InstanceTree Tree = InstanceTree::build(Trace, TotalElements);
+  std::vector<BaselineSolution> Solutions;
+  Solutions.reserve(MPLs.size());
+  for (uint64_t MPL : MPLs)
+    Solutions.push_back(computeBaseline(Tree, MPL));
+  return Solutions;
+}

@@ -1,0 +1,98 @@
+//===- baseline/BaselineSolution.h - Oracle phase identification -*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's baseline solution (Section 3.1): an offline, multi-pass
+/// oracle that identifies "intuitively correct" phases from the global
+/// view of a call-loop trace, parameterized by the minimum phase length
+/// (MPL) an optimization client requires.
+///
+/// Algorithm (see DESIGN.md for the interpretation decisions):
+///  1. Build the repetition-instance tree (InstanceTree).
+///  2. Within each parent, chain consecutive same-construct children at
+///     distance <= 1 profile element into one complete repetitive
+///     instance (CRI) — this merges perfect loop nests and temporally
+///     adjacent repeated invocations.
+///  3. Select phases innermost-first: a CRI becomes a phase iff its span
+///     is >= MPL and no descendant CRI was already selected. Candidates
+///     are loop executions, recursion-root invocations, and chains.
+///  4. Mark every element inside a selected CRI as P, the rest as T.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_BASELINE_BASELINESOLUTION_H
+#define OPD_BASELINE_BASELINESOLUTION_H
+
+#include "baseline/InstanceTree.h"
+#include "trace/StateSequence.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace opd {
+
+/// One oracle phase with the repetition construct that produced it.
+struct AttributedPhase {
+  PhaseInterval Interval;
+  /// Loop or Method (never Root).
+  RepetitionInstance::Kind ConstructKind;
+  /// Static loop id or method id.
+  uint32_t StaticId;
+  /// Number of chained instances merged into this phase (1 for a lone
+  /// complete repetitive instance).
+  uint32_t NumInstances;
+};
+
+/// The oracle's answer for one (execution, MPL) pair.
+class BaselineSolution {
+public:
+  BaselineSolution(uint64_t MPL, uint64_t TotalElements,
+                   std::vector<AttributedPhase> Phases);
+
+  /// The minimum phase length this solution was computed for.
+  uint64_t mpl() const { return MPL; }
+
+  /// Branch-trace length.
+  uint64_t totalElements() const { return TotalElements; }
+
+  /// The identified phases, sorted and disjoint (Table 1(b) "# Phases").
+  const std::vector<PhaseInterval> &phases() const { return Phases; }
+
+  /// The phases with their originating constructs.
+  const std::vector<AttributedPhase> &attributedPhases() const {
+    return Attributed;
+  }
+
+  /// Per-element P/T states.
+  const StateSequence &states() const { return States; }
+
+  /// Number of identified phases.
+  size_t numPhases() const { return Phases.size(); }
+
+  /// Fraction of profile elements inside some phase (Table 1(b)
+  /// "% in Phase" — the branch-coverage validation of Section 3.1).
+  double fractionInPhase() const;
+
+private:
+  uint64_t MPL;
+  uint64_t TotalElements;
+  std::vector<AttributedPhase> Attributed;
+  std::vector<PhaseInterval> Phases;
+  StateSequence States;
+};
+
+/// Runs the oracle over \p Tree for minimum phase length \p MPL.
+BaselineSolution computeBaseline(const InstanceTree &Tree, uint64_t MPL);
+
+/// Convenience: build the tree and run the oracle for several MPLs.
+std::vector<BaselineSolution>
+computeBaselines(const CallLoopTrace &Trace, uint64_t TotalElements,
+                 const std::vector<uint64_t> &MPLs);
+
+} // namespace opd
+
+#endif // OPD_BASELINE_BASELINESOLUTION_H

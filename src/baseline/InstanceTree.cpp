@@ -1,0 +1,89 @@
+//===- baseline/InstanceTree.cpp - Repetition instance forest --------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/InstanceTree.h"
+
+#include <unordered_map>
+
+using namespace opd;
+
+InstanceTree InstanceTree::build(const CallLoopTrace &Trace,
+                                 uint64_t TotalElements) {
+  InstanceTree Tree;
+  Tree.Nodes.push_back({RepetitionInstance::Kind::Root, 0, 0, TotalElements,
+                        InvalidNode, {}, false});
+
+  // Stack of open instances (node indices); per-method stack of open
+  // method-instance node indices for recursion-root marking.
+  std::vector<uint32_t> OpenStack{0};
+  std::unordered_map<uint32_t, std::vector<uint32_t>> OpenMethods;
+
+  auto openInstance = [&](RepetitionInstance::Kind Kind, uint32_t Id,
+                          uint64_t Offset) {
+    uint32_t Parent = OpenStack.back();
+    uint32_t Index = static_cast<uint32_t>(Tree.Nodes.size());
+    Tree.Nodes.push_back({Kind, Id, Offset, Offset, Parent, {}, false});
+    Tree.Nodes[Parent].Children.push_back(Index);
+    OpenStack.push_back(Index);
+    return Index;
+  };
+
+  auto closeInstance = [&](RepetitionInstance::Kind Kind, uint32_t Id,
+                           uint64_t Offset) {
+    // Tolerate stray exits: only close if the top of the stack matches.
+    if (OpenStack.size() <= 1)
+      return;
+    RepetitionInstance &Top = Tree.Nodes[OpenStack.back()];
+    if (Top.TheKind != Kind || Top.StaticId != Id)
+      return;
+    Top.End = Offset;
+    OpenStack.pop_back();
+  };
+
+  for (const CallLoopEvent &E : Trace.events()) {
+    switch (E.Kind) {
+    case CallLoopEventKind::LoopEnter:
+      openInstance(RepetitionInstance::Kind::Loop, E.Id, E.Offset);
+      break;
+    case CallLoopEventKind::LoopExit:
+      closeInstance(RepetitionInstance::Kind::Loop, E.Id, E.Offset);
+      break;
+    case CallLoopEventKind::MethodEnter: {
+      // An invocation of a method with a live instance marks the
+      // bottom-most live instance as a recursion root (Section 3.1).
+      std::vector<uint32_t> &Open = OpenMethods[E.Id];
+      if (!Open.empty())
+        Tree.Nodes[Open.front()].IsRecursionRoot = true;
+      uint32_t Index =
+          openInstance(RepetitionInstance::Kind::Method, E.Id, E.Offset);
+      Open.push_back(Index);
+      break;
+    }
+    case CallLoopEventKind::MethodExit: {
+      if (OpenStack.size() > 1) {
+        const RepetitionInstance &Top = Tree.Nodes[OpenStack.back()];
+        if (Top.TheKind == RepetitionInstance::Kind::Method &&
+            Top.StaticId == E.Id) {
+          std::vector<uint32_t> &Open = OpenMethods[E.Id];
+          assert(!Open.empty() && "method exit without matching enter");
+          Open.pop_back();
+        }
+      }
+      closeInstance(RepetitionInstance::Kind::Method, E.Id, E.Offset);
+      break;
+    }
+    }
+  }
+
+  // Close any instances left open (e.g. a fuel-limited run): they end at
+  // the end of the trace.
+  while (OpenStack.size() > 1) {
+    Tree.Nodes[OpenStack.back()].End = TotalElements;
+    OpenStack.pop_back();
+  }
+  return Tree;
+}

@@ -1,0 +1,87 @@
+//===- baseline/InstanceTree.h - Repetition instance forest -----*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline (oracle) solution works from the dynamic call-loop trace
+/// (Section 3.1): every loop execution and method invocation becomes a
+/// *repetition instance* spanning an interval of profile-element offsets.
+/// Because enters/exits are properly nested, the instances form a tree
+/// under a synthetic whole-trace root. InstanceTree builds that tree in
+/// one stack-based pass and marks recursion roots (the outermost on-stack
+/// instance of a method that is re-invoked before it returns).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_BASELINE_INSTANCETREE_H
+#define OPD_BASELINE_INSTANCETREE_H
+
+#include "trace/CallLoopTrace.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace opd {
+
+/// One dynamic execution of a repetition construct.
+struct RepetitionInstance {
+  enum class Kind : uint8_t {
+    Root,   ///< Synthetic node covering the whole trace.
+    Loop,   ///< One loop execution (all iterations of one entry).
+    Method, ///< One method invocation.
+  };
+
+  Kind TheKind;
+  /// Static identifier: loop id or method id (separate namespaces).
+  uint32_t StaticId;
+  /// Covered profile elements [Begin, End).
+  uint64_t Begin;
+  uint64_t End;
+  /// Parent node index (InvalidNode for the root).
+  uint32_t Parent;
+  /// Children in program order (indices into InstanceTree::nodes()).
+  std::vector<uint32_t> Children;
+  /// For Method instances: true if this invocation roots a recursive
+  /// execution (the method was re-invoked while this instance was live and
+  /// no enclosing instance of the same method exists).
+  bool IsRecursionRoot = false;
+
+  uint64_t span() const { return End - Begin; }
+};
+
+/// The forest of repetition instances of one execution, rooted at a
+/// synthetic whole-trace node (index 0).
+class InstanceTree {
+public:
+  static constexpr uint32_t InvalidNode = ~0u;
+
+  /// Builds the tree from \p Trace. \p TotalElements is the branch-trace
+  /// length (the root's End). Unbalanced traces (exits without enters)
+  /// are tolerated: stray exits are ignored, unclosed enters are closed at
+  /// trace end.
+  static InstanceTree build(const CallLoopTrace &Trace,
+                            uint64_t TotalElements);
+
+  const std::vector<RepetitionInstance> &nodes() const { return Nodes; }
+
+  const RepetitionInstance &node(uint32_t Index) const {
+    assert(Index < Nodes.size() && "instance index out of range");
+    return Nodes[Index];
+  }
+
+  /// The synthetic root node.
+  const RepetitionInstance &root() const { return Nodes.front(); }
+
+  /// Number of nodes including the synthetic root.
+  size_t size() const { return Nodes.size(); }
+
+private:
+  std::vector<RepetitionInstance> Nodes;
+};
+
+} // namespace opd
+
+#endif // OPD_BASELINE_INSTANCETREE_H

@@ -1,0 +1,33 @@
+//===- core/DetectorConfig.cpp - Detector instantiation configs -------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DetectorConfig.h"
+
+#include "support/Format.h"
+
+using namespace opd;
+
+std::string DetectorConfig::describe() const {
+  std::string Out = modelKindName(Model);
+  Out += std::string(" ") + twPolicyName(Window.TWPolicy);
+  Out += " cw=" + std::to_string(Window.CWSize);
+  Out += " tw=" + std::to_string(Window.TWSize);
+  Out += " skip=" + std::to_string(Window.SkipFactor);
+  if (Window.TWPolicy == TWPolicyKind::Adaptive)
+    Out += std::string(" ") + anchorKindName(Window.Anchor) + "/" +
+           resizeKindName(Window.Resize);
+  Out += std::string(" ") + analyzerKindName(TheAnalyzer) + " " +
+         formatDouble(AnalyzerParam, 2);
+  return Out;
+}
+
+std::unique_ptr<PhaseDetector> opd::makeDetector(const DetectorConfig &Config,
+                                                 SiteIndex NumSites) {
+  return std::make_unique<PhaseDetector>(
+      Config.Window, Config.Model,
+      makeAnalyzer(Config.TheAnalyzer, Config.AnalyzerParam), NumSites);
+}

@@ -1,0 +1,52 @@
+//===- core/DetectorConfig.h - Detector instantiation configs ---*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A DetectorConfig captures one point in the framework's parameter space
+/// (window policy x model policy x analyzer policy). The evaluation
+/// instantiates thousands of these; makeDetector() builds the concrete
+/// PhaseDetector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_CORE_DETECTORCONFIG_H
+#define OPD_CORE_DETECTORCONFIG_H
+
+#include "core/PhaseDetector.h"
+
+#include <memory>
+#include <string>
+
+namespace opd {
+
+/// One instantiation of the framework.
+struct DetectorConfig {
+  WindowConfig Window;
+  ModelKind Model = ModelKind::UnweightedSet;
+  AnalyzerKind TheAnalyzer = AnalyzerKind::Threshold;
+  /// Threshold value or average delta, depending on TheAnalyzer.
+  double AnalyzerParam = 0.5;
+
+  /// One-line description for tables.
+  std::string describe() const;
+
+  /// True for the "Fixed Interval" policy of the prior literature:
+  /// Constant TW with skipFactor == CW size (== TW size).
+  bool isFixedInterval() const {
+    return Window.TWPolicy == TWPolicyKind::Constant &&
+           Window.SkipFactor == Window.CWSize;
+  }
+};
+
+/// Builds the detector \p Config describes, sized for \p NumSites
+/// distinct profile elements.
+std::unique_ptr<PhaseDetector> makeDetector(const DetectorConfig &Config,
+                                            SiteIndex NumSites);
+
+} // namespace opd
+
+#endif // OPD_CORE_DETECTORCONFIG_H

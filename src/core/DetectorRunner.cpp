@@ -1,0 +1,50 @@
+//===- core/DetectorRunner.cpp - Stream a trace through a detector -----------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DetectorRunner.h"
+
+#include <algorithm>
+
+using namespace opd;
+
+DetectorRun opd::runDetector(OnlineDetector &Detector,
+                             const BranchTrace &Trace) {
+  Detector.reset();
+  DetectorRun Run;
+  const std::vector<SiteIndex> &Elements = Trace.elements();
+  size_t Batch = Detector.batchSize();
+  assert(Batch > 0 && "batch size must be positive");
+
+  PhaseState Prev = PhaseState::Transition;
+  std::vector<uint64_t> AnchoredStarts;
+  for (uint64_t Offset = 0; Offset < Elements.size(); Offset += Batch) {
+    size_t N = std::min<size_t>(Batch, Elements.size() - Offset);
+    PhaseState S = Detector.processBatch(&Elements[Offset], N);
+    // One state per input element (the batch shares its state).
+    Run.States.append(S, N);
+    if (Prev == PhaseState::Transition && S == PhaseState::InPhase)
+      AnchoredStarts.push_back(Detector.lastPhaseStartEstimate());
+    Prev = S;
+  }
+
+  Run.DetectedPhases = Run.States.phases();
+  assert(AnchoredStarts.size() == Run.DetectedPhases.size() &&
+         "one anchored start per detected phase");
+
+  // Build the anchor-corrected phases: each start is pulled back to the
+  // anchor estimate, clamped so the list stays sorted and disjoint.
+  Run.AnchoredPhases.reserve(Run.DetectedPhases.size());
+  uint64_t PrevEnd = 0;
+  for (size_t I = 0; I != Run.DetectedPhases.size(); ++I) {
+    PhaseInterval P = Run.DetectedPhases[I];
+    uint64_t Anchor = I < AnchoredStarts.size() ? AnchoredStarts[I] : P.Begin;
+    P.Begin = std::clamp(Anchor, PrevEnd, P.Begin);
+    Run.AnchoredPhases.push_back(P);
+    PrevEnd = P.End;
+  }
+  return Run;
+}

@@ -1,0 +1,45 @@
+//===- core/DetectorRunner.h - Stream a trace through a detector -*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DetectorRunner feeds a branch trace through an OnlineDetector in
+/// skipFactor-sized batches and records the per-element state output plus
+/// the detected phases. It also records, for every detected phase, the
+/// detector's anchor-based estimate of where the phase actually began —
+/// the corrected boundaries Figure 8 scores.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_CORE_DETECTORRUNNER_H
+#define OPD_CORE_DETECTORRUNNER_H
+
+#include "core/PhaseDetector.h"
+#include "trace/BranchTrace.h"
+#include "trace/StateSequence.h"
+
+#include <vector>
+
+namespace opd {
+
+/// Everything one detector run produces.
+struct DetectorRun {
+  /// One state per trace element (the framework's output).
+  StateSequence States;
+  /// The InPhase intervals of States.
+  std::vector<PhaseInterval> DetectedPhases;
+  /// DetectedPhases with each start replaced by the detector's anchored
+  /// estimate of the true phase start (clamped to stay sorted/disjoint).
+  std::vector<PhaseInterval> AnchoredPhases;
+};
+
+/// Streams \p Trace through \p Detector (which is reset first). The
+/// trailing partial batch, if any, is processed as a short batch.
+DetectorRun runDetector(OnlineDetector &Detector, const BranchTrace &Trace);
+
+} // namespace opd
+
+#endif // OPD_CORE_DETECTORRUNNER_H

@@ -1,0 +1,102 @@
+//===- core/MultiScale.cpp - Multi-scale (hierarchical) detection -----------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MultiScale.h"
+
+#include <algorithm>
+
+using namespace opd;
+
+MultiScaleDetector::MultiScaleDetector(const Options &Opts,
+                                       SiteIndex NumSites) {
+  assert(Opts.NumLevels > 0 && "need at least one level");
+  assert(Opts.ScaleFactor > 1 && "levels must grow");
+  uint32_t CW = Opts.BaseCWSize;
+  for (unsigned L = 0; L != Opts.NumLevels; ++L) {
+    DetectorConfig Config;
+    Config.Window.CWSize = CW;
+    Config.Window.TWSize = CW;
+    Config.Window.SkipFactor = 1;
+    Config.Window.TWPolicy = Opts.TWPolicy;
+    Config.Model = Opts.Model;
+    Config.TheAnalyzer = Opts.TheAnalyzer;
+    Config.AnalyzerParam = Opts.AnalyzerParam;
+    Levels.push_back(makeDetector(Config, NumSites));
+    CW *= Opts.ScaleFactor;
+  }
+  States.resize(Opts.NumLevels, PhaseState::Transition);
+}
+
+const std::vector<PhaseState> &
+MultiScaleDetector::processElement(SiteIndex S) {
+  for (size_t L = 0; L != Levels.size(); ++L)
+    States[L] = Levels[L]->processBatch(&S, 1);
+  return States;
+}
+
+uint32_t MultiScaleDetector::levelCWSize(unsigned L) const {
+  assert(L < Levels.size() && "level out of range");
+  return Levels[L]->model().config().CWSize;
+}
+
+void MultiScaleDetector::reset() {
+  for (std::unique_ptr<PhaseDetector> &D : Levels)
+    D->reset();
+  std::fill(States.begin(), States.end(), PhaseState::Transition);
+}
+
+MultiScaleRun opd::runMultiScale(MultiScaleDetector &Detector,
+                                 const BranchTrace &Trace) {
+  Detector.reset();
+  MultiScaleRun Run;
+  Run.LevelStates.resize(Detector.numLevels());
+  for (uint64_t I = 0, E = Trace.size(); I != E; ++I) {
+    const std::vector<PhaseState> &States =
+        Detector.processElement(Trace[I]);
+    for (size_t L = 0; L != States.size(); ++L)
+      Run.LevelStates[L].append(States[L]);
+  }
+  return Run;
+}
+
+std::vector<PhaseHierarchyNode>
+opd::buildPhaseHierarchy(const MultiScaleRun &Run) {
+  // Work coarsest-to-finest: each finer phase attaches to the deepest
+  // existing node whose interval contains its start.
+  std::vector<PhaseHierarchyNode> Roots;
+
+  // Finds the deepest node in the current hierarchy containing Offset.
+  auto findEnclosing = [&](uint64_t Offset) -> PhaseHierarchyNode * {
+    PhaseHierarchyNode *Best = nullptr;
+    std::vector<PhaseHierarchyNode> *Nodes = &Roots;
+    for (;;) {
+      PhaseHierarchyNode *Found = nullptr;
+      for (PhaseHierarchyNode &N : *Nodes) {
+        if (N.Interval.Begin <= Offset && Offset < N.Interval.End) {
+          Found = &N;
+          break;
+        }
+      }
+      if (!Found)
+        return Best;
+      Best = Found;
+      Nodes = &Found->Children;
+    }
+  };
+
+  unsigned NumLevels = static_cast<unsigned>(Run.LevelStates.size());
+  for (unsigned Coarse = NumLevels; Coarse-- > 0;) {
+    for (const PhaseInterval &P : Run.LevelStates[Coarse].phases()) {
+      PhaseHierarchyNode Node{P, Coarse, {}};
+      if (PhaseHierarchyNode *Parent = findEnclosing(P.Begin))
+        Parent->Children.push_back(std::move(Node));
+      else
+        Roots.push_back(std::move(Node));
+    }
+  }
+  return Roots;
+}

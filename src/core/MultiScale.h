@@ -1,0 +1,97 @@
+//===- core/MultiScale.h - Multi-scale (hierarchical) detection -*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 2 observes that "profile elements may form a hierarchy of
+/// phases ... Ideally, an online phase detector will find this hierarchy
+/// so that the detector's client can exploit it", but the paper's
+/// detectors produce flat structures. MultiScaleDetector is the natural
+/// extension: a bank of framework detectors with geometrically growing
+/// window sizes, each sensitive to phases around its own scale (the
+/// CW-vs-MPL relationship of Table 2). Its per-level outputs can be
+/// scored against per-MPL baselines, and buildPhaseHierarchy() nests the
+/// levels' phases into the hierarchy tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_CORE_MULTISCALE_H
+#define OPD_CORE_MULTISCALE_H
+
+#include "core/DetectorConfig.h"
+#include "trace/BranchTrace.h"
+#include "trace/StateSequence.h"
+
+#include <memory>
+#include <vector>
+
+namespace opd {
+
+/// A bank of framework detectors at geometrically increasing window
+/// sizes. Level 0 is the finest scale.
+class MultiScaleDetector {
+public:
+  struct Options {
+    /// CW (= TW) size of level 0.
+    uint32_t BaseCWSize = 500;
+    /// CW size multiplier between adjacent levels.
+    uint32_t ScaleFactor = 10;
+    /// Number of levels.
+    unsigned NumLevels = 3;
+    /// Shared policies for every level.
+    TWPolicyKind TWPolicy = TWPolicyKind::Adaptive;
+    ModelKind Model = ModelKind::UnweightedSet;
+    AnalyzerKind TheAnalyzer = AnalyzerKind::Threshold;
+    double AnalyzerParam = 0.6;
+  };
+
+  MultiScaleDetector(const Options &Opts, SiteIndex NumSites);
+
+  /// Feeds one element to every level; returns the per-level states
+  /// (index 0 = finest). The reference stays valid until the next call.
+  const std::vector<PhaseState> &processElement(SiteIndex S);
+
+  unsigned numLevels() const { return static_cast<unsigned>(Levels.size()); }
+
+  /// CW size of level \p L.
+  uint32_t levelCWSize(unsigned L) const;
+
+  /// Clears all levels.
+  void reset();
+
+private:
+  std::vector<std::unique_ptr<PhaseDetector>> Levels;
+  std::vector<PhaseState> States;
+};
+
+/// Per-level output of a multi-scale run.
+struct MultiScaleRun {
+  /// One sequence per level, finest first; all cover the whole trace.
+  std::vector<StateSequence> LevelStates;
+};
+
+/// Streams \p Trace through \p Detector (reset first).
+MultiScaleRun runMultiScale(MultiScaleDetector &Detector,
+                            const BranchTrace &Trace);
+
+/// One node of the detected phase hierarchy: a phase at some level with
+/// the finer-scale phases nested inside it.
+struct PhaseHierarchyNode {
+  PhaseInterval Interval;
+  unsigned Level; ///< Level the phase was detected at (coarsest = max).
+  std::vector<PhaseHierarchyNode> Children;
+};
+
+/// Nests the per-level phases of \p Run into a hierarchy: coarser-level
+/// phases become ancestors of the finer-level phases they contain.
+/// Finer phases that straddle a coarser boundary are attached to the
+/// coarse phase containing their start. Returns the roots (coarsest
+/// level's phases plus any finer phases not covered by a coarser one).
+std::vector<PhaseHierarchyNode> buildPhaseHierarchy(const MultiScaleRun &Run);
+
+} // namespace opd
+
+#endif // OPD_CORE_MULTISCALE_H

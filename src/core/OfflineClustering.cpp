@@ -1,0 +1,162 @@
+//===- core/OfflineClustering.cpp - Offline interval clustering -------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/OfflineClustering.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace opd;
+
+namespace {
+
+using Vector = std::vector<double>;
+
+double squaredDistance(const Vector &A, const Vector &B) {
+  double Sum = 0.0;
+  for (size_t I = 0; I != A.size(); ++I) {
+    double D = A[I] - B[I];
+    Sum += D * D;
+  }
+  return Sum;
+}
+
+/// Builds the normalized frequency vector of trace elements
+/// [Begin, End).
+Vector intervalVector(const BranchTrace &Trace, uint64_t Begin,
+                      uint64_t End) {
+  Vector V(Trace.numSites(), 0.0);
+  for (uint64_t I = Begin; I != End; ++I)
+    V[Trace[I]] += 1.0;
+  double Inv = End > Begin ? 1.0 / static_cast<double>(End - Begin) : 0.0;
+  for (double &X : V)
+    X *= Inv;
+  return V;
+}
+
+} // namespace
+
+OfflineClusteringResult
+opd::clusterTrace(const BranchTrace &Trace,
+                  const OfflineClusteringOptions &Options) {
+  assert(Options.IntervalLength > 0 && "interval length must be positive");
+  assert(Options.NumClusters > 0 && "need at least one cluster");
+
+  OfflineClusteringResult Result;
+  uint64_t Total = Trace.size();
+  if (Total == 0) {
+    Result.States = StateSequence();
+    return Result;
+  }
+
+  // 1. Interval BBVs (the final partial interval included).
+  std::vector<Vector> Vectors;
+  std::vector<uint64_t> Bounds; // interval end offsets
+  for (uint64_t Begin = 0; Begin < Total;
+       Begin += Options.IntervalLength) {
+    uint64_t End = std::min(Total, Begin + Options.IntervalLength);
+    Vectors.push_back(intervalVector(Trace, Begin, End));
+    Bounds.push_back(End);
+  }
+  size_t N = Vectors.size();
+  unsigned K = static_cast<unsigned>(
+      std::min<size_t>(Options.NumClusters, N));
+
+  // 2. k-means++ seeding (deterministic).
+  Xoshiro256 Rng(Options.Seed);
+  std::vector<Vector> Centers;
+  Centers.push_back(Vectors[Rng.nextBelow(N)]);
+  std::vector<double> MinDist(N, 0.0);
+  while (Centers.size() < K) {
+    double Sum = 0.0;
+    for (size_t I = 0; I != N; ++I) {
+      double Best = squaredDistance(Vectors[I], Centers[0]);
+      for (size_t C = 1; C != Centers.size(); ++C)
+        Best = std::min(Best, squaredDistance(Vectors[I], Centers[C]));
+      MinDist[I] = Best;
+      Sum += Best;
+    }
+    if (Sum <= 0.0) {
+      // All points coincide with centers; no more distinct seeds exist.
+      break;
+    }
+    double Pick = Rng.nextDouble() * Sum;
+    size_t Chosen = N - 1;
+    for (size_t I = 0; I != N; ++I) {
+      Pick -= MinDist[I];
+      if (Pick <= 0.0) {
+        Chosen = I;
+        break;
+      }
+    }
+    Centers.push_back(Vectors[Chosen]);
+  }
+  K = static_cast<unsigned>(Centers.size());
+
+  // 3. Lloyd iterations.
+  std::vector<unsigned> Labels(N, 0);
+  for (unsigned Iter = 0; Iter != Options.MaxIterations; ++Iter) {
+    bool Changed = false;
+    for (size_t I = 0; I != N; ++I) {
+      unsigned Best = 0;
+      double BestDist = squaredDistance(Vectors[I], Centers[0]);
+      for (unsigned C = 1; C != K; ++C) {
+        double Dist = squaredDistance(Vectors[I], Centers[C]);
+        if (Dist < BestDist) {
+          BestDist = Dist;
+          Best = C;
+        }
+      }
+      if (Labels[I] != Best) {
+        Labels[I] = Best;
+        Changed = true;
+      }
+    }
+    if (!Changed && Iter > 0)
+      break;
+    // Recompute centers; empty clusters keep their previous position.
+    std::vector<Vector> NewCenters(K,
+                                   Vector(Trace.numSites(), 0.0));
+    std::vector<uint64_t> Counts(K, 0);
+    for (size_t I = 0; I != N; ++I) {
+      ++Counts[Labels[I]];
+      for (size_t S = 0; S != Vectors[I].size(); ++S)
+        NewCenters[Labels[I]][S] += Vectors[I][S];
+    }
+    for (unsigned C = 0; C != K; ++C) {
+      if (Counts[C] == 0) {
+        NewCenters[C] = Centers[C];
+        continue;
+      }
+      double Inv = 1.0 / static_cast<double>(Counts[C]);
+      for (double &X : NewCenters[C])
+        X *= Inv;
+    }
+    Centers = std::move(NewCenters);
+  }
+
+  // 4. Phases = maximal same-label runs; remap labels to the used set.
+  std::vector<unsigned> Used;
+  for (unsigned L : Labels)
+    if (std::find(Used.begin(), Used.end(), L) == Used.end())
+      Used.push_back(L);
+  Result.NumClusters = static_cast<unsigned>(Used.size());
+
+  Result.IntervalLabels = Labels;
+  uint64_t RunBegin = 0;
+  for (size_t I = 0; I != N; ++I) {
+    bool Last = I + 1 == N;
+    if (Last || Labels[I + 1] != Labels[I]) {
+      Result.Phases.push_back({RunBegin, Bounds[I]});
+      RunBegin = Bounds[I];
+    }
+  }
+  Result.States = StateSequence::fromPhases(Result.Phases, Total);
+  return Result;
+}

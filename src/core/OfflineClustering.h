@@ -1,0 +1,66 @@
+//===- core/OfflineClustering.h - Offline interval clustering --*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offline comparison point. The approaches the paper contrasts
+/// itself with (Sherwood et al.'s basic-block-vector work) partition the
+/// complete trace into fixed intervals, summarize each as a frequency
+/// vector, and cluster the vectors with k-means — with the whole trace
+/// available in hindsight. clusterTrace() implements that pipeline:
+/// deterministic k-means++ seeding, Lloyd iterations, and phase
+/// extraction as maximal runs of equally-labeled intervals.
+///
+/// Note what this detector *cannot* do, which the scoring metric
+/// penalizes: it has no T state (every interval belongs to some
+/// cluster), and its boundaries snap to interval edges — the
+/// misalignment problem that motivates skipFactor = 1 online detection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_CORE_OFFLINECLUSTERING_H
+#define OPD_CORE_OFFLINECLUSTERING_H
+
+#include "trace/BranchTrace.h"
+#include "trace/StateSequence.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace opd {
+
+struct OfflineClusteringOptions {
+  /// Elements per interval (the extant 100K-instruction intervals,
+  /// scaled to our traces).
+  uint64_t IntervalLength = 10000;
+  /// k for k-means.
+  unsigned NumClusters = 6;
+  /// Lloyd iteration cap (stops earlier on convergence).
+  unsigned MaxIterations = 64;
+  /// Seeding determinism.
+  uint64_t Seed = 1;
+};
+
+struct OfflineClusteringResult {
+  /// Cluster label of each interval (the final partial interval
+  /// included).
+  std::vector<unsigned> IntervalLabels;
+  /// Maximal same-label runs, as phase intervals in element offsets.
+  std::vector<PhaseInterval> Phases;
+  /// All-P states with boundaries at label changes (what the offline
+  /// approach would hand a client).
+  StateSequence States;
+  /// Number of clusters actually used (<= k; empty clusters collapse).
+  unsigned NumClusters = 0;
+};
+
+/// Runs the offline pipeline over \p Trace.
+OfflineClusteringResult clusterTrace(const BranchTrace &Trace,
+                                     const OfflineClusteringOptions &Options);
+
+} // namespace opd
+
+#endif // OPD_CORE_OFFLINECLUSTERING_H

@@ -1,0 +1,84 @@
+//===- core/PhaseDetector.cpp - The online phase detector --------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PhaseDetector.h"
+
+#include "support/Format.h"
+
+using namespace opd;
+
+OnlineDetector::~OnlineDetector() = default;
+
+PhaseDetector::PhaseDetector(const WindowConfig &Window, ModelKind Model,
+                             std::unique_ptr<Analyzer> TheAnalyzer,
+                             SiteIndex NumSites)
+    : Model(Window, Model, NumSites), TheAnalyzer(std::move(TheAnalyzer)) {
+  assert(this->TheAnalyzer && "detector requires an analyzer");
+}
+
+PhaseState PhaseDetector::processBatch(const SiteIndex *Elements, size_t N) {
+  // Figure 3: the model consumes the new profile elements and updates the
+  // windows.
+  for (size_t I = 0; I != N; ++I)
+    Model.consume(Elements[I]);
+
+  // Until the windows fill, the detector reports T (Figure 2, row B).
+  PhaseState NewState;
+  if (!Model.windowsFull()) {
+    NewState = PhaseState::Transition;
+  } else {
+    double Similarity = Model.similarity();
+    NewState = TheAnalyzer->processValue(Similarity);
+
+    if (State == PhaseState::Transition &&
+        NewState == PhaseState::InPhase) {
+      // Start phase: anchor the TW at the phase start and reset the
+      // analyzer's phase statistics.
+      LastAnchor = Model.computeAnchorOffset();
+      Model.startPhase();
+      TheAnalyzer->resetStats();
+    } else if (State == PhaseState::InPhase &&
+               NewState == PhaseState::InPhase) {
+      // In phase: track the phase's statistics.
+      TheAnalyzer->updateStats(Similarity);
+    }
+  }
+
+  if (State == PhaseState::InPhase && NewState == PhaseState::Transition) {
+    // End phase: flush the windows; the analyzer drops the dead phase's
+    // statistics (the optional reset of Figure 3).
+    Model.endPhase();
+    TheAnalyzer->resetStats();
+  }
+
+  State = NewState;
+  return State;
+}
+
+void PhaseDetector::reset() {
+  Model.reset();
+  TheAnalyzer->reset();
+  State = PhaseState::Transition;
+  LastAnchor = 0;
+}
+
+std::string PhaseDetector::describe() const {
+  const WindowConfig &W = Model.config();
+  std::string Out = modelKindName(Model.modelKind());
+  Out += " ";
+  Out += twPolicyName(W.TWPolicy);
+  Out += "-tw cw=" + std::to_string(W.CWSize) +
+         " tw=" + std::to_string(W.TWSize) +
+         " skip=" + std::to_string(W.SkipFactor);
+  if (W.TWPolicy == TWPolicyKind::Adaptive) {
+    Out += std::string(" ") + anchorKindName(W.Anchor) + "/" +
+           resizeKindName(W.Resize);
+  }
+  Out += " ";
+  Out += TheAnalyzer->describe();
+  return Out;
+}

@@ -1,0 +1,97 @@
+//===- core/PhaseDetector.h - The online phase detector ---------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PhaseDetector composes a WindowedModel and an Analyzer into the
+/// framework of Figure 3: a detection client feeds it the most recent
+/// skipFactor profile elements and receives the new P/T state.
+///
+/// OnlineDetector is the abstract interface every online detector in this
+/// repository implements (the framework detectors here plus the
+/// related-work detectors in core/RelatedWork.h); the DetectorRunner and
+/// the sweep harness operate on it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_CORE_PHASEDETECTOR_H
+#define OPD_CORE_PHASEDETECTOR_H
+
+#include "core/Analyzer.h"
+#include "core/WindowedModel.h"
+#include "trace/StateSequence.h"
+
+#include <memory>
+#include <string>
+
+namespace opd {
+
+/// Abstract online phase detector: a state machine fed batches of profile
+/// elements, emitting one state per batch.
+class OnlineDetector {
+public:
+  virtual ~OnlineDetector();
+
+  /// Consumes \p N elements (normally batchSize(); the final batch of a
+  /// trace may be shorter) and returns the state covering them.
+  virtual PhaseState processBatch(const SiteIndex *Elements, size_t N) = 0;
+
+  /// Elements per batch (the skipFactor).
+  virtual size_t batchSize() const = 0;
+
+  /// Clears all state for a fresh stream.
+  virtual void reset() = 0;
+
+  /// After a T->P transition, the detector's estimate of where the phase
+  /// actually began (global element offset). Detectors without anchoring
+  /// return the transition offset itself. Only meaningful immediately
+  /// after processBatch returned a transition into P.
+  virtual uint64_t lastPhaseStartEstimate() const = 0;
+
+  /// One-line description for tables.
+  virtual std::string describe() const = 0;
+};
+
+/// The framework detector of Figure 3.
+class PhaseDetector final : public OnlineDetector {
+public:
+  PhaseDetector(const WindowConfig &Window, ModelKind Model,
+                std::unique_ptr<Analyzer> TheAnalyzer, SiteIndex NumSites);
+
+  /// Figure 3's processProfile(profileElements).
+  PhaseState processBatch(const SiteIndex *Elements, size_t N) override;
+
+  size_t batchSize() const override { return Model.config().SkipFactor; }
+
+  void reset() override;
+
+  uint64_t lastPhaseStartEstimate() const override { return LastAnchor; }
+
+  std::string describe() const override;
+
+  /// Current state (P/T).
+  PhaseState state() const { return State; }
+
+  /// Confidence in the current state (the framework's optional feature;
+  /// Section 2): the analyzer's normalized decision margin, or 0 while
+  /// the windows are still filling.
+  double confidence() const {
+    return Model.windowsFull() ? TheAnalyzer->confidence() : 0.0;
+  }
+
+  /// The model, for tests and diagnostics.
+  const WindowedModel &model() const { return Model; }
+
+private:
+  WindowedModel Model;
+  std::unique_ptr<Analyzer> TheAnalyzer;
+  PhaseState State = PhaseState::Transition;
+  uint64_t LastAnchor = 0;
+};
+
+} // namespace opd
+
+#endif // OPD_CORE_PHASEDETECTOR_H

@@ -1,0 +1,73 @@
+//===- core/PhaseMonitor.cpp - Client-facing phase event API -----------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PhaseMonitor.h"
+
+using namespace opd;
+
+PhaseMonitor::PhaseMonitor(const DetectorConfig &Config, SiteIndex NumSites,
+                           double SignatureMatchThreshold)
+    : Detector(makeDetector(Config, NumSites)),
+      Tracker(NumSites, SignatureMatchThreshold) {
+  Pending.reserve(Config.Window.SkipFactor);
+}
+
+void PhaseMonitor::addElements(const SiteIndex *Elements, size_t N) {
+  size_t Batch = Detector->batchSize();
+  for (size_t I = 0; I != N; ++I) {
+    Pending.push_back(Elements[I]);
+    if (Pending.size() == Batch) {
+      processBatch(Pending.data(), Pending.size());
+      Pending.clear();
+    }
+  }
+}
+
+void PhaseMonitor::processBatch(const SiteIndex *Elements, size_t N) {
+  PhaseState Before = Detector->state();
+  PhaseState After = Detector->processBatch(Elements, N);
+  Tracker.observe(Elements, N, After);
+  uint64_t BatchStart = Consumed;
+  Consumed += N;
+
+  if (Before == PhaseState::Transition && After == PhaseState::InPhase) {
+    PhaseOpen = true;
+    OpenPhaseStart = BatchStart;
+    if (StartCB)
+      StartCB({BatchStart, Detector->lastPhaseStartEstimate(),
+               Detector->confidence()});
+  } else if (PhaseOpen && Before == PhaseState::InPhase &&
+             After == PhaseState::Transition) {
+    PhaseOpen = false;
+    PhaseLengths.push(static_cast<double>(BatchStart - OpenPhaseStart));
+    if (EndCB) {
+      assert(!Tracker.completedPhases().empty() &&
+             "tracker must have closed the phase");
+      const RecurringPhaseTracker::CompletedPhase &P =
+          Tracker.completedPhases().back();
+      EndCB({OpenPhaseStart, BatchStart, P.Id, P.Recurrence});
+    }
+  }
+}
+
+void PhaseMonitor::finish() {
+  if (!Pending.empty()) {
+    processBatch(Pending.data(), Pending.size());
+    Pending.clear();
+  }
+  if (!PhaseOpen)
+    return;
+  Tracker.finish();
+  PhaseOpen = false;
+  PhaseLengths.push(static_cast<double>(Consumed - OpenPhaseStart));
+  if (EndCB) {
+    assert(!Tracker.completedPhases().empty());
+    const RecurringPhaseTracker::CompletedPhase &P =
+        Tracker.completedPhases().back();
+    EndCB({OpenPhaseStart, Consumed, P.Id, P.Recurrence});
+  }
+}

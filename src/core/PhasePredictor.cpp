@@ -1,0 +1,57 @@
+//===- core/PhasePredictor.cpp - Next-phase prediction ----------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PhasePredictor.h"
+
+using namespace opd;
+
+PhasePredictor::~PhasePredictor() = default;
+
+std::optional<unsigned> MarkovPhasePredictor::predict() const {
+  if (!Last)
+    return std::nullopt;
+  // Scan the successors of Last; EdgeCounts is ordered by (from, to), so
+  // ties naturally resolve toward the smaller id.
+  std::optional<unsigned> Best;
+  uint64_t BestCount = 0;
+  auto It = EdgeCounts.lower_bound({*Last, 0});
+  for (; It != EdgeCounts.end() && It->first.first == *Last; ++It) {
+    if (It->second > BestCount) {
+      BestCount = It->second;
+      Best = It->first.second;
+    }
+  }
+  if (Best)
+    return Best;
+  return Last; // No successor history yet: fall back to last-value.
+}
+
+void MarkovPhasePredictor::observe(unsigned Id) {
+  if (Last)
+    ++EdgeCounts[{*Last, Id}];
+  Last = Id;
+}
+
+void MarkovPhasePredictor::reset() {
+  EdgeCounts.clear();
+  Last.reset();
+}
+
+PredictionAccuracy opd::evaluatePredictor(
+    PhasePredictor &Predictor,
+    const std::vector<RecurringPhaseTracker::CompletedPhase> &Phases) {
+  Predictor.reset();
+  PredictionAccuracy Acc;
+  for (const RecurringPhaseTracker::CompletedPhase &P : Phases) {
+    if (std::optional<unsigned> Forecast = Predictor.predict()) {
+      ++Acc.Predictions;
+      Acc.Correct += *Forecast == P.Id;
+    }
+    Predictor.observe(P.Id);
+  }
+  return Acc;
+}

@@ -1,0 +1,97 @@
+//===- core/PhasePredictor.h - Next-phase prediction ------------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Most related work the paper contrasts itself with performs phase
+/// *prediction*. Once phases carry identities (core/RecurringPhases.h),
+/// prediction composes naturally on top of detection: at each phase end,
+/// forecast the id of the next phase. Two standard predictors:
+///
+///  * LastPhasePredictor — predicts the current phase repeats (the
+///    "last value" predictor of the phase-prediction literature);
+///  * MarkovPhasePredictor — first-order Markov chain over phase ids,
+///    predicting the most frequent successor seen so far.
+///
+/// evaluatePredictor() replays a completed-phase stream online: it asks
+/// for a forecast before revealing each phase, then trains, so reported
+/// accuracy is honest (no lookahead).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_CORE_PHASEPREDICTOR_H
+#define OPD_CORE_PHASEPREDICTOR_H
+
+#include "core/RecurringPhases.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace opd {
+
+/// Abstract next-phase-id predictor.
+class PhasePredictor {
+public:
+  virtual ~PhasePredictor();
+
+  /// Forecast the id of the next phase, or nullopt when the predictor
+  /// has no basis yet.
+  virtual std::optional<unsigned> predict() const = 0;
+
+  /// Reveal the id of the phase that actually occurred next.
+  virtual void observe(unsigned Id) = 0;
+
+  /// Clears all learned state.
+  virtual void reset() = 0;
+};
+
+/// Predicts the most recent phase id repeats.
+class LastPhasePredictor final : public PhasePredictor {
+  std::optional<unsigned> Last;
+
+public:
+  std::optional<unsigned> predict() const override { return Last; }
+  void observe(unsigned Id) override { Last = Id; }
+  void reset() override { Last.reset(); }
+};
+
+/// First-order Markov predictor: argmax successor frequency of the
+/// current phase id (ties break toward the smaller id; falls back to
+/// last-value while the current id has no recorded successor).
+class MarkovPhasePredictor final : public PhasePredictor {
+  std::map<std::pair<unsigned, unsigned>, uint64_t> EdgeCounts;
+  std::optional<unsigned> Last;
+
+public:
+  std::optional<unsigned> predict() const override;
+  void observe(unsigned Id) override;
+  void reset() override;
+};
+
+/// Online prediction accuracy over a completed-phase stream.
+struct PredictionAccuracy {
+  uint64_t Correct = 0;
+  uint64_t Predictions = 0;
+
+  double rate() const {
+    return Predictions == 0 ? 0.0
+                            : static_cast<double>(Correct) /
+                                  static_cast<double>(Predictions);
+  }
+};
+
+/// Replays \p Phases through \p Predictor: predict, compare, train.
+/// Phases before the predictor's first non-null forecast are skipped.
+PredictionAccuracy
+evaluatePredictor(PhasePredictor &Predictor,
+                  const std::vector<RecurringPhaseTracker::CompletedPhase>
+                      &Phases);
+
+} // namespace opd
+
+#endif // OPD_CORE_PHASEPREDICTOR_H

@@ -1,0 +1,123 @@
+//===- core/RelatedWork.cpp - Related-work detectors -------------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RelatedWork.h"
+
+#include "support/Format.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+
+using namespace opd;
+
+//===----------------------------------------------------------------------===//
+// LuDetector
+//===----------------------------------------------------------------------===//
+
+PhaseState LuDetector::processBatch(const SiteIndex *Elements, size_t N) {
+  assert(N > 0 && "empty batch");
+  Consumed += N;
+
+  double Mean = 0.0;
+  for (size_t I = 0; I != N; ++I)
+    Mean += static_cast<double>(Elements[I]);
+  Mean /= static_cast<double>(N);
+
+  PhaseState NewState;
+  if (History.size() < 2) {
+    // Not enough history to form an interval yet.
+    NewState = PhaseState::Transition;
+    OutCount = 0;
+  } else {
+    RunningStats Stats;
+    for (double H : History)
+      Stats.push(H);
+    double Lo = Stats.mean() - Opts.Sigmas * Stats.stddev();
+    double Hi = Stats.mean() + Opts.Sigmas * Stats.stddev();
+    bool Out = Mean < Lo || Mean > Hi;
+    OutCount = Out ? OutCount + 1 : 0;
+    if (OutCount >= Opts.ConsecutiveOut) {
+      // Sufficiently many consecutive out-of-interval windows: the phase
+      // has ended; restart the history from the new behavior.
+      NewState = PhaseState::Transition;
+      History.clear();
+      OutCount = 0;
+    } else {
+      NewState = PhaseState::InPhase;
+    }
+  }
+
+  History.push_back(Mean);
+  if (History.size() > Opts.HistoryLength)
+    History.pop_front();
+  State = NewState;
+  return State;
+}
+
+void LuDetector::reset() {
+  History.clear();
+  OutCount = 0;
+  Consumed = 0;
+  State = PhaseState::Transition;
+}
+
+std::string LuDetector::describe() const {
+  return "lu mean-interval w=" + std::to_string(Opts.SampleSize) +
+         " h=" + std::to_string(Opts.HistoryLength) +
+         " k=" + formatDouble(Opts.Sigmas, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// DasDetector
+//===----------------------------------------------------------------------===//
+
+PhaseState DasDetector::processBatch(const SiteIndex *Elements, size_t N) {
+  assert(N > 0 && "empty batch");
+  Consumed += N;
+
+  std::fill(Current.begin(), Current.end(), 0);
+  for (size_t I = 0; I != N; ++I) {
+    assert(Elements[I] < Current.size() && "site out of range");
+    ++Current[Elements[I]];
+  }
+
+  if (!HasTarget) {
+    Target = Current;
+    HasTarget = true;
+    State = PhaseState::Transition;
+    return State;
+  }
+
+  RunningPearson Pearson;
+  for (size_t S = 0; S != Current.size(); ++S)
+    Pearson.push(static_cast<double>(Current[S]),
+                 static_cast<double>(Target[S]));
+  double R = Pearson.correlation();
+
+  if (R >= Opts.Threshold) {
+    State = PhaseState::InPhase;
+  } else {
+    // Behavior no longer correlates with the phase's target vector: start
+    // tracking the new behavior as the next candidate phase.
+    Target = Current;
+    State = PhaseState::Transition;
+  }
+  return State;
+}
+
+void DasDetector::reset() {
+  std::fill(Current.begin(), Current.end(), 0);
+  std::fill(Target.begin(), Target.end(), 0);
+  HasTarget = false;
+  Consumed = 0;
+  State = PhaseState::Transition;
+}
+
+std::string DasDetector::describe() const {
+  return "das pearson w=" + std::to_string(Opts.SampleSize) +
+         " r>=" + formatDouble(Opts.Threshold, 2);
+}

@@ -1,0 +1,103 @@
+//===- core/RelatedWork.h - Related-work detectors --------------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6 observes that two related online detectors can be modeled in
+/// the framework; we implement both as OnlineDetectors so the ablation
+/// bench can compare them against the framework's instantiations:
+///
+///  * LuDetector (Lu et al., JILP 2004): the model computes the average
+///    "address" (here: the profile-element site value) of each window of
+///    SampleSize elements; the analyzer keeps the previous HistoryLength
+///    window averages and declares a phase change when the current
+///    average falls outside mean +/- Sigmas * stddev of that history for
+///    ConsecutiveOut consecutive windows.
+///
+///  * DasDetector (Das et al., CGO 2006): the model builds the site
+///    frequency vector of each window of SampleSize elements; the
+///    analyzer computes Pearson's correlation coefficient between the
+///    current vector and the target vector captured when the current
+///    phase began, comparing it to a fixed threshold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_CORE_RELATEDWORK_H
+#define OPD_CORE_RELATEDWORK_H
+
+#include "core/PhaseDetector.h"
+
+#include <deque>
+#include <vector>
+
+namespace opd {
+
+/// Lu et al.'s mean-value/interval-bound detector.
+class LuDetector final : public OnlineDetector {
+public:
+  struct Options {
+    /// Elements per sample window (4K in the original system).
+    uint32_t SampleSize = 4096;
+    /// Number of previous window means kept.
+    uint32_t HistoryLength = 7;
+    /// Width of the acceptance interval in standard deviations.
+    double Sigmas = 2.0;
+    /// Consecutive out-of-interval windows that end a phase.
+    uint32_t ConsecutiveOut = 2;
+  };
+
+  explicit LuDetector(const Options &Opts) : Opts(Opts) {
+    assert(Opts.SampleSize > 0 && "sample window must be nonempty");
+    assert(Opts.HistoryLength >= 2 && "history must hold >= 2 windows");
+  }
+
+  PhaseState processBatch(const SiteIndex *Elements, size_t N) override;
+  size_t batchSize() const override { return Opts.SampleSize; }
+  void reset() override;
+  uint64_t lastPhaseStartEstimate() const override { return Consumed; }
+  std::string describe() const override;
+
+private:
+  Options Opts;
+  std::deque<double> History;
+  uint32_t OutCount = 0;
+  uint64_t Consumed = 0;
+  PhaseState State = PhaseState::Transition;
+};
+
+/// Das et al.'s Pearson-correlation detector.
+class DasDetector final : public OnlineDetector {
+public:
+  struct Options {
+    /// Elements per sample window.
+    uint32_t SampleSize = 4096;
+    /// Minimum Pearson's r to remain in phase.
+    double Threshold = 0.9;
+  };
+
+  DasDetector(const Options &Opts, SiteIndex NumSites)
+      : Opts(Opts), Current(NumSites, 0), Target(NumSites, 0) {
+    assert(Opts.SampleSize > 0 && "sample window must be nonempty");
+  }
+
+  PhaseState processBatch(const SiteIndex *Elements, size_t N) override;
+  size_t batchSize() const override { return Opts.SampleSize; }
+  void reset() override;
+  uint64_t lastPhaseStartEstimate() const override { return Consumed; }
+  std::string describe() const override;
+
+private:
+  Options Opts;
+  std::vector<uint32_t> Current;
+  std::vector<uint32_t> Target;
+  bool HasTarget = false;
+  uint64_t Consumed = 0;
+  PhaseState State = PhaseState::Transition;
+};
+
+} // namespace opd
+
+#endif // OPD_CORE_RELATEDWORK_H

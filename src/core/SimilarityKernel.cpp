@@ -1,0 +1,228 @@
+//===- core/SimilarityKernel.cpp - Window similarity kernels ----------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SimilarityKernel.h"
+
+#include <algorithm>
+
+using namespace opd;
+
+const char *opd::modelKindName(ModelKind Kind) {
+  switch (Kind) {
+  case ModelKind::UnweightedSet:
+    return "unweighted";
+  case ModelKind::WeightedSet:
+    return "weighted";
+  case ModelKind::ManhattanBBV:
+    return "manhattan";
+  }
+  return "unknown";
+}
+
+SimilarityKernel::~SimilarityKernel() = default;
+
+void SimilarityKernel::reset() {
+  std::fill(CWCounts.begin(), CWCounts.end(), 0);
+  std::fill(TWCounts.begin(), TWCounts.end(), 0);
+  NCW = NTW = 0;
+}
+
+//===----------------------------------------------------------------------===//
+// UnweightedSetKernel
+//===----------------------------------------------------------------------===//
+
+void UnweightedSetKernel::reset() {
+  SimilarityKernel::reset();
+  CWDistinct = 0;
+  BothDistinct = 0;
+}
+
+void UnweightedSetKernel::cwAdd(SiteIndex S) {
+  assert(S < CWCounts.size() && "site out of range");
+  if (CWCounts[S]++ == 0) {
+    ++CWDistinct;
+    if (TWCounts[S] != 0)
+      ++BothDistinct;
+  }
+  ++NCW;
+}
+
+void UnweightedSetKernel::cwRemove(SiteIndex S) {
+  assert(S < CWCounts.size() && "site out of range");
+  assert(CWCounts[S] != 0 && "removing a site not in the CW");
+  if (--CWCounts[S] == 0) {
+    --CWDistinct;
+    if (TWCounts[S] != 0)
+      --BothDistinct;
+  }
+  --NCW;
+}
+
+void UnweightedSetKernel::twAdd(SiteIndex S) {
+  assert(S < TWCounts.size() && "site out of range");
+  if (TWCounts[S]++ == 0 && CWCounts[S] != 0)
+    ++BothDistinct;
+  ++NTW;
+}
+
+void UnweightedSetKernel::twRemove(SiteIndex S) {
+  assert(S < TWCounts.size() && "site out of range");
+  assert(TWCounts[S] != 0 && "removing a site not in the TW");
+  if (--TWCounts[S] == 0 && CWCounts[S] != 0)
+    --BothDistinct;
+  --NTW;
+}
+
+double UnweightedSetKernel::similarity() {
+  if (CWDistinct == 0)
+    return 0.0;
+  return static_cast<double>(BothDistinct) /
+         static_cast<double>(CWDistinct);
+}
+
+//===----------------------------------------------------------------------===//
+// WeightedSetKernel
+//===----------------------------------------------------------------------===//
+
+void WeightedSetKernel::reset() {
+  SimilarityKernel::reset();
+  MinSum = 0;
+  Dirty = false;
+}
+
+void WeightedSetKernel::cwAdd(SiteIndex S) {
+  assert(S < CWCounts.size() && "site out of range");
+  ++CWCounts[S];
+  ++NCW;
+  Dirty = true;
+}
+
+void WeightedSetKernel::cwRemove(SiteIndex S) {
+  assert(CWCounts[S] != 0 && "removing a site not in the CW");
+  --CWCounts[S];
+  --NCW;
+  Dirty = true;
+}
+
+void WeightedSetKernel::twAdd(SiteIndex S) {
+  assert(S < TWCounts.size() && "site out of range");
+  ++TWCounts[S];
+  ++NTW;
+  Dirty = true;
+}
+
+void WeightedSetKernel::twRemove(SiteIndex S) {
+  assert(TWCounts[S] != 0 && "removing a site not in the TW");
+  --TWCounts[S];
+  --NTW;
+  Dirty = true;
+}
+
+void WeightedSetKernel::cwReplace(SiteIndex In, SiteIndex Out) {
+  assert(In < CWCounts.size() && Out < CWCounts.size() &&
+         "site out of range");
+  assert(CWCounts[Out] != 0 && "replacing a site not in the CW");
+  if (In == Out)
+    return;
+  if (Dirty) {
+    ++CWCounts[In];
+    --CWCounts[Out];
+    return;
+  }
+  uint64_t Before = term(In) + term(Out);
+  ++CWCounts[In];
+  --CWCounts[Out];
+  MinSum += term(In) + term(Out) - Before;
+}
+
+void WeightedSetKernel::twReplace(SiteIndex In, SiteIndex Out) {
+  assert(In < TWCounts.size() && Out < TWCounts.size() &&
+         "site out of range");
+  assert(TWCounts[Out] != 0 && "replacing a site not in the TW");
+  if (In == Out)
+    return;
+  if (Dirty) {
+    ++TWCounts[In];
+    --TWCounts[Out];
+    return;
+  }
+  uint64_t Before = term(In) + term(Out);
+  ++TWCounts[In];
+  --TWCounts[Out];
+  MinSum += term(In) + term(Out) - Before;
+}
+
+void WeightedSetKernel::recompute() {
+  MinSum = 0;
+  for (SiteIndex S = 0, E = numSites(); S != E; ++S)
+    MinSum += term(S);
+  Dirty = false;
+}
+
+double WeightedSetKernel::similarity() {
+  if (NCW == 0 || NTW == 0)
+    return 0.0;
+  if (Dirty)
+    recompute();
+  return static_cast<double>(MinSum) /
+         (static_cast<double>(NCW) * static_cast<double>(NTW));
+}
+
+//===----------------------------------------------------------------------===//
+// ManhattanKernel
+//===----------------------------------------------------------------------===//
+
+void ManhattanKernel::cwAdd(SiteIndex S) {
+  assert(S < CWCounts.size() && "site out of range");
+  ++CWCounts[S];
+  ++NCW;
+}
+
+void ManhattanKernel::cwRemove(SiteIndex S) {
+  assert(CWCounts[S] != 0 && "removing a site not in the CW");
+  --CWCounts[S];
+  --NCW;
+}
+
+void ManhattanKernel::twAdd(SiteIndex S) {
+  assert(S < TWCounts.size() && "site out of range");
+  ++TWCounts[S];
+  ++NTW;
+}
+
+void ManhattanKernel::twRemove(SiteIndex S) {
+  assert(TWCounts[S] != 0 && "removing a site not in the TW");
+  --TWCounts[S];
+  --NTW;
+}
+
+double ManhattanKernel::similarity() {
+  if (NCW == 0 || NTW == 0)
+    return 0.0;
+  double Distance = 0.0;
+  double InvCW = 1.0 / static_cast<double>(NCW);
+  double InvTW = 1.0 / static_cast<double>(NTW);
+  for (SiteIndex S = 0, E = numSites(); S != E; ++S) {
+    double Diff = static_cast<double>(CWCounts[S]) * InvCW -
+                  static_cast<double>(TWCounts[S]) * InvTW;
+    Distance += Diff < 0 ? -Diff : Diff;
+  }
+  return 1.0 - Distance / 2.0;
+}
+
+std::unique_ptr<SimilarityKernel> opd::makeKernel(ModelKind Kind,
+                                                  SiteIndex NumSites) {
+  switch (Kind) {
+  case ModelKind::UnweightedSet:
+    return std::make_unique<UnweightedSetKernel>(NumSites);
+  case ModelKind::WeightedSet:
+    return std::make_unique<WeightedSetKernel>(NumSites);
+  case ModelKind::ManhattanBBV:
+    return std::make_unique<ManhattanKernel>(NumSites);
+  }
+  return nullptr;
+}

@@ -1,0 +1,195 @@
+//===- core/SimilarityKernel.h - Window similarity kernels ------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Similarity kernels maintain per-site occurrence counts for the trailing
+/// window (TW) and current window (CW) and compute the similarity value
+/// between them (the paper's model policies, Section 2):
+///
+///  * UnweightedSetKernel — asymmetric working-set similarity: the
+///    fraction of *distinct* CW elements that also appear in the TW,
+///    independent of frequency.
+///  * WeightedSetKernel — symmetric weighted similarity: the sum over
+///    elements of min(relative weight in CW, relative weight in TW).
+///
+/// Both kernels are incremental. The weighted kernel maintains the
+/// integer sum  S = sum_s min(cw[s]*|TW|, tw[s]*|CW|)  exactly while the
+/// window totals are stable (the replace operations) and falls back to a
+/// full O(numSites) recomputation after totals change (window fill,
+/// flush, anchor, or adaptive TW growth). The online detector is thus
+/// O(1) per element in steady state with a constant TW and O(numSites)
+/// per element only while an adaptive TW is growing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_CORE_SIMILARITYKERNEL_H
+#define OPD_CORE_SIMILARITYKERNEL_H
+
+#include "trace/ProfileElement.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace opd {
+
+/// The model policies. UnweightedSet and WeightedSet are the paper's
+/// two models; ManhattanBBV is the frequency-vector distance used by the
+/// basic-block-vector line of work the paper builds on (Sherwood et
+/// al.), expressed as a similarity: 1 - (normalized L1 distance)/2.
+enum class ModelKind : uint8_t {
+  UnweightedSet, ///< Asymmetric working-set model.
+  WeightedSet,   ///< Symmetric min-relative-weight model.
+  ManhattanBBV,  ///< 1 - normalized Manhattan distance (extension).
+};
+
+/// Short mnemonic ("unweighted"/"weighted") for tables.
+const char *modelKindName(ModelKind Kind);
+
+/// Base class: occupancy counts plus the operations the window machinery
+/// performs. All operations must keep counts consistent; similarity() may
+/// be called at any time.
+class SimilarityKernel {
+public:
+  explicit SimilarityKernel(SiteIndex NumSites)
+      : CWCounts(NumSites, 0), TWCounts(NumSites, 0) {}
+  virtual ~SimilarityKernel();
+
+  /// Zeroes all counts and derived state.
+  virtual void reset();
+
+  /// Adds/removes one occurrence of \p S to/from a window. These change
+  /// the window totals.
+  virtual void cwAdd(SiteIndex S) = 0;
+  virtual void cwRemove(SiteIndex S) = 0;
+  virtual void twAdd(SiteIndex S) = 0;
+  virtual void twRemove(SiteIndex S) = 0;
+
+  /// Totals-stable combined operations (add \p In, remove \p Out). The
+  /// weighted kernel overrides these with O(1) updates.
+  virtual void cwReplace(SiteIndex In, SiteIndex Out) {
+    cwAdd(In);
+    cwRemove(Out);
+  }
+  virtual void twReplace(SiteIndex In, SiteIndex Out) {
+    twAdd(In);
+    twRemove(Out);
+  }
+
+  /// Moves one occurrence of \p S from the CW into the TW (the element
+  /// crossing the window boundary). Changes both totals.
+  virtual void moveCWToTW(SiteIndex S) {
+    cwRemove(S);
+    twAdd(S);
+  }
+
+  /// The similarity of the current window contents, in [0, 1]. An empty
+  /// CW yields 0.
+  virtual double similarity() = 0;
+
+  /// True if \p S occurs in the CW (used by the anchor policies: a TW
+  /// element absent from the CW is "noisy").
+  bool inCW(SiteIndex S) const {
+    assert(S < CWCounts.size() && "site out of range");
+    return CWCounts[S] != 0;
+  }
+
+  /// Window totals (number of occurrences, not distinct sites).
+  uint64_t cwTotal() const { return NCW; }
+  uint64_t twTotal() const { return NTW; }
+
+  /// Number of sites the kernel was sized for.
+  SiteIndex numSites() const {
+    return static_cast<SiteIndex>(CWCounts.size());
+  }
+
+protected:
+  std::vector<uint32_t> CWCounts;
+  std::vector<uint32_t> TWCounts;
+  uint64_t NCW = 0;
+  uint64_t NTW = 0;
+};
+
+/// Asymmetric working-set similarity (unweighted model).
+class UnweightedSetKernel final : public SimilarityKernel {
+public:
+  explicit UnweightedSetKernel(SiteIndex NumSites)
+      : SimilarityKernel(NumSites) {}
+
+  void reset() override;
+  void cwAdd(SiteIndex S) override;
+  void cwRemove(SiteIndex S) override;
+  void twAdd(SiteIndex S) override;
+  void twRemove(SiteIndex S) override;
+  double similarity() override;
+
+private:
+  /// Number of distinct sites present in the CW.
+  uint64_t CWDistinct = 0;
+  /// Number of distinct sites present in both windows.
+  uint64_t BothDistinct = 0;
+};
+
+/// Symmetric min-relative-weight similarity (weighted model).
+class WeightedSetKernel final : public SimilarityKernel {
+public:
+  explicit WeightedSetKernel(SiteIndex NumSites)
+      : SimilarityKernel(NumSites) {}
+
+  void reset() override;
+  void cwAdd(SiteIndex S) override;
+  void cwRemove(SiteIndex S) override;
+  void twAdd(SiteIndex S) override;
+  void twRemove(SiteIndex S) override;
+  void cwReplace(SiteIndex In, SiteIndex Out) override;
+  void twReplace(SiteIndex In, SiteIndex Out) override;
+  double similarity() override;
+
+private:
+  /// min(cw[s]*NTW, tw[s]*NCW) under the current totals.
+  uint64_t term(SiteIndex S) const {
+    return std::min(static_cast<uint64_t>(CWCounts[S]) * NTW,
+                    static_cast<uint64_t>(TWCounts[S]) * NCW);
+  }
+
+  void recompute();
+
+  /// Sum of term(s) over all sites; valid iff !Dirty.
+  uint64_t MinSum = 0;
+  /// Set whenever a total changed; similarity() recomputes lazily.
+  bool Dirty = false;
+};
+
+/// Frequency-vector similarity via Manhattan (L1) distance between the
+/// windows' relative-weight vectors: 1 - (1/2) * sum_s |cw_s/|CW| -
+/// tw_s/|TW||, in [0, 1]. Equals the weighted-set similarity
+/// mathematically (sum min = 1 - L1/2 for distributions) but is kept as
+/// an independently implemented kernel: it recomputes from the counts on
+/// every similarity() call, which makes it the brute-force
+/// cross-check for WeightedSetKernel's incremental bookkeeping and the
+/// cost model for a non-incremental implementation (bench_perf).
+class ManhattanKernel final : public SimilarityKernel {
+public:
+  explicit ManhattanKernel(SiteIndex NumSites)
+      : SimilarityKernel(NumSites) {}
+
+  void reset() override { SimilarityKernel::reset(); }
+  void cwAdd(SiteIndex S) override;
+  void cwRemove(SiteIndex S) override;
+  void twAdd(SiteIndex S) override;
+  void twRemove(SiteIndex S) override;
+  double similarity() override;
+};
+
+/// Creates the kernel for \p Kind.
+std::unique_ptr<SimilarityKernel> makeKernel(ModelKind Kind,
+                                             SiteIndex NumSites);
+
+} // namespace opd
+
+#endif // OPD_CORE_SIMILARITYKERNEL_H

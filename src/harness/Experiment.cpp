@@ -1,0 +1,58 @@
+//===- harness/Experiment.cpp - Shared experiment setup ---------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include "workloads/Workloads.h"
+
+#include <cassert>
+
+using namespace opd;
+
+const std::vector<uint64_t> opd::StandardMPLs = {1000,  5000,  10000,
+                                                 25000, 50000, 100000};
+const std::vector<uint64_t> opd::ExtendedMPLs = {
+    1000, 5000, 10000, 25000, 50000, 100000, 200000};
+
+size_t BenchmarkData::mplIndex(uint64_t MPL) const {
+  for (size_t I = 0; I != MPLs.size(); ++I)
+    if (MPLs[I] == MPL)
+      return I;
+  assert(false && "MPL not prepared for this benchmark");
+  return 0;
+}
+
+std::vector<BenchmarkData>
+opd::prepareBenchmarks(const std::vector<std::string> &Names,
+                       const std::vector<uint64_t> &MPLs, double Scale) {
+  std::vector<BenchmarkData> Result;
+  Result.reserve(Names.size());
+  for (const std::string &Name : Names) {
+    const Workload *W = findWorkload(Name);
+    assert(W && "unknown workload name");
+    ExecutionResult Exec = executeWorkload(*W, Scale);
+
+    BenchmarkData Data;
+    Data.Name = Name;
+    Data.Stats = Exec.Stats;
+    Data.MPLs = MPLs;
+    Data.Baselines =
+        computeBaselines(Exec.CallLoop, Exec.Branches.size(), MPLs);
+    Data.Trace = std::move(Exec.Branches);
+    Data.CallLoop = std::move(Exec.CallLoop);
+    Result.push_back(std::move(Data));
+  }
+  return Result;
+}
+
+std::vector<BenchmarkData>
+opd::prepareBenchmarks(const std::vector<uint64_t> &MPLs, double Scale) {
+  std::vector<std::string> Names;
+  for (const Workload &W : standardWorkloads())
+    Names.push_back(W.Name);
+  return prepareBenchmarks(Names, MPLs, Scale);
+}

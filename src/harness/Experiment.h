@@ -1,0 +1,61 @@
+//===- harness/Experiment.h - Shared experiment setup -----------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every reproduction binary needs the same setup: execute the eight
+/// workloads, derive the per-MPL baselines, and iterate. BenchmarkData
+/// bundles one workload's traces, statistics, and baselines;
+/// prepareBenchmarks() builds all of them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_HARNESS_EXPERIMENT_H
+#define OPD_HARNESS_EXPERIMENT_H
+
+#include "baseline/BaselineSolution.h"
+#include "trace/BranchTrace.h"
+#include "trace/CallLoopTrace.h"
+#include "vm/Interpreter.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace opd {
+
+/// The MPL values of the paper's main evaluation.
+extern const std::vector<uint64_t> StandardMPLs; // 1K..100K
+/// StandardMPLs extended with 200K (Figures 4 and 8).
+extern const std::vector<uint64_t> ExtendedMPLs;
+
+/// One workload, executed, with its oracle solutions.
+struct BenchmarkData {
+  std::string Name;
+  BranchTrace Trace;
+  CallLoopTrace CallLoop;
+  ExecutionStats Stats;
+  /// MPLs[i] and Baselines[i] correspond.
+  std::vector<uint64_t> MPLs;
+  std::vector<BaselineSolution> Baselines;
+
+  /// Index of \p MPL in MPLs; asserts when absent.
+  size_t mplIndex(uint64_t MPL) const;
+};
+
+/// Executes every standard workload at \p Scale and computes baselines
+/// for each value in \p MPLs.
+std::vector<BenchmarkData>
+prepareBenchmarks(const std::vector<uint64_t> &MPLs, double Scale = 1.0);
+
+/// Same, for a subset of workload names (order preserved).
+std::vector<BenchmarkData>
+prepareBenchmarks(const std::vector<std::string> &Names,
+                  const std::vector<uint64_t> &MPLs, double Scale = 1.0);
+
+} // namespace opd
+
+#endif // OPD_HARNESS_EXPERIMENT_H

@@ -1,0 +1,130 @@
+//===- harness/Sweep.cpp - Detector configuration sweeps --------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Sweep.h"
+
+#include "core/DetectorRunner.h"
+#include "support/Parallel.h"
+
+#include <algorithm>
+
+using namespace opd;
+
+std::vector<AnalyzerSpec> opd::paperAnalyzers() {
+  return {
+      {AnalyzerKind::Threshold, 0.5}, {AnalyzerKind::Threshold, 0.6},
+      {AnalyzerKind::Threshold, 0.7}, {AnalyzerKind::Threshold, 0.8},
+      {AnalyzerKind::Average, 0.01},  {AnalyzerKind::Average, 0.05},
+      {AnalyzerKind::Average, 0.1},   {AnalyzerKind::Average, 0.2},
+      {AnalyzerKind::Average, 0.3},   {AnalyzerKind::Average, 0.4},
+  };
+}
+
+std::vector<AnalyzerSpec> opd::reducedAnalyzers() {
+  return {
+      {AnalyzerKind::Threshold, 0.6},
+      {AnalyzerKind::Threshold, 0.8},
+      {AnalyzerKind::Average, 0.05},
+      {AnalyzerKind::Average, 0.2},
+  };
+}
+
+std::vector<DetectorConfig> opd::enumerateConfigs(const SweepSpec &Spec) {
+  std::vector<DetectorConfig> Configs;
+  auto addConfig = [&](const WindowConfig &W, ModelKind M,
+                       const AnalyzerSpec &A) {
+    DetectorConfig C;
+    C.Window = W;
+    C.Model = M;
+    C.TheAnalyzer = A.Kind;
+    C.AnalyzerParam = A.Param;
+    Configs.push_back(C);
+  };
+
+  for (uint32_t CW : Spec.CWSizes) {
+    for (uint32_t TWFactor : Spec.TWFactors) {
+      for (ModelKind M : Spec.Models) {
+        for (const AnalyzerSpec &A : Spec.Analyzers) {
+          // Regular policies with the requested skip factors.
+          for (TWPolicyKind Policy : Spec.TWPolicies) {
+            for (uint32_t Skip : Spec.SkipFactors) {
+              WindowConfig W;
+              W.CWSize = CW;
+              W.TWSize = CW * TWFactor;
+              W.SkipFactor = Skip;
+              W.TWPolicy = Policy;
+              if (Policy == TWPolicyKind::Adaptive) {
+                for (AnchorKind Anchor : Spec.Anchors) {
+                  for (ResizeKind Resize : Spec.Resizes) {
+                    W.Anchor = Anchor;
+                    W.Resize = Resize;
+                    addConfig(W, M, A);
+                  }
+                }
+              } else {
+                addConfig(W, M, A);
+              }
+            }
+          }
+          // The extant fixed-interval approach: Constant TW, skip == CW.
+          if (Spec.IncludeFixedInterval) {
+            WindowConfig W;
+            W.CWSize = CW;
+            W.TWSize = CW * TWFactor;
+            W.SkipFactor = CW;
+            W.TWPolicy = TWPolicyKind::Constant;
+            addConfig(W, M, A);
+          }
+        }
+      }
+    }
+  }
+  return Configs;
+}
+
+std::vector<RunScores>
+opd::runSweep(const BranchTrace &Trace,
+              const std::vector<BaselineSolution> &Baselines,
+              const std::vector<DetectorConfig> &Configs,
+              const SweepOptions &Options) {
+  std::vector<RunScores> Results(Configs.size());
+  parallelFor(Configs.size(), [&](size_t I) {
+    const DetectorConfig &Config = Configs[I];
+    std::unique_ptr<PhaseDetector> Detector =
+        makeDetector(Config, Trace.numSites());
+    DetectorRun Run = runDetector(*Detector, Trace);
+
+    RunScores &R = Results[I];
+    R.Config = Config;
+    R.PerMPL.reserve(Baselines.size());
+    for (const BaselineSolution &B : Baselines)
+      R.PerMPL.push_back(scoreDetection(Run.States, B.states()));
+    if (Options.ScoreAnchored) {
+      R.AnchoredPerMPL.reserve(Baselines.size());
+      for (const BaselineSolution &B : Baselines)
+        R.AnchoredPerMPL.push_back(
+            scoreDetection(Run.AnchoredPhases, B.states()));
+    }
+  });
+  return Results;
+}
+
+double opd::bestScore(
+    const std::vector<RunScores> &Runs, size_t MPLIdx,
+    const std::function<bool(const DetectorConfig &)> &Filter,
+    bool Anchored) {
+  double Best = -1.0;
+  for (const RunScores &R : Runs) {
+    if (!Filter(R.Config))
+      continue;
+    const std::vector<AccuracyScore> &Scores =
+        Anchored ? R.AnchoredPerMPL : R.PerMPL;
+    assert(MPLIdx < Scores.size() && "baseline index out of range");
+    Best = std::max(Best, Scores[MPLIdx].Score);
+  }
+  return Best;
+}

@@ -1,0 +1,96 @@
+//===- harness/Sweep.h - Detector configuration sweeps ----------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation instantiates the framework over a cross product of
+/// window, model, and analyzer policies (over 10,000 algorithms in the
+/// paper) and reports *best scores* across slices of that space. SweepSpec
+/// describes one cross product; runSweep() executes every configuration
+/// over a trace once and scores it against each baseline MPL. A detector
+/// run does not depend on the MPL, so one run serves all MPL scorings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_HARNESS_SWEEP_H
+#define OPD_HARNESS_SWEEP_H
+
+#include "baseline/BaselineSolution.h"
+#include "core/DetectorConfig.h"
+#include "metrics/Scoring.h"
+#include "trace/BranchTrace.h"
+
+#include <functional>
+#include <vector>
+
+namespace opd {
+
+/// One analyzer instantiation in a sweep.
+struct AnalyzerSpec {
+  AnalyzerKind Kind;
+  double Param;
+};
+
+/// A cross product of framework parameters.
+struct SweepSpec {
+  std::vector<uint32_t> CWSizes;
+  /// TW size = CW size * factor (the paper co-sizes the windows; factor 1
+  /// everywhere in the reproduction, other factors serve the ablations).
+  std::vector<uint32_t> TWFactors = {1};
+  std::vector<uint32_t> SkipFactors = {1};
+  std::vector<TWPolicyKind> TWPolicies = {TWPolicyKind::Constant,
+                                          TWPolicyKind::Adaptive};
+  /// Also enumerate the prior literature's Fixed Interval policy
+  /// (Constant TW with skipFactor == CW size == TW size).
+  bool IncludeFixedInterval = false;
+  std::vector<ModelKind> Models = {ModelKind::UnweightedSet,
+                                   ModelKind::WeightedSet};
+  std::vector<AnalyzerSpec> Analyzers;
+  std::vector<AnchorKind> Anchors = {AnchorKind::RightmostNoisy};
+  std::vector<ResizeKind> Resizes = {ResizeKind::Slide};
+};
+
+/// The paper's analyzer set: thresholds .5/.6/.7/.8 and average deltas
+/// .01/.05/.1/.2/.3/.4.
+std::vector<AnalyzerSpec> paperAnalyzers();
+
+/// A trimmed analyzer set for the slow full-cross-product benches:
+/// thresholds .6/.8 and deltas .05/.2.
+std::vector<AnalyzerSpec> reducedAnalyzers();
+
+/// Expands the cross product.
+std::vector<DetectorConfig> enumerateConfigs(const SweepSpec &Spec);
+
+/// One configuration's scores against every baseline.
+struct RunScores {
+  DetectorConfig Config;
+  /// Scores[i] corresponds to Baselines[i].
+  std::vector<AccuracyScore> PerMPL;
+  /// Same, scored with anchor-corrected phase starts (Figure 8); filled
+  /// only when SweepOptions::ScoreAnchored.
+  std::vector<AccuracyScore> AnchoredPerMPL;
+};
+
+struct SweepOptions {
+  bool ScoreAnchored = false;
+};
+
+/// Runs every configuration over \p Trace once and scores it against
+/// every baseline. Parallel across configurations.
+std::vector<RunScores> runSweep(const BranchTrace &Trace,
+                                const std::vector<BaselineSolution> &Baselines,
+                                const std::vector<DetectorConfig> &Configs,
+                                const SweepOptions &Options = {});
+
+/// Maximum score at baseline index \p MPLIdx over the configurations
+/// accepted by \p Filter; returns -1 when none match.
+double bestScore(const std::vector<RunScores> &Runs, size_t MPLIdx,
+                 const std::function<bool(const DetectorConfig &)> &Filter,
+                 bool Anchored = false);
+
+} // namespace opd
+
+#endif // OPD_HARNESS_SWEEP_H

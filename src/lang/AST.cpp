@@ -1,0 +1,15 @@
+//===- lang/AST.cpp - Workload DSL abstract syntax tree --------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AST.h"
+
+using namespace opd;
+
+// Out-of-line virtual destructors anchor the vtables in this translation
+// unit (see the LLVM coding standard on virtual method anchors).
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;

@@ -1,0 +1,424 @@
+//===- lang/AST.h - Workload DSL abstract syntax tree -----------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for JP, the workload language whose interpreted execution produces
+/// the branch and call-loop traces that stand in for the paper's
+/// instrumented Java runs. The grammar:
+///
+/// \code
+///   program   := 'program' ident ';' method*
+///   method    := 'method' ident '(' [ident (',' ident)*] ')' block
+///   block     := '{' stmt* '}'
+///   stmt      := loop | branch | if | when | call | pick | block
+///   loop      := 'loop' [ident] 'times' expr block
+///                // the optional ident binds the 0-based iteration index
+///   branch    := 'branch' [ident] ['flip' number] ';'
+///   if        := 'if' number block ['else' block]        // probabilistic
+///   when      := 'when' '(' expr ')' block ['else' block]// deterministic
+///   call      := 'call' ident '(' [expr (',' expr)*] ')' ';'
+///   pick      := 'pick' '{' ('weight' integer block)+ '}'
+///   expr      := additive [cmpop additive]
+///   additive  := term (('+'|'-') term)*
+///   term      := unary (('*'|'/'|'%') unary)*
+///   unary     := '-' unary | primary
+///   primary   := integer | ident | '(' expr ')'
+/// \endcode
+///
+/// `branch`, `if`, and `when` each correspond to one static conditional
+/// branch site; executing one emits one profile element whose taken bit is
+/// the evaluated condition (for `branch`, true unless `flip p` makes it
+/// taken with probability p). `pick` models an indirect jump and emits no
+/// profile element. Integer literals accept K/M suffixes.
+///
+/// Nodes carry the annotations Sema computes: method indices, call
+/// resolution, loop ids, per-method branch-site offsets, and parameter
+/// slots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_LANG_AST_H
+#define OPD_LANG_AST_H
+
+#include "lang/Lexer.h"
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace opd {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Base class of JP expressions. Expressions evaluate to int64 values in
+/// the interpreter.
+class Expr {
+public:
+  enum class Kind : uint8_t { IntLit, ParamRef, Binary, Unary };
+
+  virtual ~Expr();
+
+  Kind kind() const { return TheKind; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Expr(Kind K, SourceLoc Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+};
+
+/// An integer literal (K/M suffixes already folded by the lexer).
+class IntLitExpr : public Expr {
+  int64_t Value;
+
+public:
+  IntLitExpr(int64_t Value, SourceLoc Loc)
+      : Expr(Kind::IntLit, Loc), Value(Value) {}
+
+  int64_t value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLit; }
+};
+
+/// A reference to a method parameter or an enclosing loop variable. Sema
+/// resolves the reference to a value slot in the method's frame (slots
+/// [0, numParams) hold parameters; loop variables get the later slots).
+class ParamRefExpr : public Expr {
+  std::string Name;
+  uint32_t Slot = ~0u;
+
+public:
+  ParamRefExpr(std::string Name, SourceLoc Loc)
+      : Expr(Kind::ParamRef, Loc), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  uint32_t slot() const { return Slot; }
+  void setSlot(uint32_t Index) { Slot = Index; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::ParamRef; }
+};
+
+/// Binary operators. Comparisons evaluate to 0/1.
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+};
+
+/// A binary expression.
+class BinaryExpr : public Expr {
+  BinaryOp Op;
+  std::unique_ptr<Expr> LHS, RHS;
+
+public:
+  BinaryExpr(BinaryOp Op, std::unique_ptr<Expr> LHS,
+             std::unique_ptr<Expr> RHS, SourceLoc Loc)
+      : Expr(Kind::Binary, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+
+  BinaryOp op() const { return Op; }
+  const Expr *lhs() const { return LHS.get(); }
+  const Expr *rhs() const { return RHS.get(); }
+
+  /// Mutable operand slots for AST transforms (lang/Transforms.h).
+  std::unique_ptr<Expr> &lhsSlot() { return LHS; }
+  std::unique_ptr<Expr> &rhsSlot() { return RHS; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+};
+
+/// Unary negation.
+class UnaryExpr : public Expr {
+  std::unique_ptr<Expr> Operand;
+
+public:
+  UnaryExpr(std::unique_ptr<Expr> Operand, SourceLoc Loc)
+      : Expr(Kind::Unary, Loc), Operand(std::move(Operand)) {}
+
+  const Expr *operand() const { return Operand.get(); }
+
+  /// Mutable operand slot for AST transforms.
+  std::unique_ptr<Expr> &operandSlot() { return Operand; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class BlockStmt;
+
+/// Base class of JP statements.
+class Stmt {
+public:
+  enum class Kind : uint8_t { Block, Loop, Branch, If, When, Call, Pick };
+
+  virtual ~Stmt();
+
+  Kind kind() const { return TheKind; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Stmt(Kind K, SourceLoc Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+};
+
+/// A `{ ... }` statement list.
+class BlockStmt : public Stmt {
+  std::vector<std::unique_ptr<Stmt>> Stmts;
+
+public:
+  BlockStmt(std::vector<std::unique_ptr<Stmt>> Stmts, SourceLoc Loc)
+      : Stmt(Kind::Block, Loc), Stmts(std::move(Stmts)) {}
+
+  const std::vector<std::unique_ptr<Stmt>> &stmts() const { return Stmts; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Block; }
+};
+
+/// `loop [var] times <expr> { ... }`. The optional identifier names a
+/// loop variable bound to the 0-based iteration index, visible in the
+/// body. Each static loop gets a unique LoopId from Sema; the interpreter
+/// reports loop enter/exit events under that id.
+class LoopStmt : public Stmt {
+  std::string VarName; // empty when the loop binds no variable
+  std::unique_ptr<Expr> Count;
+  std::unique_ptr<BlockStmt> Body;
+  uint32_t LoopId = ~0u;
+  uint32_t VarSlot = ~0u; // value slot of the loop variable, from Sema
+
+public:
+  LoopStmt(std::string VarName, std::unique_ptr<Expr> Count,
+           std::unique_ptr<BlockStmt> Body, SourceLoc Loc)
+      : Stmt(Kind::Loop, Loc), VarName(std::move(VarName)),
+        Count(std::move(Count)), Body(std::move(Body)) {}
+
+  const std::string &varName() const { return VarName; }
+  bool hasVar() const { return !VarName.empty(); }
+  const Expr *count() const { return Count.get(); }
+  /// Mutable count slot for AST transforms.
+  std::unique_ptr<Expr> &countSlot() { return Count; }
+  const BlockStmt *body() const { return Body.get(); }
+  uint32_t loopId() const { return LoopId; }
+  void setLoopId(uint32_t Id) { LoopId = Id; }
+  uint32_t varSlot() const { return VarSlot; }
+  void setVarSlot(uint32_t Slot) { VarSlot = Slot; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Loop; }
+};
+
+/// `branch [label] [flip <p>];` — one conditional branch site. Without
+/// `flip`, the branch is always taken; with `flip p`, it is taken with
+/// probability p (the taken bit is part of the profile element identity,
+/// so a flipping branch contributes two distinct elements).
+class BranchStmt : public Stmt {
+  std::string Label;
+  double FlipProbability; // Probability the branch is taken; 1.0 = always.
+  uint32_t SiteOffset = ~0u;
+
+public:
+  BranchStmt(std::string Label, double FlipProbability, SourceLoc Loc)
+      : Stmt(Kind::Branch, Loc), Label(std::move(Label)),
+        FlipProbability(FlipProbability) {}
+
+  const std::string &label() const { return Label; }
+  double flipProbability() const { return FlipProbability; }
+  uint32_t siteOffset() const { return SiteOffset; }
+  void setSiteOffset(uint32_t Offset) { SiteOffset = Offset; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Branch; }
+};
+
+/// `if <p> { ... } [else { ... }]` — probabilistic conditional; the
+/// condition is an independent Bernoulli(p) draw each execution. Emits one
+/// profile element (taken = then-arm chosen).
+class IfStmt : public Stmt {
+  double Probability;
+  std::unique_ptr<BlockStmt> Then;
+  std::unique_ptr<BlockStmt> Else; // may be null
+  uint32_t SiteOffset = ~0u;
+
+public:
+  IfStmt(double Probability, std::unique_ptr<BlockStmt> Then,
+         std::unique_ptr<BlockStmt> Else, SourceLoc Loc)
+      : Stmt(Kind::If, Loc), Probability(Probability), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  double probability() const { return Probability; }
+  const BlockStmt *thenBlock() const { return Then.get(); }
+  const BlockStmt *elseBlock() const { return Else.get(); }
+  uint32_t siteOffset() const { return SiteOffset; }
+  void setSiteOffset(uint32_t Offset) { SiteOffset = Offset; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+};
+
+/// `when (<expr>) { ... } [else { ... }]` — deterministic conditional on an
+/// integer expression (nonzero = true). Emits one profile element.
+class WhenStmt : public Stmt {
+  std::unique_ptr<Expr> Cond;
+  std::unique_ptr<BlockStmt> Then;
+  std::unique_ptr<BlockStmt> Else; // may be null
+  uint32_t SiteOffset = ~0u;
+
+public:
+  WhenStmt(std::unique_ptr<Expr> Cond, std::unique_ptr<BlockStmt> Then,
+           std::unique_ptr<BlockStmt> Else, SourceLoc Loc)
+      : Stmt(Kind::When, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  const Expr *cond() const { return Cond.get(); }
+  /// Mutable condition slot for AST transforms.
+  std::unique_ptr<Expr> &condSlot() { return Cond; }
+  const BlockStmt *thenBlock() const { return Then.get(); }
+  const BlockStmt *elseBlock() const { return Else.get(); }
+  uint32_t siteOffset() const { return SiteOffset; }
+  void setSiteOffset(uint32_t Offset) { SiteOffset = Offset; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::When; }
+};
+
+/// `call <name>(<args>);`. Sema resolves CalleeIndex.
+class CallStmt : public Stmt {
+  std::string Callee;
+  std::vector<std::unique_ptr<Expr>> Args;
+  uint32_t CalleeIndex = ~0u;
+
+public:
+  CallStmt(std::string Callee, std::vector<std::unique_ptr<Expr>> Args,
+           SourceLoc Loc)
+      : Stmt(Kind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  const std::string &callee() const { return Callee; }
+  const std::vector<std::unique_ptr<Expr>> &args() const { return Args; }
+  /// Mutable argument slots for AST transforms.
+  std::vector<std::unique_ptr<Expr>> &argsSlot() { return Args; }
+  uint32_t calleeIndex() const { return CalleeIndex; }
+  void setCalleeIndex(uint32_t Index) { CalleeIndex = Index; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Call; }
+};
+
+/// `pick { weight <w> { ... } ... }` — weighted random selection of one
+/// arm, modeling an indirect jump; emits no profile element.
+class PickStmt : public Stmt {
+public:
+  struct Arm {
+    uint64_t Weight;
+    std::unique_ptr<BlockStmt> Body;
+  };
+
+  PickStmt(std::vector<Arm> Arms, SourceLoc Loc)
+      : Stmt(Kind::Pick, Loc), Arms(std::move(Arms)) {}
+
+  const std::vector<Arm> &arms() const { return Arms; }
+
+  /// Sum of arm weights (nonzero after Sema).
+  uint64_t totalWeight() const {
+    uint64_t Total = 0;
+    for (const Arm &A : Arms)
+      Total += A.Weight;
+    return Total;
+  }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Pick; }
+
+private:
+  std::vector<Arm> Arms;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// A JP method: name, parameter names, body. MethodIndex doubles as the
+/// profile-element method id; NumSites is the number of branch sites in
+/// the body (assigned contiguous bytecode offsets by Sema).
+class MethodDecl {
+  std::string Name;
+  std::vector<std::string> Params;
+  std::unique_ptr<BlockStmt> Body;
+  SourceLoc Loc;
+  uint32_t MethodIndex = ~0u;
+  uint32_t NumSites = 0;
+  uint32_t NumSlots = 0;
+
+public:
+  MethodDecl(std::string Name, std::vector<std::string> Params,
+             std::unique_ptr<BlockStmt> Body, SourceLoc Loc)
+      : Name(std::move(Name)), Params(std::move(Params)),
+        Body(std::move(Body)), Loc(Loc) {}
+
+  const std::string &name() const { return Name; }
+  const std::vector<std::string> &params() const { return Params; }
+  const BlockStmt *body() const { return Body.get(); }
+  BlockStmt *body() { return Body.get(); }
+  SourceLoc loc() const { return Loc; }
+  uint32_t methodIndex() const { return MethodIndex; }
+  void setMethodIndex(uint32_t Index) { MethodIndex = Index; }
+  uint32_t numSites() const { return NumSites; }
+  void setNumSites(uint32_t N) { NumSites = N; }
+
+  /// Frame value slots: parameters plus the deepest nest of loop
+  /// variables; valid after Sema.
+  uint32_t numSlots() const { return NumSlots; }
+  void setNumSlots(uint32_t N) { NumSlots = N; }
+};
+
+/// A parsed JP program. After Sema: methods are indexed, calls resolved,
+/// loops numbered program-wide, and branch sites numbered per method.
+class Program {
+  std::string Name;
+  std::vector<std::unique_ptr<MethodDecl>> Methods;
+  uint32_t EntryIndex = ~0u;
+  uint32_t NumLoops = 0;
+
+public:
+  explicit Program(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  void addMethod(std::unique_ptr<MethodDecl> M) {
+    Methods.push_back(std::move(M));
+  }
+
+  const std::vector<std::unique_ptr<MethodDecl>> &methods() const {
+    return Methods;
+  }
+  std::vector<std::unique_ptr<MethodDecl>> &methods() { return Methods; }
+
+  /// Index of the `main` method; valid after Sema.
+  uint32_t entryIndex() const { return EntryIndex; }
+  void setEntryIndex(uint32_t Index) { EntryIndex = Index; }
+
+  /// Number of static loops; valid after Sema.
+  uint32_t numLoops() const { return NumLoops; }
+  void setNumLoops(uint32_t N) { NumLoops = N; }
+};
+
+} // namespace opd
+
+#endif // OPD_LANG_AST_H

@@ -1,0 +1,62 @@
+//===- lang/Diagnostics.h - Parse/sema diagnostics --------------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic accumulation for the JP front end. The library never prints;
+/// tools render the collected diagnostics themselves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_LANG_DIAGNOSTICS_H
+#define OPD_LANG_DIAGNOSTICS_H
+
+#include "lang/Lexer.h"
+
+#include <string>
+#include <vector>
+
+namespace opd {
+
+/// One error message anchored at a source location.
+struct Diagnostic {
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders "line:col: error: message" (the conventional tool style).
+  std::string render() const {
+    return std::to_string(Loc.Line) + ":" + std::to_string(Loc.Col) +
+           ": error: " + Message;
+  }
+};
+
+/// Accumulates diagnostics across the front-end passes.
+class DiagnosticEngine {
+  std::vector<Diagnostic> Diags;
+
+public:
+  /// Records an error at \p Loc.
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return !Diags.empty(); }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics, one per line.
+  std::string renderAll() const {
+    std::string Out;
+    for (const Diagnostic &D : Diags) {
+      Out += D.render();
+      Out += '\n';
+    }
+    return Out;
+  }
+};
+
+} // namespace opd
+
+#endif // OPD_LANG_DIAGNOSTICS_H

@@ -1,0 +1,245 @@
+//===- lang/Lexer.cpp - Workload DSL lexer ---------------------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace opd;
+
+const char *opd::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Integer:
+    return "integer literal";
+  case TokenKind::Float:
+    return "float literal";
+  case TokenKind::KwProgram:
+    return "'program'";
+  case TokenKind::KwMethod:
+    return "'method'";
+  case TokenKind::KwLoop:
+    return "'loop'";
+  case TokenKind::KwTimes:
+    return "'times'";
+  case TokenKind::KwBranch:
+    return "'branch'";
+  case TokenKind::KwFlip:
+    return "'flip'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwWhen:
+    return "'when'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwCall:
+    return "'call'";
+  case TokenKind::KwPick:
+    return "'pick'";
+  case TokenKind::KwWeight:
+    return "'weight'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::BangEqual:
+    return "'!='";
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  return "unknown token";
+}
+
+Lexer::Lexer(std::string Source) : Source(std::move(Source)) {}
+
+bool Lexer::atEnd() const { return Pos >= Source.size(); }
+
+char Lexer::peek() const { return atEnd() ? '\0' : Source[Pos]; }
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Loc.Line;
+    Loc.Col = 1;
+  } else {
+    ++Loc.Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && Pos + 1 < Source.size() && Source[Pos + 1] == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, std::string Text,
+                       SourceLoc TokenLoc) const {
+  Token T;
+  T.Kind = Kind;
+  T.Text = std::move(Text);
+  T.Loc = TokenLoc;
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLoc Start) {
+  std::string Text;
+  bool IsFloat = false;
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+    Text += advance();
+  if (!atEnd() && peek() == '.' && Pos + 1 < Source.size() &&
+      std::isdigit(static_cast<unsigned char>(Source[Pos + 1]))) {
+    IsFloat = true;
+    Text += advance();
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      Text += advance();
+  }
+  int64_t Multiplier = 1;
+  if (!atEnd() && (peek() == 'K' || peek() == 'k')) {
+    Multiplier = 1000;
+    advance();
+  } else if (!atEnd() && (peek() == 'M' || peek() == 'm')) {
+    Multiplier = 1000000;
+    advance();
+  }
+  Token T;
+  if (IsFloat) {
+    T = makeToken(TokenKind::Float, Text, Start);
+    T.FloatValue = std::stod(Text) * static_cast<double>(Multiplier);
+  } else {
+    T = makeToken(TokenKind::Integer, Text, Start);
+    T.IntValue = std::stoll(Text) * Multiplier;
+  }
+  return T;
+}
+
+Token Lexer::lexIdentifier(SourceLoc Start) {
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"program", TokenKind::KwProgram}, {"method", TokenKind::KwMethod},
+      {"loop", TokenKind::KwLoop},       {"times", TokenKind::KwTimes},
+      {"branch", TokenKind::KwBranch},   {"flip", TokenKind::KwFlip},
+      {"if", TokenKind::KwIf},           {"when", TokenKind::KwWhen},
+      {"else", TokenKind::KwElse},       {"call", TokenKind::KwCall},
+      {"pick", TokenKind::KwPick},       {"weight", TokenKind::KwWeight},
+  };
+  std::string Text;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_'))
+    Text += advance();
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end())
+    return makeToken(It->second, Text, Start);
+  return makeToken(TokenKind::Identifier, Text, Start);
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc Start = Loc;
+  if (atEnd())
+    return makeToken(TokenKind::EndOfFile, "", Start);
+
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Start);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier(Start);
+
+  advance();
+  switch (C) {
+  case '{':
+    return makeToken(TokenKind::LBrace, "{", Start);
+  case '}':
+    return makeToken(TokenKind::RBrace, "}", Start);
+  case '(':
+    return makeToken(TokenKind::LParen, "(", Start);
+  case ')':
+    return makeToken(TokenKind::RParen, ")", Start);
+  case ';':
+    return makeToken(TokenKind::Semicolon, ";", Start);
+  case ',':
+    return makeToken(TokenKind::Comma, ",", Start);
+  case '+':
+    return makeToken(TokenKind::Plus, "+", Start);
+  case '-':
+    return makeToken(TokenKind::Minus, "-", Start);
+  case '*':
+    return makeToken(TokenKind::Star, "*", Start);
+  case '/':
+    return makeToken(TokenKind::Slash, "/", Start);
+  case '%':
+    return makeToken(TokenKind::Percent, "%", Start);
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::LessEqual, "<=", Start);
+    }
+    return makeToken(TokenKind::Less, "<", Start);
+  case '>':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::GreaterEqual, ">=", Start);
+    }
+    return makeToken(TokenKind::Greater, ">", Start);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::EqualEqual, "==", Start);
+    }
+    return makeToken(TokenKind::Error, "unexpected '='", Start);
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::BangEqual, "!=", Start);
+    }
+    return makeToken(TokenKind::Error, "unexpected '!'", Start);
+  default:
+    return makeToken(TokenKind::Error,
+                     std::string("unexpected character '") + C + "'", Start);
+  }
+}

@@ -1,0 +1,115 @@
+//===- lang/Lexer.h - Workload DSL lexer ------------------------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer for the JP workload language. JP programs describe the repetition
+/// structure (loops, calls, recursion, branch noise) of the synthetic
+/// benchmarks that stand in for the paper's SPECjvm98 traces; see
+/// lang/AST.h for the grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_LANG_LEXER_H
+#define OPD_LANG_LEXER_H
+
+#include <cstdint>
+#include <string>
+
+namespace opd {
+
+/// Source position, 1-based, for diagnostics.
+struct SourceLoc {
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+/// Token kinds of the JP language.
+enum class TokenKind : uint8_t {
+  // Literals and identifiers.
+  Identifier,
+  Integer,
+  Float,
+  // Keywords.
+  KwProgram,
+  KwMethod,
+  KwLoop,
+  KwTimes,
+  KwBranch,
+  KwFlip,
+  KwIf,
+  KwWhen,
+  KwElse,
+  KwCall,
+  KwPick,
+  KwWeight,
+  // Punctuation and operators.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  Semicolon,
+  Comma,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Less,
+  LessEqual,
+  Greater,
+  GreaterEqual,
+  EqualEqual,
+  BangEqual,
+  // Sentinels.
+  EndOfFile,
+  Error,
+};
+
+/// Human-readable token-kind name for diagnostics ("'{'", "identifier").
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Text is the exact source spelling; IntValue/FloatValue
+/// are populated for the literal kinds.
+struct Token {
+  TokenKind Kind = TokenKind::Error;
+  std::string Text;
+  SourceLoc Loc;
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Single-pass lexer over an in-memory JP source buffer. '//' comments run
+/// to end of line. Integer literals accept a K/M suffix (x1000/x1000000)
+/// to keep workload sources readable.
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Lexes and returns the next token. After EndOfFile, keeps returning
+  /// EndOfFile. An Error token carries the offending text and a message in
+  /// Text.
+  Token next();
+
+private:
+  char peek() const;
+  char advance();
+  bool atEnd() const;
+  void skipTrivia();
+  Token makeToken(TokenKind Kind, std::string Text, SourceLoc Loc) const;
+  Token lexNumber(SourceLoc Start);
+  Token lexIdentifier(SourceLoc Start);
+
+  std::string Source;
+  size_t Pos = 0;
+  SourceLoc Loc;
+};
+
+} // namespace opd
+
+#endif // OPD_LANG_LEXER_H

@@ -1,0 +1,453 @@
+//===- lang/Parser.cpp - Workload DSL parser --------------------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+using namespace opd;
+
+namespace {
+
+/// Recursive-descent parser with single-token lookahead.
+class Parser {
+public:
+  Parser(const std::string &Source, DiagnosticEngine &Diags)
+      : Lex(Source), Diags(Diags) {
+    Tok = Lex.next();
+  }
+
+  std::unique_ptr<Program> parseProgram();
+
+private:
+  // Token plumbing ---------------------------------------------------------
+
+  void consume() { Tok = Lex.next(); }
+
+  bool check(TokenKind Kind) const { return Tok.is(Kind); }
+
+  bool accept(TokenKind Kind) {
+    if (!check(Kind))
+      return false;
+    consume();
+    return true;
+  }
+
+  /// Consumes a token of the given kind or emits "expected X, found Y".
+  bool expect(TokenKind Kind) {
+    if (accept(Kind))
+      return true;
+    error(std::string("expected ") + tokenKindName(Kind) + ", found " +
+          describeCurrent());
+    return false;
+  }
+
+  std::string describeCurrent() const {
+    if (Tok.is(TokenKind::Error))
+      return Tok.Text;
+    if (Tok.is(TokenKind::Identifier))
+      return "identifier '" + Tok.Text + "'";
+    return tokenKindName(Tok.Kind);
+  }
+
+  void error(std::string Message) {
+    if (!Failed)
+      Diags.error(Tok.Loc, std::move(Message));
+    Failed = true;
+  }
+
+  // Grammar productions ----------------------------------------------------
+
+  std::unique_ptr<MethodDecl> parseMethod();
+  std::unique_ptr<BlockStmt> parseBlock();
+  std::unique_ptr<Stmt> parseStmt();
+  std::unique_ptr<Stmt> parseLoop();
+  std::unique_ptr<Stmt> parseBranch();
+  std::unique_ptr<Stmt> parseIf();
+  std::unique_ptr<Stmt> parseWhen();
+  std::unique_ptr<Stmt> parseCall();
+  std::unique_ptr<Stmt> parsePick();
+  std::unique_ptr<Expr> parseExpr();
+  std::unique_ptr<Expr> parseAdditive();
+  std::unique_ptr<Expr> parseTerm();
+  std::unique_ptr<Expr> parseUnary();
+  std::unique_ptr<Expr> parsePrimary();
+
+  /// Parses a probability literal in [0, 1] (integer or float token).
+  bool parseProbability(double &P);
+
+  Lexer Lex;
+  DiagnosticEngine &Diags;
+  Token Tok;
+  bool Failed = false;
+};
+
+} // namespace
+
+std::unique_ptr<Program> Parser::parseProgram() {
+  if (!expect(TokenKind::KwProgram))
+    return nullptr;
+  if (!check(TokenKind::Identifier)) {
+    error("expected program name");
+    return nullptr;
+  }
+  auto Prog = std::make_unique<Program>(Tok.Text);
+  consume();
+  if (!expect(TokenKind::Semicolon))
+    return nullptr;
+
+  while (!check(TokenKind::EndOfFile)) {
+    std::unique_ptr<MethodDecl> M = parseMethod();
+    if (!M)
+      return nullptr;
+    Prog->addMethod(std::move(M));
+  }
+  if (Prog->methods().empty()) {
+    error("program has no methods");
+    return nullptr;
+  }
+  return Prog;
+}
+
+std::unique_ptr<MethodDecl> Parser::parseMethod() {
+  SourceLoc Loc = Tok.Loc;
+  if (!expect(TokenKind::KwMethod))
+    return nullptr;
+  if (!check(TokenKind::Identifier)) {
+    error("expected method name");
+    return nullptr;
+  }
+  std::string Name = Tok.Text;
+  consume();
+  if (!expect(TokenKind::LParen))
+    return nullptr;
+  std::vector<std::string> Params;
+  if (!check(TokenKind::RParen)) {
+    do {
+      if (!check(TokenKind::Identifier)) {
+        error("expected parameter name");
+        return nullptr;
+      }
+      Params.push_back(Tok.Text);
+      consume();
+    } while (accept(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::RParen))
+    return nullptr;
+  std::unique_ptr<BlockStmt> Body = parseBlock();
+  if (!Body)
+    return nullptr;
+  return std::make_unique<MethodDecl>(std::move(Name), std::move(Params),
+                                      std::move(Body), Loc);
+}
+
+std::unique_ptr<BlockStmt> Parser::parseBlock() {
+  SourceLoc Loc = Tok.Loc;
+  if (!expect(TokenKind::LBrace))
+    return nullptr;
+  std::vector<std::unique_ptr<Stmt>> Stmts;
+  while (!check(TokenKind::RBrace)) {
+    if (check(TokenKind::EndOfFile)) {
+      error("unterminated block (missing '}')");
+      return nullptr;
+    }
+    std::unique_ptr<Stmt> S = parseStmt();
+    if (!S)
+      return nullptr;
+    Stmts.push_back(std::move(S));
+  }
+  consume(); // '}'
+  return std::make_unique<BlockStmt>(std::move(Stmts), Loc);
+}
+
+std::unique_ptr<Stmt> Parser::parseStmt() {
+  switch (Tok.Kind) {
+  case TokenKind::KwLoop:
+    return parseLoop();
+  case TokenKind::KwBranch:
+    return parseBranch();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhen:
+    return parseWhen();
+  case TokenKind::KwCall:
+    return parseCall();
+  case TokenKind::KwPick:
+    return parsePick();
+  case TokenKind::LBrace:
+    return parseBlock();
+  default:
+    error("expected a statement, found " + describeCurrent());
+    return nullptr;
+  }
+}
+
+std::unique_ptr<Stmt> Parser::parseLoop() {
+  SourceLoc Loc = Tok.Loc;
+  consume(); // 'loop'
+  std::string Label;
+  if (check(TokenKind::Identifier)) {
+    Label = Tok.Text;
+    consume();
+  }
+  if (!expect(TokenKind::KwTimes))
+    return nullptr;
+  std::unique_ptr<Expr> Count = parseExpr();
+  if (!Count)
+    return nullptr;
+  std::unique_ptr<BlockStmt> Body = parseBlock();
+  if (!Body)
+    return nullptr;
+  return std::make_unique<LoopStmt>(std::move(Label), std::move(Count),
+                                    std::move(Body), Loc);
+}
+
+std::unique_ptr<Stmt> Parser::parseBranch() {
+  SourceLoc Loc = Tok.Loc;
+  consume(); // 'branch'
+  std::string Label;
+  if (check(TokenKind::Identifier)) {
+    Label = Tok.Text;
+    consume();
+  }
+  double Probability = 1.0;
+  if (accept(TokenKind::KwFlip)) {
+    if (!parseProbability(Probability))
+      return nullptr;
+  }
+  if (!expect(TokenKind::Semicolon))
+    return nullptr;
+  return std::make_unique<BranchStmt>(std::move(Label), Probability, Loc);
+}
+
+std::unique_ptr<Stmt> Parser::parseIf() {
+  SourceLoc Loc = Tok.Loc;
+  consume(); // 'if'
+  double Probability = 0.0;
+  if (!parseProbability(Probability))
+    return nullptr;
+  std::unique_ptr<BlockStmt> Then = parseBlock();
+  if (!Then)
+    return nullptr;
+  std::unique_ptr<BlockStmt> Else;
+  if (accept(TokenKind::KwElse)) {
+    Else = parseBlock();
+    if (!Else)
+      return nullptr;
+  }
+  return std::make_unique<IfStmt>(Probability, std::move(Then),
+                                  std::move(Else), Loc);
+}
+
+std::unique_ptr<Stmt> Parser::parseWhen() {
+  SourceLoc Loc = Tok.Loc;
+  consume(); // 'when'
+  if (!expect(TokenKind::LParen))
+    return nullptr;
+  std::unique_ptr<Expr> Cond = parseExpr();
+  if (!Cond)
+    return nullptr;
+  if (!expect(TokenKind::RParen))
+    return nullptr;
+  std::unique_ptr<BlockStmt> Then = parseBlock();
+  if (!Then)
+    return nullptr;
+  std::unique_ptr<BlockStmt> Else;
+  if (accept(TokenKind::KwElse)) {
+    Else = parseBlock();
+    if (!Else)
+      return nullptr;
+  }
+  return std::make_unique<WhenStmt>(std::move(Cond), std::move(Then),
+                                    std::move(Else), Loc);
+}
+
+std::unique_ptr<Stmt> Parser::parseCall() {
+  SourceLoc Loc = Tok.Loc;
+  consume(); // 'call'
+  if (!check(TokenKind::Identifier)) {
+    error("expected callee name");
+    return nullptr;
+  }
+  std::string Callee = Tok.Text;
+  consume();
+  if (!expect(TokenKind::LParen))
+    return nullptr;
+  std::vector<std::unique_ptr<Expr>> Args;
+  if (!check(TokenKind::RParen)) {
+    do {
+      std::unique_ptr<Expr> Arg = parseExpr();
+      if (!Arg)
+        return nullptr;
+      Args.push_back(std::move(Arg));
+    } while (accept(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::RParen) || !expect(TokenKind::Semicolon))
+    return nullptr;
+  return std::make_unique<CallStmt>(std::move(Callee), std::move(Args), Loc);
+}
+
+std::unique_ptr<Stmt> Parser::parsePick() {
+  SourceLoc Loc = Tok.Loc;
+  consume(); // 'pick'
+  if (!expect(TokenKind::LBrace))
+    return nullptr;
+  std::vector<PickStmt::Arm> Arms;
+  while (!check(TokenKind::RBrace)) {
+    if (!expect(TokenKind::KwWeight))
+      return nullptr;
+    if (!check(TokenKind::Integer) || Tok.IntValue <= 0) {
+      error("expected a positive integer weight");
+      return nullptr;
+    }
+    uint64_t Weight = static_cast<uint64_t>(Tok.IntValue);
+    consume();
+    std::unique_ptr<BlockStmt> Body = parseBlock();
+    if (!Body)
+      return nullptr;
+    Arms.push_back({Weight, std::move(Body)});
+  }
+  consume(); // '}'
+  if (Arms.empty()) {
+    error("'pick' requires at least one arm");
+    return nullptr;
+  }
+  return std::make_unique<PickStmt>(std::move(Arms), Loc);
+}
+
+bool Parser::parseProbability(double &P) {
+  if (check(TokenKind::Float)) {
+    P = Tok.FloatValue;
+  } else if (check(TokenKind::Integer)) {
+    P = static_cast<double>(Tok.IntValue);
+  } else {
+    error("expected a probability literal, found " + describeCurrent());
+    return false;
+  }
+  if (P < 0.0 || P > 1.0) {
+    error("probability must be in [0, 1]");
+    return false;
+  }
+  consume();
+  return true;
+}
+
+std::unique_ptr<Expr> Parser::parseExpr() {
+  std::unique_ptr<Expr> LHS = parseAdditive();
+  if (!LHS)
+    return nullptr;
+  BinaryOp Op;
+  switch (Tok.Kind) {
+  case TokenKind::Less:
+    Op = BinaryOp::Lt;
+    break;
+  case TokenKind::LessEqual:
+    Op = BinaryOp::Le;
+    break;
+  case TokenKind::Greater:
+    Op = BinaryOp::Gt;
+    break;
+  case TokenKind::GreaterEqual:
+    Op = BinaryOp::Ge;
+    break;
+  case TokenKind::EqualEqual:
+    Op = BinaryOp::Eq;
+    break;
+  case TokenKind::BangEqual:
+    Op = BinaryOp::Ne;
+    break;
+  default:
+    return LHS;
+  }
+  SourceLoc Loc = Tok.Loc;
+  consume();
+  std::unique_ptr<Expr> RHS = parseAdditive();
+  if (!RHS)
+    return nullptr;
+  return std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                      Loc);
+}
+
+std::unique_ptr<Expr> Parser::parseAdditive() {
+  std::unique_ptr<Expr> LHS = parseTerm();
+  if (!LHS)
+    return nullptr;
+  while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+    BinaryOp Op =
+        check(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    std::unique_ptr<Expr> RHS = parseTerm();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                       Loc);
+  }
+  return LHS;
+}
+
+std::unique_ptr<Expr> Parser::parseTerm() {
+  std::unique_ptr<Expr> LHS = parseUnary();
+  if (!LHS)
+    return nullptr;
+  while (check(TokenKind::Star) || check(TokenKind::Slash) ||
+         check(TokenKind::Percent)) {
+    BinaryOp Op = check(TokenKind::Star)    ? BinaryOp::Mul
+                  : check(TokenKind::Slash) ? BinaryOp::Div
+                                            : BinaryOp::Rem;
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    std::unique_ptr<Expr> RHS = parseUnary();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                       Loc);
+  }
+  return LHS;
+}
+
+std::unique_ptr<Expr> Parser::parseUnary() {
+  if (check(TokenKind::Minus)) {
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    std::unique_ptr<Expr> Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(std::move(Operand), Loc);
+  }
+  return parsePrimary();
+}
+
+std::unique_ptr<Expr> Parser::parsePrimary() {
+  if (check(TokenKind::Integer)) {
+    auto E = std::make_unique<IntLitExpr>(Tok.IntValue, Tok.Loc);
+    consume();
+    return E;
+  }
+  if (check(TokenKind::Identifier)) {
+    auto E = std::make_unique<ParamRefExpr>(Tok.Text, Tok.Loc);
+    consume();
+    return E;
+  }
+  if (accept(TokenKind::LParen)) {
+    std::unique_ptr<Expr> E = parseExpr();
+    if (!E)
+      return nullptr;
+    if (!expect(TokenKind::RParen))
+      return nullptr;
+    return E;
+  }
+  error("expected an expression, found " + describeCurrent());
+  return nullptr;
+}
+
+std::unique_ptr<Program> opd::parseProgram(const std::string &Source,
+                                           DiagnosticEngine &Diags) {
+  Parser P(Source, Diags);
+  std::unique_ptr<Program> Prog = P.parseProgram();
+  if (Diags.hasErrors())
+    return nullptr;
+  return Prog;
+}

@@ -1,0 +1,34 @@
+//===- lang/Parser.h - Workload DSL parser ----------------------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for JP (grammar in lang/AST.h). Parsing stops
+/// at the first error; the resulting diagnostics carry source locations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_LANG_PARSER_H
+#define OPD_LANG_PARSER_H
+
+#include "lang/AST.h"
+#include "lang/Diagnostics.h"
+#include "lang/Lexer.h"
+
+#include <memory>
+#include <string>
+
+namespace opd {
+
+/// Parses \p Source into a Program. Returns null on error, with the
+/// failure recorded in \p Diags. The returned program has not been through
+/// Sema yet (see lang/Sema.h).
+std::unique_ptr<Program> parseProgram(const std::string &Source,
+                                      DiagnosticEngine &Diags);
+
+} // namespace opd
+
+#endif // OPD_LANG_PARSER_H

@@ -1,0 +1,33 @@
+//===- lang/Printer.h - JP pretty printer -----------------------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty printer for JP programs: emits source text that parses back to
+/// a structurally identical program (printing is idempotent: printing,
+/// reparsing, and printing again yields the same text). Used by tools for
+/// dumping workload sources and by the round-trip tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_LANG_PRINTER_H
+#define OPD_LANG_PRINTER_H
+
+#include "lang/AST.h"
+
+#include <string>
+
+namespace opd {
+
+/// Renders \p Prog as JP source.
+std::string printProgram(const Program &Prog);
+
+/// Renders a single expression (mainly for diagnostics and tests).
+std::string printExpr(const Expr &E);
+
+} // namespace opd
+
+#endif // OPD_LANG_PRINTER_H

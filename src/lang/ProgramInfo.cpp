@@ -1,0 +1,97 @@
+//===- lang/ProgramInfo.cpp - Static construct descriptions ----------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ProgramInfo.h"
+
+#include "support/Casting.h"
+
+using namespace opd;
+
+namespace {
+
+/// Collects loop descriptions in loop-id order (Sema numbers loops in the
+/// same walk order used here).
+class LoopCollector {
+public:
+  LoopCollector(const std::string &MethodName,
+                std::vector<std::string> &LoopNames)
+      : MethodName(MethodName), LoopNames(LoopNames) {}
+
+  void walkStmt(const Stmt &S) {
+    switch (S.kind()) {
+    case Stmt::Kind::Block:
+      for (const std::unique_ptr<Stmt> &Child :
+           cast<BlockStmt>(&S)->stmts())
+        walkStmt(*Child);
+      return;
+    case Stmt::Kind::Loop: {
+      const auto *Loop = cast<LoopStmt>(&S);
+      assert(Loop->loopId() == LoopNames.size() &&
+             "walk order diverged from Sema's loop numbering");
+      std::string Name = MethodName + ".";
+      if (Loop->hasVar())
+        Name += Loop->varName();
+      else
+        Name += "loop@" + std::to_string(Loop->loc().Line);
+      LoopNames.push_back(std::move(Name));
+      walkStmt(*Loop->body());
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(&S);
+      walkStmt(*If->thenBlock());
+      if (If->elseBlock())
+        walkStmt(*If->elseBlock());
+      return;
+    }
+    case Stmt::Kind::When: {
+      const auto *When = cast<WhenStmt>(&S);
+      walkStmt(*When->thenBlock());
+      if (When->elseBlock())
+        walkStmt(*When->elseBlock());
+      return;
+    }
+    case Stmt::Kind::Pick:
+      for (const PickStmt::Arm &Arm : cast<PickStmt>(&S)->arms())
+        walkStmt(*Arm.Body);
+      return;
+    case Stmt::Kind::Branch:
+    case Stmt::Kind::Call:
+      return;
+    }
+  }
+
+private:
+  const std::string &MethodName;
+  std::vector<std::string> &LoopNames;
+};
+
+} // namespace
+
+ProgramInfo ProgramInfo::build(const Program &Prog) {
+  ProgramInfo Info;
+  Info.MethodNames.reserve(Prog.methods().size());
+  for (const std::unique_ptr<MethodDecl> &M : Prog.methods())
+    Info.MethodNames.push_back(M->name());
+  for (const std::unique_ptr<MethodDecl> &M : Prog.methods()) {
+    LoopCollector Collector(M->name(), Info.LoopNames);
+    Collector.walkStmt(*M->body());
+  }
+  return Info;
+}
+
+std::string ProgramInfo::methodName(uint32_t Index) const {
+  if (Index < MethodNames.size())
+    return MethodNames[Index];
+  return "method#" + std::to_string(Index);
+}
+
+std::string ProgramInfo::loopName(uint32_t LoopId) const {
+  if (LoopId < LoopNames.size())
+    return LoopNames[LoopId];
+  return "loop#" + std::to_string(LoopId);
+}

@@ -1,0 +1,51 @@
+//===- lang/ProgramInfo.h - Static construct descriptions ------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ProgramInfo maps the numeric identifiers the traces carry (method
+/// indices, loop ids) back to human-readable source constructs, so tools
+/// can attribute oracle phases to the loop or method that generated them
+/// ("the phase is loop main.pass", "a recursive execution of
+/// matchNetwork").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_LANG_PROGRAMINFO_H
+#define OPD_LANG_PROGRAMINFO_H
+
+#include "lang/AST.h"
+
+#include <string>
+#include <vector>
+
+namespace opd {
+
+/// Descriptions of a compiled (Sema-checked) program's constructs.
+class ProgramInfo {
+  std::vector<std::string> MethodNames; ///< by method index
+  std::vector<std::string> LoopNames;   ///< by loop id
+
+public:
+  /// Builds the tables from \p Prog (must have passed Sema).
+  static ProgramInfo build(const Program &Prog);
+
+  /// Name of method \p Index, or "method#<Index>" when out of range.
+  std::string methodName(uint32_t Index) const;
+
+  /// Description of loop \p LoopId as "<method>.<var>" (or
+  /// "<method>.loop@<line>" for unnamed loops); "loop#<id>" when out of
+  /// range.
+  std::string loopName(uint32_t LoopId) const;
+
+  /// Number of methods / loops described.
+  size_t numMethods() const { return MethodNames.size(); }
+  size_t numLoops() const { return LoopNames.size(); }
+};
+
+} // namespace opd
+
+#endif // OPD_LANG_PROGRAMINFO_H

@@ -1,0 +1,230 @@
+//===- lang/Sema.cpp - Workload DSL semantic analysis ----------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+#include "lang/Parser.h"
+#include "trace/ProfileElement.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace opd;
+
+namespace {
+
+/// AST walker that performs all checks and annotations in one pass per
+/// method.
+class SemaPass {
+public:
+  SemaPass(Program &Prog, DiagnosticEngine &Diags)
+      : Prog(Prog), Diags(Diags) {}
+
+  bool run();
+
+private:
+  void analyzeMethod(MethodDecl &M);
+  void analyzeStmt(Stmt &S);
+  void analyzeExpr(Expr &E);
+
+  /// Assigns the next branch-site offset within the current method.
+  uint32_t nextSiteOffset() {
+    if (SiteCursor > ProfileElement::MaxOffset)
+      Diags.error(CurrentMethod->loc(),
+                  "method '" + CurrentMethod->name() +
+                      "' has too many branch sites (max " +
+                      std::to_string(ProfileElement::MaxOffset + 1) + ")");
+    return SiteCursor++;
+  }
+
+  Program &Prog;
+  DiagnosticEngine &Diags;
+  std::unordered_map<std::string, uint32_t> MethodIndex;
+  MethodDecl *CurrentMethod = nullptr;
+  uint32_t SiteCursor = 0;
+  uint32_t LoopCursor = 0;
+  /// Active loop variables, innermost last: (name, frame slot).
+  std::vector<std::pair<std::string, uint32_t>> LoopScopes;
+  uint32_t MaxSlots = 0;
+};
+
+} // namespace
+
+bool SemaPass::run() {
+  // Pass 1: index methods and detect duplicates.
+  for (size_t I = 0; I != Prog.methods().size(); ++I) {
+    MethodDecl &M = *Prog.methods()[I];
+    auto [It, Inserted] =
+        MethodIndex.try_emplace(M.name(), static_cast<uint32_t>(I));
+    if (!Inserted) {
+      Diags.error(M.loc(), "duplicate method '" + M.name() + "'");
+      continue;
+    }
+    M.setMethodIndex(static_cast<uint32_t>(I));
+  }
+  if (Prog.methods().size() > ProfileElement::MaxMethodId + 1)
+    Diags.error(Prog.methods().front()->loc(),
+                "program has too many methods (max " +
+                    std::to_string(ProfileElement::MaxMethodId + 1) + ")");
+
+  auto EntryIt = MethodIndex.find("main");
+  if (EntryIt == MethodIndex.end()) {
+    Diags.error(SourceLoc(), "program has no 'main' method");
+  } else {
+    Prog.setEntryIndex(EntryIt->second);
+    const MethodDecl &Main = *Prog.methods()[EntryIt->second];
+    if (!Main.params().empty())
+      Diags.error(Main.loc(), "'main' must not take parameters");
+  }
+  if (Diags.hasErrors())
+    return false;
+
+  // Pass 2: walk bodies, resolving references and assigning identifiers.
+  for (std::unique_ptr<MethodDecl> &M : Prog.methods())
+    analyzeMethod(*M);
+  Prog.setNumLoops(LoopCursor);
+  return !Diags.hasErrors();
+}
+
+void SemaPass::analyzeMethod(MethodDecl &M) {
+  CurrentMethod = &M;
+  SiteCursor = 0;
+  LoopScopes.clear();
+  MaxSlots = static_cast<uint32_t>(M.params().size());
+  // Reject duplicate parameter names.
+  for (size_t I = 0; I != M.params().size(); ++I)
+    for (size_t J = I + 1; J != M.params().size(); ++J)
+      if (M.params()[I] == M.params()[J])
+        Diags.error(M.loc(), "duplicate parameter '" + M.params()[I] +
+                                 "' in method '" + M.name() + "'");
+  analyzeStmt(*M.body());
+  M.setNumSites(SiteCursor);
+  M.setNumSlots(MaxSlots);
+}
+
+void SemaPass::analyzeStmt(Stmt &S) {
+  switch (S.kind()) {
+  case Stmt::Kind::Block: {
+    for (const std::unique_ptr<Stmt> &Child : cast<BlockStmt>(&S)->stmts())
+      analyzeStmt(*Child);
+    return;
+  }
+  case Stmt::Kind::Loop: {
+    auto *Loop = cast<LoopStmt>(&S);
+    Loop->setLoopId(LoopCursor++);
+    // The count is evaluated outside the loop variable's scope.
+    analyzeExpr(const_cast<Expr &>(*Loop->count()));
+    if (Loop->hasVar()) {
+      uint32_t Slot = static_cast<uint32_t>(CurrentMethod->params().size() +
+                                            LoopScopes.size());
+      MaxSlots = std::max(MaxSlots, Slot + 1);
+      Loop->setVarSlot(Slot);
+      LoopScopes.emplace_back(Loop->varName(), Slot);
+      analyzeStmt(const_cast<BlockStmt &>(*Loop->body()));
+      LoopScopes.pop_back();
+    } else {
+      analyzeStmt(const_cast<BlockStmt &>(*Loop->body()));
+    }
+    return;
+  }
+  case Stmt::Kind::Branch: {
+    cast<BranchStmt>(&S)->setSiteOffset(nextSiteOffset());
+    return;
+  }
+  case Stmt::Kind::If: {
+    auto *If = cast<IfStmt>(&S);
+    If->setSiteOffset(nextSiteOffset());
+    analyzeStmt(const_cast<BlockStmt &>(*If->thenBlock()));
+    if (If->elseBlock())
+      analyzeStmt(const_cast<BlockStmt &>(*If->elseBlock()));
+    return;
+  }
+  case Stmt::Kind::When: {
+    auto *When = cast<WhenStmt>(&S);
+    When->setSiteOffset(nextSiteOffset());
+    analyzeExpr(const_cast<Expr &>(*When->cond()));
+    analyzeStmt(const_cast<BlockStmt &>(*When->thenBlock()));
+    if (When->elseBlock())
+      analyzeStmt(const_cast<BlockStmt &>(*When->elseBlock()));
+    return;
+  }
+  case Stmt::Kind::Call: {
+    auto *Call = cast<CallStmt>(&S);
+    auto It = MethodIndex.find(Call->callee());
+    if (It == MethodIndex.end()) {
+      Diags.error(S.loc(), "call to undefined method '" + Call->callee() +
+                               "'");
+      return;
+    }
+    Call->setCalleeIndex(It->second);
+    const MethodDecl &Callee = *Prog.methods()[It->second];
+    if (Call->args().size() != Callee.params().size())
+      Diags.error(S.loc(), "method '" + Call->callee() + "' expects " +
+                               std::to_string(Callee.params().size()) +
+                               " argument(s), got " +
+                               std::to_string(Call->args().size()));
+    for (const std::unique_ptr<Expr> &Arg : Call->args())
+      analyzeExpr(*Arg);
+    return;
+  }
+  case Stmt::Kind::Pick: {
+    for (const PickStmt::Arm &Arm : cast<PickStmt>(&S)->arms())
+      analyzeStmt(*Arm.Body);
+    return;
+  }
+  }
+}
+
+void SemaPass::analyzeExpr(Expr &E) {
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+    return;
+  case Expr::Kind::ParamRef: {
+    auto *Ref = cast<ParamRefExpr>(&E);
+    // Innermost loop variables shadow outer ones and parameters.
+    for (auto It = LoopScopes.rbegin(); It != LoopScopes.rend(); ++It) {
+      if (It->first == Ref->name()) {
+        Ref->setSlot(It->second);
+        return;
+      }
+    }
+    const std::vector<std::string> &Params = CurrentMethod->params();
+    for (size_t I = 0; I != Params.size(); ++I) {
+      if (Params[I] == Ref->name()) {
+        Ref->setSlot(static_cast<uint32_t>(I));
+        return;
+      }
+    }
+    Diags.error(E.loc(), "reference to unknown name '" + Ref->name() +
+                             "' in method '" + CurrentMethod->name() + "'");
+    return;
+  }
+  case Expr::Kind::Binary: {
+    auto *Bin = cast<BinaryExpr>(&E);
+    analyzeExpr(const_cast<Expr &>(*Bin->lhs()));
+    analyzeExpr(const_cast<Expr &>(*Bin->rhs()));
+    return;
+  }
+  case Expr::Kind::Unary:
+    analyzeExpr(const_cast<Expr &>(*cast<UnaryExpr>(&E)->operand()));
+    return;
+  }
+}
+
+bool opd::analyzeProgram(Program &Prog, DiagnosticEngine &Diags) {
+  return SemaPass(Prog, Diags).run();
+}
+
+std::unique_ptr<Program> opd::compileProgram(const std::string &Source,
+                                             DiagnosticEngine &Diags) {
+  std::unique_ptr<Program> Prog = parseProgram(Source, Diags);
+  if (!Prog)
+    return nullptr;
+  if (!analyzeProgram(*Prog, Diags))
+    return nullptr;
+  return Prog;
+}

@@ -1,0 +1,39 @@
+//===- lang/Sema.h - Workload DSL semantic analysis -------------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for JP. Sema checks name/arity errors and annotates
+/// the AST with the identifiers the interpreter's instrumentation needs:
+/// method indices (= profile-element method ids), program-wide loop ids,
+/// per-method branch-site bytecode offsets, and parameter slots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_LANG_SEMA_H
+#define OPD_LANG_SEMA_H
+
+#include "lang/AST.h"
+#include "lang/Diagnostics.h"
+
+#include <memory>
+#include <string>
+
+namespace opd {
+
+/// Runs semantic analysis over \p Prog in place. Returns true on success;
+/// on failure, diagnostics are recorded in \p Diags and the annotation
+/// state of the program is unspecified.
+bool analyzeProgram(Program &Prog, DiagnosticEngine &Diags);
+
+/// Convenience front-end entry point: parse + analyze. Returns null on any
+/// error.
+std::unique_ptr<Program> compileProgram(const std::string &Source,
+                                        DiagnosticEngine &Diags);
+
+} // namespace opd
+
+#endif // OPD_LANG_SEMA_H

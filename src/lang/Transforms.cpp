@@ -1,0 +1,146 @@
+//===- lang/Transforms.cpp - AST transformation passes -----------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Transforms.h"
+
+#include "support/Casting.h"
+
+using namespace opd;
+
+namespace {
+
+/// Bottom-up constant folder.
+class ConstantFolder {
+public:
+  unsigned run(Program &Prog) {
+    for (std::unique_ptr<MethodDecl> &M : Prog.methods())
+      foldStmt(*M->body());
+    return NumFolds;
+  }
+
+private:
+  /// Folds within \p Slot's subtree, then replaces \p Slot with a
+  /// literal if it evaluates to a constant.
+  void foldExpr(std::unique_ptr<Expr> &Slot) {
+    switch (Slot->kind()) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::ParamRef:
+      return;
+    case Expr::Kind::Unary: {
+      auto *Unary = cast<UnaryExpr>(Slot.get());
+      foldExpr(Unary->operandSlot());
+      if (const auto *Lit = dyn_cast<IntLitExpr>(Unary->operand()))
+        replace(Slot, -Lit->value());
+      return;
+    }
+    case Expr::Kind::Binary: {
+      auto *Bin = cast<BinaryExpr>(Slot.get());
+      foldExpr(Bin->lhsSlot());
+      foldExpr(Bin->rhsSlot());
+      const auto *L = dyn_cast<IntLitExpr>(Bin->lhs());
+      const auto *R = dyn_cast<IntLitExpr>(Bin->rhs());
+      if (!L || !R)
+        return;
+      int64_t A = L->value(), B = R->value();
+      switch (Bin->op()) {
+      case BinaryOp::Add:
+        replace(Slot, A + B);
+        return;
+      case BinaryOp::Sub:
+        replace(Slot, A - B);
+        return;
+      case BinaryOp::Mul:
+        replace(Slot, A * B);
+        return;
+      case BinaryOp::Div:
+        if (B != 0) // Keep /0 for the interpreter's DivByZero counter.
+          replace(Slot, A / B);
+        return;
+      case BinaryOp::Rem:
+        if (B != 0)
+          replace(Slot, A % B);
+        return;
+      case BinaryOp::Lt:
+        replace(Slot, A < B);
+        return;
+      case BinaryOp::Le:
+        replace(Slot, A <= B);
+        return;
+      case BinaryOp::Gt:
+        replace(Slot, A > B);
+        return;
+      case BinaryOp::Ge:
+        replace(Slot, A >= B);
+        return;
+      case BinaryOp::Eq:
+        replace(Slot, A == B);
+        return;
+      case BinaryOp::Ne:
+        replace(Slot, A != B);
+        return;
+      }
+      return;
+    }
+    }
+  }
+
+  void replace(std::unique_ptr<Expr> &Slot, int64_t Value) {
+    Slot = std::make_unique<IntLitExpr>(Value, Slot->loc());
+    ++NumFolds;
+  }
+
+  void foldStmt(Stmt &S) {
+    switch (S.kind()) {
+    case Stmt::Kind::Block:
+      for (const std::unique_ptr<Stmt> &Child :
+           cast<BlockStmt>(&S)->stmts())
+        foldStmt(*Child);
+      return;
+    case Stmt::Kind::Loop: {
+      auto *Loop = cast<LoopStmt>(&S);
+      foldExpr(Loop->countSlot());
+      foldStmt(const_cast<BlockStmt &>(*Loop->body()));
+      return;
+    }
+    case Stmt::Kind::When: {
+      auto *When = cast<WhenStmt>(&S);
+      foldExpr(When->condSlot());
+      foldStmt(const_cast<BlockStmt &>(*When->thenBlock()));
+      if (When->elseBlock())
+        foldStmt(const_cast<BlockStmt &>(*When->elseBlock()));
+      return;
+    }
+    case Stmt::Kind::If: {
+      auto *If = cast<IfStmt>(&S);
+      foldStmt(const_cast<BlockStmt &>(*If->thenBlock()));
+      if (If->elseBlock())
+        foldStmt(const_cast<BlockStmt &>(*If->elseBlock()));
+      return;
+    }
+    case Stmt::Kind::Call: {
+      for (std::unique_ptr<Expr> &Arg : cast<CallStmt>(&S)->argsSlot())
+        foldExpr(Arg);
+      return;
+    }
+    case Stmt::Kind::Pick: {
+      for (const PickStmt::Arm &Arm : cast<PickStmt>(&S)->arms())
+        foldStmt(*Arm.Body);
+      return;
+    }
+    case Stmt::Kind::Branch:
+      return;
+    }
+  }
+
+  unsigned NumFolds = 0;
+};
+
+} // namespace
+
+unsigned opd::foldConstants(Program &Prog) {
+  return ConstantFolder().run(Prog);
+}

@@ -1,0 +1,35 @@
+//===- lang/Transforms.h - AST transformation passes ------------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST-level transforms for JP programs. foldConstants() evaluates
+/// constant subexpressions at compile time — workload sources lean on
+/// arithmetic like `loop times sa * 40` or `8000 + o * 1700`, and
+/// folding removes the interpreter's per-evaluation cost for the
+/// parameter-free parts.
+///
+/// Folding is semantics-preserving with respect to the interpreter,
+/// including its corner cases: division/remainder by a constant zero is
+/// left unfolded so the runtime DivByZero accounting still fires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_LANG_TRANSFORMS_H
+#define OPD_LANG_TRANSFORMS_H
+
+#include "lang/AST.h"
+
+namespace opd {
+
+/// Folds constant subexpressions of \p Prog in place. May run before or
+/// after Sema (it introduces no names and removes no branch sites).
+/// Returns the number of expressions replaced by literals.
+unsigned foldConstants(Program &Prog);
+
+} // namespace opd
+
+#endif // OPD_LANG_TRANSFORMS_H

@@ -1,0 +1,58 @@
+//===- metrics/Latency.cpp - Detection-latency statistics -------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Latency.h"
+
+#include <algorithm>
+
+using namespace opd;
+
+namespace {
+
+/// Returns the smallest candidate in [Lo, Hi), or Hi if none (candidates
+/// sorted). The smallest in-range candidate is the one closest to Lo,
+/// which is the baseline boundary for both start and end matching.
+uint64_t closestInRange(const std::vector<uint64_t> &Candidates,
+                        uint64_t Lo, uint64_t Hi) {
+  auto It = std::lower_bound(Candidates.begin(), Candidates.end(), Lo);
+  if (It != Candidates.end() && *It < Hi)
+    return *It;
+  return Hi;
+}
+
+} // namespace
+
+LatencyStats opd::computeLatency(const std::vector<PhaseInterval> &Detected,
+                                 const std::vector<PhaseInterval> &Baseline,
+                                 uint64_t TotalElements) {
+  LatencyStats Stats;
+  std::vector<uint64_t> Starts, Ends;
+  Starts.reserve(Detected.size());
+  Ends.reserve(Detected.size());
+  for (const PhaseInterval &P : Detected) {
+    Starts.push_back(P.Begin);
+    Ends.push_back(P.End);
+  }
+
+  for (size_t I = 0; I != Baseline.size(); ++I) {
+    const PhaseInterval &B = Baseline[I];
+    uint64_t Start = closestInRange(Starts, B.Begin, B.End);
+    if (Start != B.End)
+      Stats.StartDelay.push(static_cast<double>(Start - B.Begin));
+    else
+      ++Stats.UnmatchedStarts;
+
+    uint64_t NextStart =
+        I + 1 < Baseline.size() ? Baseline[I + 1].Begin : TotalElements + 1;
+    uint64_t End = closestInRange(Ends, B.End, NextStart);
+    if (End != NextStart)
+      Stats.EndDelay.push(static_cast<double>(End - B.End));
+    else
+      ++Stats.UnmatchedEnds;
+  }
+  return Stats;
+}

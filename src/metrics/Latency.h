@@ -1,0 +1,52 @@
+//===- metrics/Latency.h - Detection-latency statistics ---------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper observes that an online detector "will always detect a phase
+/// after it has started" and that "the degree to which an algorithm is
+/// late ... is reflected in the correlation portion of the score". This
+/// header quantifies the lateness directly: for every matched boundary
+/// (same matching rules as the scoring metric), the signed distance in
+/// profile elements between the detected and baseline boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_METRICS_LATENCY_H
+#define OPD_METRICS_LATENCY_H
+
+#include "support/Statistics.h"
+#include "trace/StateSequence.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace opd {
+
+/// Lateness of matched boundaries, in profile elements.
+struct LatencyStats {
+  /// Start-boundary delays (detected start - baseline start; >= 0 by the
+  /// matching constraints).
+  RunningStats StartDelay;
+  /// End-boundary delays (detected end - baseline end; >= 0 likewise).
+  RunningStats EndDelay;
+  /// Number of baseline phases whose start/end found no match at all.
+  uint64_t UnmatchedStarts = 0;
+  uint64_t UnmatchedEnds = 0;
+};
+
+/// Computes boundary lateness of \p Detected against \p Baseline (both
+/// sorted, disjoint). Matching follows the scoring metric: the closest
+/// detected start within [start_i, end_i) matches baseline start i, and
+/// the closest detected end within [end_i, nextStart_i) matches baseline
+/// end i.
+LatencyStats computeLatency(const std::vector<PhaseInterval> &Detected,
+                            const std::vector<PhaseInterval> &Baseline,
+                            uint64_t TotalElements);
+
+} // namespace opd
+
+#endif // OPD_METRICS_LATENCY_H

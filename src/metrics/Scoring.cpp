@@ -1,0 +1,107 @@
+//===- metrics/Scoring.cpp - Accuracy scoring metric ------------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Scoring.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace opd;
+
+namespace {
+
+/// Returns the number of values in the sorted \p Candidates that lie in
+/// [Lo, Hi); exactly one of them (the closest to \p Target) is a match,
+/// the rest stay unmatched. Returns 1 if any candidate exists, else 0.
+/// (Only existence matters for the counts: closeness resolves which
+/// candidate matches, but one baseline boundary can absorb at most one.)
+uint64_t matchOne(const std::vector<uint64_t> &Candidates, uint64_t Lo,
+                  uint64_t Hi) {
+  if (Lo >= Hi)
+    return 0;
+  auto It = std::lower_bound(Candidates.begin(), Candidates.end(), Lo);
+  return (It != Candidates.end() && *It < Hi) ? 1 : 0;
+}
+
+} // namespace
+
+BoundaryMatchResult
+opd::matchBoundaries(const std::vector<PhaseInterval> &Detected,
+                     const std::vector<PhaseInterval> &Baseline,
+                     uint64_t TotalElements) {
+  BoundaryMatchResult R;
+  R.DetectedStarts = Detected.size();
+  R.DetectedEnds = Detected.size();
+  R.BaselineStarts = Baseline.size();
+  R.BaselineEnds = Baseline.size();
+
+  std::vector<uint64_t> Starts, Ends;
+  Starts.reserve(Detected.size());
+  Ends.reserve(Detected.size());
+  for (const PhaseInterval &P : Detected) {
+    Starts.push_back(P.Begin);
+    Ends.push_back(P.End);
+  }
+  assert(std::is_sorted(Starts.begin(), Starts.end()) &&
+         "detected phases must be sorted");
+
+  for (size_t I = 0; I != Baseline.size(); ++I) {
+    const PhaseInterval &B = Baseline[I];
+    // Constraint 1: a detected start must fall at/after the baseline start
+    // and before the baseline end.
+    R.MatchedStarts += matchOne(Starts, B.Begin, B.End);
+    // Constraint 2: a detected end must fall at/after the baseline end and
+    // before the start of the next baseline phase.
+    uint64_t NextStart =
+        I + 1 < Baseline.size() ? Baseline[I + 1].Begin : TotalElements + 1;
+    R.MatchedEnds += matchOne(Ends, B.End, NextStart);
+  }
+  return R;
+}
+
+static AccuracyScore scoreFrom(const StateSequence &DetectedStates,
+                               const std::vector<PhaseInterval> &Detected,
+                               const StateSequence &BaselineStates) {
+  assert(DetectedStates.size() == BaselineStates.size() &&
+         "detector and baseline must cover the same trace");
+  AccuracyScore S;
+  uint64_t Total = BaselineStates.size();
+  S.Correlation =
+      Total == 0 ? 1.0
+                 : static_cast<double>(
+                       countAgreement(DetectedStates, BaselineStates)) /
+                       static_cast<double>(Total);
+
+  BoundaryMatchResult M =
+      matchBoundaries(Detected, BaselineStates.phases(), Total);
+  S.MatchedBoundaries = M.matched();
+  S.BaselineBoundaries = M.baseline();
+  S.DetectedBoundaries = M.detected();
+  S.Sensitivity = M.baseline() == 0
+                      ? 1.0
+                      : static_cast<double>(M.matched()) /
+                            static_cast<double>(M.baseline());
+  S.FalsePositives = M.detected() == 0
+                         ? 0.0
+                         : static_cast<double>(M.detected() - M.matched()) /
+                               static_cast<double>(M.detected());
+  S.combine();
+  return S;
+}
+
+AccuracyScore opd::scoreDetection(const StateSequence &DetectedStates,
+                                  const StateSequence &BaselineStates) {
+  return scoreFrom(DetectedStates, DetectedStates.phases(), BaselineStates);
+}
+
+AccuracyScore
+opd::scoreDetection(const std::vector<PhaseInterval> &DetectedPhases,
+                    const StateSequence &BaselineStates) {
+  StateSequence DetectedStates =
+      StateSequence::fromPhases(DetectedPhases, BaselineStates.size());
+  return scoreFrom(DetectedStates, DetectedPhases, BaselineStates);
+}

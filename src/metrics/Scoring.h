@@ -1,0 +1,93 @@
+//===- metrics/Scoring.h - Accuracy scoring metric --------------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's accuracy scoring metric (Section 3.2):
+///
+///   correlation   = (bothInPhase + bothInTransition) / totalEvents
+///   sensitivity   = matchedBoundaries / baselineBoundaries
+///   falsePositives= unmatchedDetectedBoundaries / detectedBoundaries
+///   score         = correlation/2 + sensitivity/4 + (1-falsePositives)/4
+///
+/// Boundary matching follows the paper's three constraints: a detected
+/// phase start matches baseline phase i iff it falls in [start_i, end_i);
+/// a detected end matches iff it falls in [end_i, nextStart_i); and when
+/// several detected boundaries satisfy a constraint, the one closest to
+/// the baseline boundary matches (one-to-one).
+///
+/// Degenerate-case conventions (the paper excludes such runs from its
+/// averages): with zero baseline boundaries sensitivity is 1; with zero
+/// detected boundaries falsePositives is 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_METRICS_SCORING_H
+#define OPD_METRICS_SCORING_H
+
+#include "trace/StateSequence.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace opd {
+
+/// The scoring metric's components for one detector run vs one baseline.
+struct AccuracyScore {
+  double Correlation = 0.0;
+  double Sensitivity = 0.0;
+  double FalsePositives = 0.0;
+  /// Combined weighted score in [0, 1].
+  double Score = 0.0;
+
+  uint64_t MatchedBoundaries = 0;
+  uint64_t BaselineBoundaries = 0;
+  uint64_t DetectedBoundaries = 0;
+
+  /// Recomputes Score from the components (correlation 50%, sensitivity
+  /// 25%, false positives 25%).
+  void combine() {
+    Score = Correlation / 2.0 + Sensitivity / 4.0 +
+            (1.0 - FalsePositives) / 4.0;
+  }
+};
+
+/// Result of matching detected phase boundaries against baseline phases.
+struct BoundaryMatchResult {
+  uint64_t MatchedStarts = 0;
+  uint64_t MatchedEnds = 0;
+  uint64_t DetectedStarts = 0;
+  uint64_t DetectedEnds = 0;
+  uint64_t BaselineStarts = 0;
+  uint64_t BaselineEnds = 0;
+
+  uint64_t matched() const { return MatchedStarts + MatchedEnds; }
+  uint64_t detected() const { return DetectedStarts + DetectedEnds; }
+  uint64_t baseline() const { return BaselineStarts + BaselineEnds; }
+};
+
+/// Matches \p Detected phase boundaries against \p Baseline phases under
+/// the paper's constraints. Both lists must be sorted and disjoint.
+BoundaryMatchResult matchBoundaries(const std::vector<PhaseInterval> &Detected,
+                                    const std::vector<PhaseInterval> &Baseline,
+                                    uint64_t TotalElements);
+
+/// Scores detector output \p DetectedStates against \p BaselineStates.
+/// Both must cover the same trace. The boundaries scored are exactly the
+/// InPhase intervals of each sequence.
+AccuracyScore scoreDetection(const StateSequence &DetectedStates,
+                             const StateSequence &BaselineStates);
+
+/// Scores with an explicit detected-phase list (used for the Figure 8
+/// variant where phase starts are corrected to the anchor point). The
+/// correlation component is computed over the states implied by
+/// \p DetectedPhases.
+AccuracyScore scoreDetection(const std::vector<PhaseInterval> &DetectedPhases,
+                             const StateSequence &BaselineStates);
+
+} // namespace opd
+
+#endif // OPD_METRICS_SCORING_H

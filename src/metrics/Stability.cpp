@@ -1,0 +1,36 @@
+//===- metrics/Stability.cpp - Detector-output characterization --------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Stability.h"
+
+using namespace opd;
+
+StabilityStats opd::computeStability(const StateSequence &States) {
+  StabilityStats Stats;
+  if (States.empty())
+    return Stats;
+
+  uint64_t InPhase = 0;
+  uint64_t Changes = 0;
+  const std::vector<StateRun> &Runs = States.runs();
+  for (size_t I = 0; I != Runs.size(); ++I) {
+    const StateRun &R = Runs[I];
+    if (R.State == PhaseState::InPhase) {
+      InPhase += R.Length;
+      ++Stats.NumPhases;
+      Stats.PhaseLengths.push(static_cast<double>(R.Length));
+    } else {
+      Stats.GapLengths.push(static_cast<double>(R.Length));
+    }
+    if (I > 0)
+      ++Changes;
+  }
+  double Total = static_cast<double>(States.size());
+  Stats.InPhaseFraction = static_cast<double>(InPhase) / Total;
+  Stats.ChangesPerMillion = static_cast<double>(Changes) / Total * 1e6;
+  return Stats;
+}

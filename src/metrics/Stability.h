@@ -1,0 +1,47 @@
+//===- metrics/Stability.h - Detector-output characterization --*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Oracle-free characterization of a state sequence, in the spirit of
+/// Dhodapkar & Smith's stability measures: how much of the execution a
+/// detector calls stable, how often it changes its mind, and how long
+/// its phases are. Useful for comparing detectors when no ground truth
+/// exists (e.g. on externally collected traces) and for spotting
+/// pathological outputs (flapping, always-P) before scoring.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_METRICS_STABILITY_H
+#define OPD_METRICS_STABILITY_H
+
+#include "support/Statistics.h"
+#include "trace/StateSequence.h"
+
+#include <cstdint>
+
+namespace opd {
+
+/// Summary statistics of one P/T state sequence.
+struct StabilityStats {
+  /// Fraction of elements in state P.
+  double InPhaseFraction = 0.0;
+  /// State changes (T->P or P->T) per million elements.
+  double ChangesPerMillion = 0.0;
+  /// Number of phases (maximal P runs).
+  uint64_t NumPhases = 0;
+  /// Phase-length statistics in elements.
+  RunningStats PhaseLengths;
+  /// Transition-gap statistics (maximal T runs) in elements.
+  RunningStats GapLengths;
+};
+
+/// Computes the summary for \p States.
+StabilityStats computeStability(const StateSequence &States);
+
+} // namespace opd
+
+#endif // OPD_METRICS_STABILITY_H

@@ -1,0 +1,57 @@
+//===- metrics/Timeline.h - Phase timeline visualization --------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SVG/HTML rendering of phase timelines, in the spirit of the authors'
+/// phase-visualization work the paper cites (Nagpurkar & Krintz, "
+/// Visualization and analysis of phased behavior in Java programs").
+/// Each track is one P/T state sequence (the oracle, a detector, one
+/// level of a multi-scale bank, ...) drawn as colored phase bars over a
+/// shared time axis, so oracle-vs-detector disagreement is visible at a
+/// glance. The output is self-contained (no scripts, no external
+/// assets).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_METRICS_TIMELINE_H
+#define OPD_METRICS_TIMELINE_H
+
+#include "trace/StateSequence.h"
+
+#include <string>
+#include <vector>
+
+namespace opd {
+
+/// One row of the timeline.
+struct TimelineTrack {
+  std::string Label;
+  const StateSequence *States = nullptr;
+  /// CSS color of the in-phase bars (e.g. "#4878d0").
+  std::string Color = "#4878d0";
+};
+
+/// Geometry of the rendered timeline.
+struct TimelineOptions {
+  unsigned Width = 1000;     ///< Plot width in pixels (excluding labels).
+  unsigned TrackHeight = 26; ///< Height per track.
+  unsigned LabelWidth = 140; ///< Space reserved for track labels.
+};
+
+/// Renders the tracks as a standalone SVG element. All tracks must be
+/// non-null and cover the same trace length.
+std::string renderTimelineSVG(const std::vector<TimelineTrack> &Tracks,
+                              const TimelineOptions &Options = {});
+
+/// Renders a complete HTML document embedding the SVG with a title.
+std::string renderTimelineHTML(const std::string &Title,
+                               const std::vector<TimelineTrack> &Tracks,
+                               const TimelineOptions &Options = {});
+
+} // namespace opd
+
+#endif // OPD_METRICS_TIMELINE_H

@@ -1,0 +1,84 @@
+//===- support/ArgParser.h - Command-line flag parsing ----------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal command-line flag parser shared by the experiment binaries and
+/// examples. Supports `--flag`, `--flag=value`, and `--flag value` forms
+/// plus positional arguments; prints a generated --help.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_SUPPORT_ARGPARSER_H
+#define OPD_SUPPORT_ARGPARSER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace opd {
+
+/// Declarative command-line parser. Register flags, then call parse();
+/// lookups return the parsed value or the registered default.
+class ArgParser {
+public:
+  ArgParser(std::string ProgramName, std::string Description)
+      : ProgramName(std::move(ProgramName)),
+        Description(std::move(Description)) {}
+
+  /// Registers a boolean flag (present => true).
+  void addFlag(const std::string &Name, const std::string &Help);
+
+  /// Registers a flag that takes a value, with a default.
+  void addOption(const std::string &Name, const std::string &Help,
+                 const std::string &Default);
+
+  /// Parses argv. Returns false (after printing a diagnostic to stderr) on
+  /// an unknown flag or a missing value; returns false with Help set after
+  /// printing usage if --help was requested.
+  bool parse(int Argc, const char *const *Argv);
+
+  /// True if --help was seen (parse() returns false in that case too).
+  bool helpRequested() const { return Help; }
+
+  /// True if boolean flag \p Name was present on the command line.
+  bool getFlag(const std::string &Name) const;
+
+  /// Value of option \p Name (parsed value or default).
+  const std::string &getOption(const std::string &Name) const;
+
+  /// Value of option \p Name parsed as a long; falls back to \p Fallback
+  /// when the text does not parse.
+  long getInt(const std::string &Name, long Fallback = 0) const;
+
+  /// Value of option \p Name parsed as a double.
+  double getDouble(const std::string &Name, double Fallback = 0.0) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string> &positional() const { return Positional; }
+
+  /// Renders the generated usage text.
+  std::string usage() const;
+
+private:
+  struct Spec {
+    std::string Help;
+    std::string Default;
+    bool IsBool = false;
+    bool Seen = false;
+    std::string Value;
+  };
+
+  std::string ProgramName;
+  std::string Description;
+  std::map<std::string, Spec> Specs;
+  std::vector<std::string> Positional;
+  bool Help = false;
+};
+
+} // namespace opd
+
+#endif // OPD_SUPPORT_ARGPARSER_H

@@ -1,0 +1,53 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ---------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal reimplementation of LLVM's opt-in RTTI templates. Classes
+/// participate by exposing `static bool classof(const Base *)`; the AST in
+/// src/lang uses this instead of dynamic_cast (the library builds without
+/// RTTI-style dispatch and follows the LLVM coding standard).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_SUPPORT_CASTING_H
+#define OPD_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace opd {
+
+/// Returns true if \p Val is an instance of To. \p Val must be non-null.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val is an instance of To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> to an incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast (const overload).
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> to an incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null if \p Val is not an instance of To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Checking downcast (const overload).
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace opd
+
+#endif // OPD_SUPPORT_CASTING_H

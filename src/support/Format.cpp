@@ -1,0 +1,46 @@
+//===- support/Format.cpp - Number and string formatting -----------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+namespace opd {
+
+std::string formatCount(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Result;
+  Result.reserve(Digits.size() + Digits.size() / 3);
+  unsigned FromRight = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (FromRight != 0 && FromRight % 3 == 0)
+      Result.push_back(',');
+    Result.push_back(*It);
+    ++FromRight;
+  }
+  return std::string(Result.rbegin(), Result.rend());
+}
+
+std::string formatDouble(double Value, unsigned Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", static_cast<int>(Precision), Value);
+  return Buf;
+}
+
+std::string formatPercent(double Fraction, unsigned Precision) {
+  return formatDouble(Fraction * 100.0, Precision);
+}
+
+std::string formatAbbrev(uint64_t Value) {
+  if (Value < 1000)
+    return std::to_string(Value);
+  if (Value % 1000 == 0)
+    return std::to_string(Value / 1000) + "K";
+  return formatDouble(static_cast<double>(Value) / 1000.0, 1) + "K";
+}
+
+} // namespace opd

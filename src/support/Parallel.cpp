@@ -1,0 +1,49 @@
+//===- support/Parallel.cpp - Work distribution helpers -------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace opd;
+
+unsigned opd::hardwareParallelism() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+void opd::parallelFor(size_t NumItems,
+                      const std::function<void(size_t)> &Body) {
+  unsigned NumThreads = hardwareParallelism();
+  if (NumThreads <= 1 || NumItems <= 1) {
+    for (size_t I = 0; I != NumItems; ++I)
+      Body(I);
+    return;
+  }
+
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= NumItems)
+        return;
+      Body(I);
+    }
+  };
+
+  std::vector<std::thread> Threads;
+  unsigned NumWorkers = static_cast<unsigned>(
+      std::min<size_t>(NumThreads, NumItems));
+  Threads.reserve(NumWorkers - 1);
+  for (unsigned I = 1; I < NumWorkers; ++I)
+    Threads.emplace_back(Worker);
+  Worker();
+  for (std::thread &T : Threads)
+    T.join();
+}

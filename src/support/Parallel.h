@@ -1,0 +1,33 @@
+//===- support/Parallel.h - Work distribution helpers -----------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// parallelFor distributes independent work items (detector runs in the
+/// sweep harness) over hardware threads. On a single-core host it simply
+/// runs serially, so results are byte-identical regardless of parallelism.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_SUPPORT_PARALLEL_H
+#define OPD_SUPPORT_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace opd {
+
+/// Number of worker threads parallelFor will use (>= 1).
+unsigned hardwareParallelism();
+
+/// Invokes \p Body(I) for every I in [0, NumItems). Items are claimed from
+/// a shared atomic counter, so \p Body must be safe to call concurrently
+/// for distinct indices. Blocks until all items are complete.
+void parallelFor(size_t NumItems, const std::function<void(size_t)> &Body);
+
+} // namespace opd
+
+#endif // OPD_SUPPORT_PARALLEL_H

@@ -1,0 +1,98 @@
+//===- support/Random.h - Deterministic PRNGs -------------------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small deterministic pseudo-random number generators used by the workload
+/// interpreter and the property-based tests. Determinism matters: every
+/// experiment in the paper reproduction must produce identical traces on
+/// every run, so we avoid std::mt19937's platform-dependent seeding paths
+/// and keep the generators trivially copyable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_SUPPORT_RANDOM_H
+#define OPD_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace opd {
+
+/// SplitMix64: a tiny, high-quality 64-bit generator. Primarily used to
+/// seed Xoshiro256 and for cheap one-off hashing of seeds.
+class SplitMix64 {
+  uint64_t State;
+
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+};
+
+/// Xoshiro256**: the general-purpose generator for workload noise.
+class Xoshiro256 {
+  uint64_t S[4];
+
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Xoshiro256(uint64_t Seed) {
+    SplitMix64 Mix(Seed);
+    for (uint64_t &Word : S)
+      Word = Mix.next();
+  }
+
+  /// Returns the next 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(S[1] * 5, 7) * 9;
+    uint64_t T = S[1] << 17;
+    S[2] ^= S[0];
+    S[3] ^= S[1];
+    S[1] ^= S[2];
+    S[0] ^= S[3];
+    S[2] ^= T;
+    S[3] = rotl(S[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero. Uses Lemire's multiply-shift rejection-free approximation,
+  /// which is unbiased enough for workload synthesis.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow requires a nonzero bound");
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a uniformly distributed double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) {
+    if (P <= 0.0)
+      return false;
+    if (P >= 1.0)
+      return true;
+    return nextDouble() < P;
+  }
+};
+
+} // namespace opd
+
+#endif // OPD_SUPPORT_RANDOM_H

@@ -1,0 +1,121 @@
+//===- support/Statistics.h - Streaming statistics --------------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming (single-pass) statistics. The Average analyzer and the Lu et
+/// al. interval-bound analyzer both need running means over unbounded value
+/// streams; RunningStats implements Welford's numerically stable update so
+/// the analyzers stay O(1) per profile element.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_SUPPORT_STATISTICS_H
+#define OPD_SUPPORT_STATISTICS_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace opd {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+  uint64_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = std::numeric_limits<double>::infinity();
+  double Max = -std::numeric_limits<double>::infinity();
+
+public:
+  /// Resets the accumulator to the empty state.
+  void reset() { *this = RunningStats(); }
+
+  /// Folds \p X into the running statistics.
+  void push(double X) {
+    ++N;
+    double Delta = X - Mean;
+    Mean += Delta / static_cast<double>(N);
+    M2 += Delta * (X - Mean);
+    if (X < Min)
+      Min = X;
+    if (X > Max)
+      Max = X;
+  }
+
+  /// Number of values pushed so far.
+  uint64_t count() const { return N; }
+
+  /// True if no values have been pushed.
+  bool empty() const { return N == 0; }
+
+  /// Running mean; 0 when empty.
+  double mean() const { return N == 0 ? 0.0 : Mean; }
+
+  /// Population variance; 0 with fewer than two samples.
+  double variance() const {
+    return N < 2 ? 0.0 : M2 / static_cast<double>(N);
+  }
+
+  /// Population standard deviation.
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Smallest value pushed; asserts when empty.
+  double min() const {
+    assert(N > 0 && "min() of empty RunningStats");
+    return Min;
+  }
+
+  /// Largest value pushed; asserts when empty.
+  double max() const {
+    assert(N > 0 && "max() of empty RunningStats");
+    return Max;
+  }
+};
+
+/// Streaming Pearson correlation between two synchronized value streams.
+/// Used by the Das et al. analyzer (related work, modeled in the
+/// framework): it correlates the current sample vector against a target
+/// vector one coordinate pair at a time.
+class RunningPearson {
+  uint64_t N = 0;
+  double MeanX = 0.0, MeanY = 0.0;
+  double M2X = 0.0, M2Y = 0.0, CoM = 0.0;
+
+public:
+  /// Resets the accumulator to the empty state.
+  void reset() { *this = RunningPearson(); }
+
+  /// Folds the coordinate pair (\p X, \p Y) into the accumulator.
+  void push(double X, double Y) {
+    ++N;
+    double DX = X - MeanX;
+    MeanX += DX / static_cast<double>(N);
+    double DY = Y - MeanY;
+    MeanY += DY / static_cast<double>(N);
+    M2X += DX * (X - MeanX);
+    M2Y += DY * (Y - MeanY);
+    CoM += DX * (Y - MeanY);
+  }
+
+  /// Number of pairs pushed so far.
+  uint64_t count() const { return N; }
+
+  /// Pearson's r; returns 0 when either stream has zero variance.
+  double correlation() const {
+    if (N < 2)
+      return 0.0;
+    double Denom = std::sqrt(M2X * M2Y);
+    if (Denom == 0.0)
+      return 0.0;
+    return CoM / Denom;
+  }
+};
+
+} // namespace opd
+
+#endif // OPD_SUPPORT_STATISTICS_H

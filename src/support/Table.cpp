@@ -1,0 +1,128 @@
+//===- support/Table.cpp - ASCII table rendering --------------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace opd;
+
+void Table::setHeader(std::vector<std::string> Names) {
+  Header = std::move(Names);
+  Aligns.assign(Header.size(), AlignKind::Right);
+  if (!Aligns.empty())
+    Aligns[0] = AlignKind::Left;
+}
+
+void Table::setAlign(unsigned Col, AlignKind Kind) {
+  assert(Col < Aligns.size() && "alignment for a column outside the header");
+  Aligns[Col] = Kind;
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  assert((Header.empty() || Cells.size() <= Header.size()) &&
+         "row has more cells than the header has columns");
+  Rows.push_back({std::move(Cells), /*IsSeparator=*/false});
+}
+
+void Table::addSeparator() { Rows.push_back({{}, /*IsSeparator=*/true}); }
+
+unsigned Table::numRows() const {
+  unsigned N = 0;
+  for (const Row &R : Rows)
+    if (!R.IsSeparator)
+      ++N;
+  return N;
+}
+
+std::string Table::render() const {
+  // Compute column widths over the header and every row.
+  size_t NumCols = Header.size();
+  for (const Row &R : Rows)
+    NumCols = std::max(NumCols, R.Cells.size());
+
+  std::vector<size_t> Widths(NumCols, 0);
+  for (size_t I = 0; I != Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const Row &R : Rows)
+    for (size_t I = 0; I != R.Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], R.Cells[I].size());
+
+  auto renderCell = [&](const std::string &Cell, size_t Col) {
+    AlignKind Kind = Col < Aligns.size() ? Aligns[Col] : AlignKind::Right;
+    std::string Pad(Widths[Col] - std::min(Widths[Col], Cell.size()), ' ');
+    return Kind == AlignKind::Left ? Cell + Pad : Pad + Cell;
+  };
+
+  size_t TotalWidth = NumCols == 0 ? 0 : 2 * (NumCols - 1);
+  for (size_t W : Widths)
+    TotalWidth += W;
+
+  std::string Out;
+  if (!Title.empty()) {
+    Out += Title;
+    Out += '\n';
+    Out += std::string(std::max(Title.size(), TotalWidth), '=');
+    Out += '\n';
+  }
+  if (!Header.empty()) {
+    for (size_t I = 0; I != Header.size(); ++I) {
+      if (I != 0)
+        Out += "  ";
+      Out += renderCell(Header[I], I);
+    }
+    Out += '\n';
+    Out += std::string(TotalWidth, '-');
+    Out += '\n';
+  }
+  for (const Row &R : Rows) {
+    if (R.IsSeparator) {
+      Out += std::string(TotalWidth, '-');
+      Out += '\n';
+      continue;
+    }
+    for (size_t I = 0; I != R.Cells.size(); ++I) {
+      if (I != 0)
+        Out += "  ";
+      Out += renderCell(R.Cells[I], I);
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string Table::renderCSV() const {
+  auto escape = [](const std::string &Cell) {
+    if (Cell.find_first_of(",\"\n") == std::string::npos)
+      return Cell;
+    std::string Escaped = "\"";
+    for (char C : Cell) {
+      if (C == '"')
+        Escaped += '"';
+      Escaped += C;
+    }
+    Escaped += '"';
+    return Escaped;
+  };
+
+  std::string Out;
+  auto addCSVRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I != Cells.size(); ++I) {
+      if (I != 0)
+        Out += ',';
+      Out += escape(Cells[I]);
+    }
+    Out += '\n';
+  };
+  if (!Header.empty())
+    addCSVRow(Header);
+  for (const Row &R : Rows)
+    if (!R.IsSeparator)
+      addCSVRow(R.Cells);
+  return Out;
+}

@@ -1,0 +1,68 @@
+//===- support/Table.h - ASCII table rendering ------------------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small column-aligned ASCII table builder. Every reproduction binary
+/// prints one or more paper tables/figures as rows; this class keeps the
+/// rendering uniform and also emits CSV for downstream plotting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_SUPPORT_TABLE_H
+#define OPD_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace opd {
+
+/// Column-aligned ASCII table with an optional title and header row.
+class Table {
+public:
+  /// Horizontal alignment of a column's cells.
+  enum class AlignKind { Left, Right };
+
+  explicit Table(std::string Title = "") : Title(std::move(Title)) {}
+
+  /// Sets the header row. Columns default to right alignment except the
+  /// first, which is left-aligned (benchmark-name style).
+  void setHeader(std::vector<std::string> Names);
+
+  /// Overrides the alignment of column \p Col.
+  void setAlign(unsigned Col, AlignKind Kind);
+
+  /// Appends a data row; it may be shorter than the header (trailing cells
+  /// render empty) but must not be longer.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator row.
+  void addSeparator();
+
+  /// Renders the aligned ASCII form, ending with a newline.
+  std::string render() const;
+
+  /// Renders the table as CSV (title omitted, separators skipped).
+  std::string renderCSV() const;
+
+  /// Number of data rows added so far (separators excluded).
+  unsigned numRows() const;
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool IsSeparator = false;
+  };
+
+  std::string Title;
+  std::vector<std::string> Header;
+  std::vector<AlignKind> Aligns;
+  std::vector<Row> Rows;
+};
+
+} // namespace opd
+
+#endif // OPD_SUPPORT_TABLE_H

@@ -1,0 +1,109 @@
+//===- trace/BranchTrace.h - Branch traces and site tables ------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BranchTrace stores the conditional-branch profile of one program
+/// execution as a sequence of dense SiteIndex values plus a SiteTable that
+/// maps those indices back to packed ProfileElements. Dense indices let
+/// the similarity models keep per-site occurrence counts in flat arrays.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_TRACE_BRANCHTRACE_H
+#define OPD_TRACE_BRANCHTRACE_H
+
+#include "trace/ProfileElement.h"
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace opd {
+
+/// Bijection between the distinct ProfileElements of a trace and the dense
+/// index range [0, numSites()).
+class SiteTable {
+  std::unordered_map<uint32_t, SiteIndex> RawToIndex;
+  std::vector<ProfileElement> IndexToElement;
+
+public:
+  /// Returns the index for \p E, interning it on first sight.
+  SiteIndex intern(ProfileElement E) {
+    auto [It, Inserted] = RawToIndex.try_emplace(
+        E.raw(), static_cast<SiteIndex>(IndexToElement.size()));
+    if (Inserted)
+      IndexToElement.push_back(E);
+    return It->second;
+  }
+
+  /// Returns the index for \p E or numSites() if it was never interned.
+  SiteIndex lookup(ProfileElement E) const {
+    auto It = RawToIndex.find(E.raw());
+    return It == RawToIndex.end() ? numSites() : It->second;
+  }
+
+  /// Maps a dense index back to its packed element.
+  ProfileElement element(SiteIndex Index) const {
+    assert(Index < IndexToElement.size() && "site index out of range");
+    return IndexToElement[Index];
+  }
+
+  /// Number of distinct sites interned so far.
+  SiteIndex numSites() const {
+    return static_cast<SiteIndex>(IndexToElement.size());
+  }
+};
+
+/// The branch profile of one execution: dense site indices in execution
+/// order plus the site table that decodes them.
+class BranchTrace {
+  SiteTable Sites;
+  std::vector<SiteIndex> Elements;
+
+public:
+  /// Appends one executed branch.
+  void append(ProfileElement E) { Elements.push_back(Sites.intern(E)); }
+
+  /// Appends one executed branch by dense index (the index must have been
+  /// interned already; used by generators that pre-build the site table).
+  void appendIndex(SiteIndex Index) {
+    assert(Index < Sites.numSites() && "appending an uninterned site");
+    Elements.push_back(Index);
+  }
+
+  /// Interns \p E without appending (pre-populates the site table).
+  SiteIndex internSite(ProfileElement E) { return Sites.intern(E); }
+
+  /// Number of profile elements (dynamic branches).
+  uint64_t size() const { return Elements.size(); }
+
+  /// True if the trace has no elements.
+  bool empty() const { return Elements.empty(); }
+
+  /// Dense site index of element \p I.
+  SiteIndex operator[](uint64_t I) const {
+    assert(I < Elements.size() && "trace offset out of range");
+    return Elements[I];
+  }
+
+  /// The full dense-index sequence.
+  const std::vector<SiteIndex> &elements() const { return Elements; }
+
+  /// The site table for decoding indices.
+  const SiteTable &sites() const { return Sites; }
+
+  /// Number of distinct branch sites in the trace.
+  SiteIndex numSites() const { return Sites.numSites(); }
+
+  /// Reserves storage for \p N elements.
+  void reserve(uint64_t N) { Elements.reserve(N); }
+};
+
+} // namespace opd
+
+#endif // OPD_TRACE_BRANCHTRACE_H

@@ -1,0 +1,91 @@
+//===- trace/CallLoopTrace.h - Call-loop event traces -----------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline (oracle) solution consumes a *call-loop trace*: the
+/// entrance and exit of every loop execution and method invocation,
+/// correlated with the "time" of the latest dynamic branch (Section 3.1).
+/// CallLoopTrace records those events; Offset is the number of branches
+/// emitted before the event, so an event sits between trace elements
+/// Offset-1 and Offset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_TRACE_CALLLOOPTRACE_H
+#define OPD_TRACE_CALLLOOPTRACE_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace opd {
+
+/// Kind of repetition-construct event.
+enum class CallLoopEventKind : uint8_t {
+  LoopEnter,
+  LoopExit,
+  MethodEnter,
+  MethodExit,
+};
+
+/// True for LoopEnter/MethodEnter.
+inline bool isEnterEvent(CallLoopEventKind Kind) {
+  return Kind == CallLoopEventKind::LoopEnter ||
+         Kind == CallLoopEventKind::MethodEnter;
+}
+
+/// True for loop events (enter or exit).
+inline bool isLoopEvent(CallLoopEventKind Kind) {
+  return Kind == CallLoopEventKind::LoopEnter ||
+         Kind == CallLoopEventKind::LoopExit;
+}
+
+/// One instrumented loop/method entry or exit.
+struct CallLoopEvent {
+  CallLoopEventKind Kind;
+  /// Static identifier: the loop id for loop events, the method id for
+  /// method events. Loop ids and method ids live in separate namespaces.
+  uint32_t Id;
+  /// Number of profile elements emitted before this event.
+  uint64_t Offset;
+};
+
+/// The sequence of call-loop events of one execution, in program order.
+/// Enters and exits are properly nested (the instrumentation emits exits
+/// for exceptional unwinds too, mirroring the paper's "both normal and
+/// exceptional" exits).
+class CallLoopTrace {
+  std::vector<CallLoopEvent> Events;
+
+public:
+  /// Appends one event; offsets must be monotonically non-decreasing.
+  void append(CallLoopEventKind Kind, uint32_t Id, uint64_t Offset) {
+    assert((Events.empty() || Events.back().Offset <= Offset) &&
+           "call-loop events must be appended in time order");
+    Events.push_back({Kind, Id, Offset});
+  }
+
+  /// Number of events.
+  size_t size() const { return Events.size(); }
+
+  /// True if there are no events.
+  bool empty() const { return Events.empty(); }
+
+  /// Event \p I in program order.
+  const CallLoopEvent &operator[](size_t I) const {
+    assert(I < Events.size() && "event index out of range");
+    return Events[I];
+  }
+
+  /// All events in program order.
+  const std::vector<CallLoopEvent> &events() const { return Events; }
+};
+
+} // namespace opd
+
+#endif // OPD_TRACE_CALLLOOPTRACE_H

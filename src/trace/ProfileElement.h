@@ -1,0 +1,82 @@
+//===- trace/ProfileElement.h - Branch profile elements ---------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A profile element is one executed conditional branch. Following the
+/// paper (Section 4.1), each element packs "a unique method ID, a bytecode
+/// offset in the method where the branch is located, and a bit that
+/// represents whether the branch was taken" into a single integer.
+///
+/// Detectors never interpret the encoding: they only need equality between
+/// elements. For speed they consume *dense site indices* (see SiteTable),
+/// which enumerate the distinct encoded values actually present in a trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_TRACE_PROFILEELEMENT_H
+#define OPD_TRACE_PROFILEELEMENT_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace opd {
+
+/// Dense index of a distinct branch site within one trace's SiteTable.
+using SiteIndex = uint32_t;
+
+/// One executed conditional branch, packed as
+/// [ methodId:16 | bytecodeOffset:15 | taken:1 ].
+class ProfileElement {
+  uint32_t Bits = 0;
+
+public:
+  static constexpr uint32_t MaxMethodId = (1u << 16) - 1;
+  static constexpr uint32_t MaxOffset = (1u << 15) - 1;
+
+  ProfileElement() = default;
+
+  /// Packs the triple into an element. Components must fit their fields.
+  ProfileElement(uint32_t MethodId, uint32_t BytecodeOffset, bool Taken) {
+    assert(MethodId <= MaxMethodId && "method id exceeds 16 bits");
+    assert(BytecodeOffset <= MaxOffset && "bytecode offset exceeds 15 bits");
+    Bits = (MethodId << 16) | (BytecodeOffset << 1) |
+           static_cast<uint32_t>(Taken);
+  }
+
+  /// Reconstructs an element from its raw packed form.
+  static ProfileElement fromRaw(uint32_t Raw) {
+    ProfileElement E;
+    E.Bits = Raw;
+    return E;
+  }
+
+  /// The raw packed form (stable across serialization).
+  uint32_t raw() const { return Bits; }
+
+  /// The method the branch belongs to.
+  uint32_t methodId() const { return Bits >> 16; }
+
+  /// The branch's bytecode offset within its method.
+  uint32_t bytecodeOffset() const { return (Bits >> 1) & MaxOffset; }
+
+  /// Whether the branch was taken.
+  bool taken() const { return Bits & 1u; }
+
+  friend bool operator==(ProfileElement A, ProfileElement B) {
+    return A.Bits == B.Bits;
+  }
+  friend bool operator!=(ProfileElement A, ProfileElement B) {
+    return A.Bits != B.Bits;
+  }
+  friend bool operator<(ProfileElement A, ProfileElement B) {
+    return A.Bits < B.Bits;
+  }
+};
+
+} // namespace opd
+
+#endif // OPD_TRACE_PROFILEELEMENT_H

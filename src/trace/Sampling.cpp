@@ -1,0 +1,38 @@
+//===- trace/Sampling.cpp - Sampled profile streams --------------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Sampling.h"
+
+#include <cstddef>
+
+using namespace opd;
+
+BranchTrace opd::sampleTrace(const BranchTrace &Trace, uint64_t Period) {
+  assert(Period > 0 && "sampling period must be positive");
+  BranchTrace Result;
+  Result.reserve(Trace.size() / Period + 1);
+  for (uint64_t I = 0; I < Trace.size(); I += Period)
+    Result.append(Trace.sites().element(Trace[I]));
+  return Result;
+}
+
+StateSequence opd::sampleStates(const StateSequence &States,
+                                uint64_t Period) {
+  assert(Period > 0 && "sampling period must be positive");
+  StateSequence Result;
+  // Walk the runs; emit one state per sampled offset.
+  const std::vector<StateRun> &Runs = States.runs();
+  size_t RunIdx = 0;
+  for (uint64_t I = 0; I < States.size(); I += Period) {
+    while (RunIdx < Runs.size() &&
+           I >= Runs[RunIdx].Begin + Runs[RunIdx].Length)
+      ++RunIdx;
+    assert(RunIdx < Runs.size() && "offset past the last run");
+    Result.append(Runs[RunIdx].State);
+  }
+  return Result;
+}

@@ -1,0 +1,39 @@
+//===- trace/Sampling.h - Sampled profile streams ---------------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper lists profile collection as one of the three overhead
+/// sources of a phase-aware system (Section 7). The standard mitigation
+/// is sampling: deliver only every k-th profile element to the detector.
+/// These helpers downsample a branch trace and, symmetrically, an oracle
+/// state sequence, so sampled detection can be scored against the
+/// correspondingly sampled ground truth (bench_ablation measures the
+/// accuracy cost of sampling this way).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_TRACE_SAMPLING_H
+#define OPD_TRACE_SAMPLING_H
+
+#include "trace/BranchTrace.h"
+#include "trace/StateSequence.h"
+
+#include <cstdint>
+
+namespace opd {
+
+/// Keeps elements at offsets 0, Period, 2*Period, ... of \p Trace.
+/// Period 1 copies the trace.
+BranchTrace sampleTrace(const BranchTrace &Trace, uint64_t Period);
+
+/// Keeps the states at the same offsets, producing the ground truth for
+/// a sampled trace.
+StateSequence sampleStates(const StateSequence &States, uint64_t Period);
+
+} // namespace opd
+
+#endif // OPD_TRACE_SAMPLING_H

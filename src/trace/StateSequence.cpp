@@ -1,0 +1,76 @@
+//===- trace/StateSequence.cpp - Run-length P/T state sequences -----------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/StateSequence.h"
+
+#include <algorithm>
+
+using namespace opd;
+
+PhaseState StateSequence::at(uint64_t I) const {
+  assert(I < Total && "state offset out of range");
+  auto It = std::upper_bound(
+      Runs.begin(), Runs.end(), I,
+      [](uint64_t Offset, const StateRun &R) { return Offset < R.Begin; });
+  assert(It != Runs.begin() && "offset precedes the first run");
+  return std::prev(It)->State;
+}
+
+std::vector<PhaseInterval> StateSequence::phases() const {
+  std::vector<PhaseInterval> Result;
+  for (const StateRun &R : Runs)
+    if (R.State == PhaseState::InPhase)
+      Result.push_back({R.Begin, R.Begin + R.Length});
+  return Result;
+}
+
+uint64_t StateSequence::numInPhase() const {
+  uint64_t N = 0;
+  for (const StateRun &R : Runs)
+    if (R.State == PhaseState::InPhase)
+      N += R.Length;
+  return N;
+}
+
+StateSequence
+StateSequence::fromPhases(const std::vector<PhaseInterval> &Phases,
+                          uint64_t Total) {
+  StateSequence Seq;
+  uint64_t Cursor = 0;
+  for (const PhaseInterval &P : Phases) {
+    assert(P.Begin >= Cursor && "phases must be sorted and disjoint");
+    assert(P.End <= Total && "phase extends past the sequence end");
+    assert(P.Begin < P.End && "empty phase interval");
+    Seq.append(PhaseState::Transition, P.Begin - Cursor);
+    Seq.append(PhaseState::InPhase, P.End - P.Begin);
+    Cursor = P.End;
+  }
+  Seq.append(PhaseState::Transition, Total - Cursor);
+  return Seq;
+}
+
+uint64_t opd::countAgreement(const StateSequence &A, const StateSequence &B) {
+  assert(A.size() == B.size() && "sequences must cover the same trace");
+  const std::vector<StateRun> &RA = A.runs();
+  const std::vector<StateRun> &RB = B.runs();
+  uint64_t Agree = 0;
+  size_t IA = 0, IB = 0;
+  uint64_t Cursor = 0;
+  while (IA < RA.size() && IB < RB.size()) {
+    uint64_t EndA = RA[IA].Begin + RA[IA].Length;
+    uint64_t EndB = RB[IB].Begin + RB[IB].Length;
+    uint64_t SegmentEnd = std::min(EndA, EndB);
+    if (RA[IA].State == RB[IB].State)
+      Agree += SegmentEnd - Cursor;
+    Cursor = SegmentEnd;
+    if (EndA == SegmentEnd)
+      ++IA;
+    if (EndB == SegmentEnd)
+      ++IB;
+  }
+  return Agree;
+}

@@ -1,0 +1,87 @@
+//===- vm/Interleave.cpp - Multi-threaded trace interleaving ----------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Interleave.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+
+using namespace opd;
+
+InterleavedTrace
+opd::interleaveTraces(const std::vector<const BranchTrace *> &Threads,
+                      uint64_t Quantum, uint64_t Seed) {
+  assert(!Threads.empty() && "need at least one thread");
+  assert(Threads.size() < 16 && "thread index must fit the id remapping");
+  assert(Quantum > 0 && "quantum must be positive");
+
+  InterleavedTrace Result;
+  Result.ThreadSizes.reserve(Threads.size());
+  uint64_t Total = 0;
+  for (const BranchTrace *T : Threads) {
+    Result.ThreadSizes.push_back(T->size());
+    Total += T->size();
+  }
+  Result.Merged.reserve(Total);
+  Result.ThreadIds.reserve(Total);
+
+  Xoshiro256 Rng(Seed);
+  std::vector<uint64_t> Cursor(Threads.size(), 0);
+  size_t Turn = 0;
+  while (true) {
+    // Find the next thread with elements left (round robin).
+    size_t Tried = 0;
+    while (Tried != Threads.size() &&
+           Cursor[Turn] >= Threads[Turn]->size()) {
+      Turn = (Turn + 1) % Threads.size();
+      ++Tried;
+    }
+    if (Tried == Threads.size())
+      break; // Every thread is drained.
+
+    const BranchTrace &Thread = *Threads[Turn];
+    // Jittered quantum: 50%..150% of the nominal value, at least 1.
+    uint64_t Slice =
+        std::max<uint64_t>(1, Quantum / 2 + Rng.nextBelow(Quantum + 1));
+    uint64_t End = std::min<uint64_t>(Thread.size(), Cursor[Turn] + Slice);
+    for (uint64_t I = Cursor[Turn]; I != End; ++I) {
+      ProfileElement E = Thread.sites().element(Thread[I]);
+      assert(E.methodId() < InterleavedTrace::MethodIdStride &&
+             "method id exceeds the per-thread remapping stride");
+      ProfileElement Remapped(
+          E.methodId() +
+              static_cast<uint32_t>(Turn) * InterleavedTrace::MethodIdStride,
+          E.bytecodeOffset(), E.taken());
+      Result.Merged.append(Remapped);
+      Result.ThreadIds.push_back(static_cast<uint8_t>(Turn));
+    }
+    Cursor[Turn] = End;
+    Turn = (Turn + 1) % Threads.size();
+  }
+  return Result;
+}
+
+std::vector<StateSequence>
+opd::demuxStates(const InterleavedTrace &Trace,
+                 const StateSequence &MergedStates) {
+  assert(MergedStates.size() == Trace.ThreadIds.size() &&
+         "states must cover the merged trace");
+  std::vector<StateSequence> Result(Trace.ThreadSizes.size());
+
+  // Walk the merged runs and route each element's state to its thread.
+  size_t RunIdx = 0;
+  const std::vector<StateRun> &Runs = MergedStates.runs();
+  for (uint64_t I = 0; I != Trace.ThreadIds.size(); ++I) {
+    while (RunIdx < Runs.size() &&
+           I >= Runs[RunIdx].Begin + Runs[RunIdx].Length)
+      ++RunIdx;
+    assert(RunIdx < Runs.size() && "merged states shorter than the trace");
+    Result[Trace.ThreadIds[I]].append(Runs[RunIdx].State);
+  }
+  return Result;
+}

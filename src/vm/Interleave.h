@@ -1,0 +1,66 @@
+//===- vm/Interleave.h - Multi-threaded trace interleaving ------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper evaluates single-threaded applications and notes "the
+/// framework can be extended to handle multi-threaded applications".
+/// This header provides the substrate for studying that extension:
+/// interleaveTraces() merges several threads' branch traces under a
+/// quantum-based round-robin schedule (method ids are remapped so
+/// threads' sites stay distinct, as they would be in per-thread JITed
+/// code), and demuxStates() projects a detector's merged-stream output
+/// back onto each thread so it can be scored against that thread's own
+/// oracle.
+///
+/// The intended experiment (bench_ablation): a detector running on the
+/// merged stream sees phase behavior chopped up at every context switch,
+/// while per-thread detectors (the natural extension) are unaffected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_VM_INTERLEAVE_H
+#define OPD_VM_INTERLEAVE_H
+
+#include "trace/BranchTrace.h"
+#include "trace/StateSequence.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace opd {
+
+/// A merged multi-thread branch trace with per-element thread ids.
+struct InterleavedTrace {
+  /// The merged stream. Elements keep their bytecode offsets but method
+  /// ids are offset by ThreadIndex * MethodIdStride so site identities
+  /// never collide across threads.
+  BranchTrace Merged;
+  /// Thread index of each merged element.
+  std::vector<uint8_t> ThreadIds;
+  /// Per-thread element counts (== the input trace sizes).
+  std::vector<uint64_t> ThreadSizes;
+
+  static constexpr uint32_t MethodIdStride = 4096;
+};
+
+/// Merges \p Threads under a round-robin schedule that runs each thread
+/// for ~\p Quantum elements per turn (jittered up to +/-50% by \p Seed's
+/// stream, so context switches do not align with phase structure).
+/// Threads that run out simply drop out of the rotation. Requires fewer
+/// than 16 threads and per-thread method ids below MethodIdStride.
+InterleavedTrace interleaveTraces(const std::vector<const BranchTrace *> &Threads,
+                                  uint64_t Quantum, uint64_t Seed);
+
+/// Projects per-merged-element states back to per-thread sequences:
+/// result[t] has one state per element of thread t, in that thread's
+/// own order.
+std::vector<StateSequence> demuxStates(const InterleavedTrace &Trace,
+                                       const StateSequence &MergedStates);
+
+} // namespace opd
+
+#endif // OPD_VM_INTERLEAVE_H

@@ -1,0 +1,269 @@
+//===- vm/Interpreter.cpp - Instrumented JP interpreter --------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Interpreter.h"
+
+#include "support/Casting.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace opd;
+
+namespace {
+
+/// One JP activation record. Slots hold the parameters followed by the
+/// active loop variables (layout fixed by Sema).
+struct Frame {
+  uint32_t MethodIndex;
+  std::vector<int64_t> Slots;
+  /// Set when a later invocation of the same method observes this frame as
+  /// the bottom-most on-stack instance, making it a recursion root.
+  bool IsRecursionRoot = false;
+};
+
+/// Tree-walking evaluator with branch/call-loop instrumentation.
+class Interpreter {
+public:
+  Interpreter(const Program &Prog, const InterpreterOptions &Options)
+      : Prog(Prog), Options(Options), Rng(Options.Seed) {}
+
+  ExecutionResult run() {
+    assert(Prog.entryIndex() != ~0u && "program has not been through Sema");
+    invoke(Prog.entryIndex(), {});
+    return std::move(Result);
+  }
+
+private:
+  /// True once any stop condition has triggered; statement execution
+  /// unwinds promptly but still emits the exit events of open constructs.
+  bool halted() const {
+    return Result.Stats.HaltedByFuel || Result.Stats.HaltedByDepth;
+  }
+
+  void emitBranch(uint32_t SiteOffset, bool Taken) {
+    Result.Branches.append(
+        ProfileElement(CurrentFrame().MethodIndex, SiteOffset, Taken));
+    ++Result.Stats.DynamicBranches;
+    if (Result.Stats.DynamicBranches >= Options.MaxBranches)
+      Result.Stats.HaltedByFuel = true;
+  }
+
+  Frame &CurrentFrame() {
+    assert(!Stack.empty() && "no active frame");
+    return Stack.back();
+  }
+
+  void invoke(uint32_t MethodIndex, std::vector<int64_t> Args);
+  void execStmt(const Stmt &S);
+  void execBlock(const BlockStmt &B);
+  int64_t evalExpr(const Expr &E);
+
+  const Program &Prog;
+  const InterpreterOptions &Options;
+  Xoshiro256 Rng;
+  ExecutionResult Result;
+  std::vector<Frame> Stack;
+  /// Per-method stack of indices into Stack for active instances; used for
+  /// recursion-root detection.
+  std::vector<std::vector<uint32_t>> ActiveInstances;
+};
+
+} // namespace
+
+void Interpreter::invoke(uint32_t MethodIndex, std::vector<int64_t> Args) {
+  const MethodDecl &M = *Prog.methods()[MethodIndex];
+  assert(Args.size() == M.params().size() && "arity mismatch after Sema");
+
+  ++Result.Stats.MethodInvocations;
+  if (ActiveInstances.empty())
+    ActiveInstances.resize(Prog.methods().size());
+
+  // Recursion-root detection: if an instance of this method is already on
+  // the stack, the bottom-most such instance roots a recursive execution.
+  std::vector<uint32_t> &Instances = ActiveInstances[MethodIndex];
+  if (!Instances.empty()) {
+    Frame &Root = Stack[Instances.front()];
+    if (!Root.IsRecursionRoot) {
+      Root.IsRecursionRoot = true;
+      ++Result.Stats.RecursionRoots;
+    }
+  }
+
+  if (Stack.size() >= Options.MaxCallDepth) {
+    Result.Stats.HaltedByDepth = true;
+    return;
+  }
+
+  Result.CallLoop.append(CallLoopEventKind::MethodEnter, MethodIndex,
+                         Result.Stats.DynamicBranches);
+  Instances.push_back(static_cast<uint32_t>(Stack.size()));
+  Args.resize(M.numSlots(), 0); // loop-variable slots start zeroed
+  Stack.push_back({MethodIndex, std::move(Args), false});
+  Result.Stats.MaxCallDepth = std::max(
+      Result.Stats.MaxCallDepth, static_cast<uint32_t>(Stack.size()));
+
+  execBlock(*M.body());
+
+  Stack.pop_back();
+  Instances.pop_back();
+  Result.CallLoop.append(CallLoopEventKind::MethodExit, MethodIndex,
+                         Result.Stats.DynamicBranches);
+}
+
+void Interpreter::execBlock(const BlockStmt &B) {
+  for (const std::unique_ptr<Stmt> &S : B.stmts()) {
+    if (halted())
+      return;
+    execStmt(*S);
+  }
+}
+
+void Interpreter::execStmt(const Stmt &S) {
+  switch (S.kind()) {
+  case Stmt::Kind::Block:
+    execBlock(*cast<BlockStmt>(&S));
+    return;
+
+  case Stmt::Kind::Loop: {
+    const auto *Loop = cast<LoopStmt>(&S);
+    int64_t Count = evalExpr(*Loop->count());
+    if (Count < 0)
+      Count = 0;
+    ++Result.Stats.LoopExecutions;
+    Result.CallLoop.append(CallLoopEventKind::LoopEnter, Loop->loopId(),
+                           Result.Stats.DynamicBranches);
+    for (int64_t I = 0; I != Count && !halted(); ++I) {
+      if (Loop->hasVar())
+        CurrentFrame().Slots[Loop->varSlot()] = I;
+      execBlock(*Loop->body());
+    }
+    Result.CallLoop.append(CallLoopEventKind::LoopExit, Loop->loopId(),
+                           Result.Stats.DynamicBranches);
+    return;
+  }
+
+  case Stmt::Kind::Branch: {
+    const auto *Branch = cast<BranchStmt>(&S);
+    bool Taken = Branch->flipProbability() >= 1.0
+                     ? true
+                     : Rng.nextBool(Branch->flipProbability());
+    emitBranch(Branch->siteOffset(), Taken);
+    return;
+  }
+
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(&S);
+    bool TakeThen = Rng.nextBool(If->probability());
+    emitBranch(If->siteOffset(), TakeThen);
+    if (halted())
+      return;
+    if (TakeThen)
+      execBlock(*If->thenBlock());
+    else if (If->elseBlock())
+      execBlock(*If->elseBlock());
+    return;
+  }
+
+  case Stmt::Kind::When: {
+    const auto *When = cast<WhenStmt>(&S);
+    bool TakeThen = evalExpr(*When->cond()) != 0;
+    emitBranch(When->siteOffset(), TakeThen);
+    if (halted())
+      return;
+    if (TakeThen)
+      execBlock(*When->thenBlock());
+    else if (When->elseBlock())
+      execBlock(*When->elseBlock());
+    return;
+  }
+
+  case Stmt::Kind::Call: {
+    const auto *Call = cast<CallStmt>(&S);
+    std::vector<int64_t> Args;
+    Args.reserve(Call->args().size());
+    for (const std::unique_ptr<Expr> &Arg : Call->args())
+      Args.push_back(evalExpr(*Arg));
+    invoke(Call->calleeIndex(), std::move(Args));
+    return;
+  }
+
+  case Stmt::Kind::Pick: {
+    const auto *Pick = cast<PickStmt>(&S);
+    uint64_t Total = Pick->totalWeight();
+    assert(Total > 0 && "pick with zero total weight after Sema");
+    uint64_t Draw = Rng.nextBelow(Total);
+    for (const PickStmt::Arm &Arm : Pick->arms()) {
+      if (Draw < Arm.Weight) {
+        execBlock(*Arm.Body);
+        return;
+      }
+      Draw -= Arm.Weight;
+    }
+    assert(false && "pick draw exceeded total weight");
+    return;
+  }
+  }
+}
+
+int64_t Interpreter::evalExpr(const Expr &E) {
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+    return cast<IntLitExpr>(&E)->value();
+  case Expr::Kind::ParamRef:
+    return CurrentFrame().Slots[cast<ParamRefExpr>(&E)->slot()];
+  case Expr::Kind::Unary:
+    return -evalExpr(*cast<UnaryExpr>(&E)->operand());
+  case Expr::Kind::Binary: {
+    const auto *Bin = cast<BinaryExpr>(&E);
+    int64_t L = evalExpr(*Bin->lhs());
+    int64_t R = evalExpr(*Bin->rhs());
+    switch (Bin->op()) {
+    case BinaryOp::Add:
+      return L + R;
+    case BinaryOp::Sub:
+      return L - R;
+    case BinaryOp::Mul:
+      return L * R;
+    case BinaryOp::Div:
+      if (R == 0) {
+        ++Result.Stats.DivByZero;
+        return 0;
+      }
+      return L / R;
+    case BinaryOp::Rem:
+      if (R == 0) {
+        ++Result.Stats.DivByZero;
+        return 0;
+      }
+      return L % R;
+    case BinaryOp::Lt:
+      return L < R;
+    case BinaryOp::Le:
+      return L <= R;
+    case BinaryOp::Gt:
+      return L > R;
+    case BinaryOp::Ge:
+      return L >= R;
+    case BinaryOp::Eq:
+      return L == R;
+    case BinaryOp::Ne:
+      return L != R;
+    }
+    assert(false && "unhandled binary operator");
+    return 0;
+  }
+  }
+  assert(false && "unhandled expression kind");
+  return 0;
+}
+
+ExecutionResult opd::runProgram(const Program &Prog,
+                                const InterpreterOptions &Options) {
+  return Interpreter(Prog, Options).run();
+}

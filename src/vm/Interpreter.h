@@ -1,0 +1,80 @@
+//===- vm/Interpreter.h - Instrumented JP interpreter -----------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumented execution substrate. The paper instruments Jikes RVM's
+/// optimizing compiler to emit (a) a profile element per executed
+/// conditional branch and (b) a call-loop trace of loop and method entries
+/// and exits. This interpreter plays that role for JP programs: executing
+/// a program yields both traces plus the dynamic execution characteristics
+/// reported in Table 1(a).
+///
+/// Execution is fully deterministic given (program, seed): all
+/// probabilistic constructs draw from one Xoshiro256 stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_VM_INTERPRETER_H
+#define OPD_VM_INTERPRETER_H
+
+#include "lang/AST.h"
+#include "trace/BranchTrace.h"
+#include "trace/CallLoopTrace.h"
+
+#include <cstdint>
+
+namespace opd {
+
+/// Dynamic execution characteristics of one run (Table 1(a) columns).
+struct ExecutionStats {
+  /// Number of profile elements emitted (column "Dynamic Branches").
+  uint64_t DynamicBranches = 0;
+  /// Number of loop executions, i.e. loop entries; one execution spans all
+  /// iterations of that entry (column "Loop Executions").
+  uint64_t LoopExecutions = 0;
+  /// Number of method invocations (column "Method Invocations").
+  uint64_t MethodInvocations = 0;
+  /// Number of invocations that are the root of a recursive execution: an
+  /// invocation of a method with no other instance on the stack that the
+  /// program later re-invokes before it returns (column "Recursion Roots").
+  uint64_t RecursionRoots = 0;
+  /// Deepest JP call stack observed.
+  uint32_t MaxCallDepth = 0;
+  /// True if the run stopped early because it reached MaxBranches.
+  bool HaltedByFuel = false;
+  /// True if the run stopped because it exceeded MaxCallDepth frames.
+  bool HaltedByDepth = false;
+  /// Number of division/remainder-by-zero evaluations (defined as 0).
+  uint64_t DivByZero = 0;
+};
+
+/// Knobs for one interpreted run.
+struct InterpreterOptions {
+  /// PRNG seed; the single source of nondeterminism.
+  uint64_t Seed = 1;
+  /// Stop (gracefully, with exits emitted) after this many branches.
+  uint64_t MaxBranches = UINT64_MAX;
+  /// Stop if the JP call stack exceeds this many frames.
+  uint32_t MaxCallDepth = 4096;
+};
+
+/// Everything one run produces.
+struct ExecutionResult {
+  BranchTrace Branches;
+  CallLoopTrace CallLoop;
+  ExecutionStats Stats;
+};
+
+/// Executes \p Prog (which must have passed Sema) from its `main` method.
+/// Never fails: resource-limit stops are reported in Stats and the traces
+/// are valid (properly nested, exits emitted) regardless.
+ExecutionResult runProgram(const Program &Prog,
+                           const InterpreterOptions &Options = {});
+
+} // namespace opd
+
+#endif // OPD_VM_INTERPRETER_H

@@ -1,0 +1,110 @@
+//===- workloads/Synthetic.cpp - Controlled synthetic traces ----------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Synthetic.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace opd;
+
+SyntheticTrace opd::generateSynthetic(const SyntheticSpec &Spec) {
+  assert(Spec.NumBehaviors > 0 && "need at least one behavior");
+  assert(Spec.VocabPerBehavior > 0 && "behaviors need a vocabulary");
+  assert(Spec.NoiseProbability >= 0.0 && Spec.NoiseProbability <= 1.0);
+  assert(Spec.VocabOverlap >= 0.0 && Spec.VocabOverlap <= 1.0);
+
+  SyntheticTrace Result;
+  Xoshiro256 Rng(Spec.Seed);
+
+  // Build per-behavior vocabularies (dense site indices). Behavior b
+  // shares the first Overlap-fraction of its sites with behavior b+1 by
+  // reusing site indices from a common pool.
+  unsigned Shared = static_cast<unsigned>(
+      Spec.VocabOverlap * static_cast<double>(Spec.VocabPerBehavior));
+  std::vector<std::vector<SiteIndex>> Vocab(Spec.NumBehaviors);
+  SiteIndex NextSite = 0;
+  auto internSite = [&](SiteIndex S) {
+    // Method id 1 for behavior sites, offsets = running index.
+    Result.Trace.internSite(ProfileElement(1, S, true));
+    return S;
+  };
+  for (unsigned B = 0; B != Spec.NumBehaviors; ++B) {
+    for (unsigned V = 0; V != Spec.VocabPerBehavior; ++V) {
+      if (V < Shared && B > 0) {
+        // Share with the previous behavior's tail sites.
+        Vocab[B].push_back(
+            Vocab[B - 1][Spec.VocabPerBehavior - Shared + V]);
+      } else {
+        Vocab[B].push_back(internSite(NextSite++));
+      }
+    }
+  }
+  std::vector<SiteIndex> Noise;
+  for (unsigned V = 0; V != Spec.NoiseVocab; ++V)
+    Noise.push_back(internSite(NextSite++));
+  std::vector<SiteIndex> Churn;
+  for (unsigned V = 0; V != std::max(4u, Spec.TransitionVocab); ++V)
+    Churn.push_back(internSite(NextSite++));
+
+  std::vector<PhaseInterval> Phases;
+  uint64_t Offset = 0;
+
+  auto emitTransition = [&](uint64_t Length) {
+    if (Spec.StationaryTransitions) {
+      // Uniform mixture over every behavior vocabulary plus noise.
+      for (uint64_t I = 0; I != Length; ++I) {
+        uint64_t Pick = Rng.nextBelow(Spec.NumBehaviors + 1);
+        const std::vector<SiteIndex> &Pool =
+            Pick == Spec.NumBehaviors ? Noise : Vocab[Pick];
+        Result.Trace.appendIndex(Pool[Rng.nextBelow(Pool.size())]);
+        ++Offset;
+      }
+      return;
+    }
+    // Non-stationary churn: short segments over small fresh subsets of
+    // the transition pool (see SyntheticSpec::TransitionVocab).
+    constexpr uint64_t SegmentLength = 100;
+    uint64_t Emitted = 0;
+    while (Emitted < Length) {
+      SiteIndex A = Churn[Rng.nextBelow(Churn.size())];
+      SiteIndex B = Churn[Rng.nextBelow(Churn.size())];
+      SiteIndex C = Churn[Rng.nextBelow(Churn.size())];
+      uint64_t End = std::min(Length, Emitted + SegmentLength);
+      for (; Emitted != End; ++Emitted) {
+        uint64_t Pick = Rng.nextBelow(3);
+        Result.Trace.appendIndex(Pick == 0 ? A : Pick == 1 ? B : C);
+        ++Offset;
+      }
+    }
+  };
+
+  auto emitPhase = [&](unsigned Behavior, uint64_t Length) {
+    uint64_t Begin = Offset;
+    const std::vector<SiteIndex> &Pool = Vocab[Behavior];
+    for (uint64_t I = 0; I != Length; ++I) {
+      if (!Noise.empty() && Rng.nextBool(Spec.NoiseProbability))
+        Result.Trace.appendIndex(Noise[Rng.nextBelow(Noise.size())]);
+      else
+        Result.Trace.appendIndex(Pool[Rng.nextBelow(Pool.size())]);
+      ++Offset;
+    }
+    if (Length > 0)
+      Phases.push_back({Begin, Offset});
+  };
+
+  emitTransition(Spec.TransitionLength);
+  for (unsigned P = 0; P != Spec.NumPhases; ++P) {
+    emitPhase(P % Spec.NumBehaviors, Spec.PhaseLength);
+    emitTransition(Spec.TransitionLength);
+  }
+
+  Result.Truth = StateSequence::fromPhases(Phases, Offset);
+  return Result;
+}

@@ -1,0 +1,74 @@
+//===- workloads/Synthetic.h - Controlled synthetic traces ------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct generation of branch traces with *known* phase structure, for
+/// controlled studies (bench_controlled): unlike the JP workloads —
+/// whose ground truth comes from the oracle — these traces carry their
+/// phase boundaries by construction, so detector accuracy can be swept
+/// against one factor at a time (noise level, phase length, transition
+/// length, vocabulary overlap) with everything else held fixed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_WORKLOADS_SYNTHETIC_H
+#define OPD_WORKLOADS_SYNTHETIC_H
+
+#include "trace/BranchTrace.h"
+#include "trace/StateSequence.h"
+
+#include <cstdint>
+
+namespace opd {
+
+/// Parameters of a controlled phase-structured trace.
+struct SyntheticSpec {
+  /// Number of phases; behaviors cycle through NumBehaviors vocabularies.
+  unsigned NumPhases = 10;
+  unsigned NumBehaviors = 3;
+  /// Branches per phase and between phases.
+  uint64_t PhaseLength = 20000;
+  uint64_t TransitionLength = 2000;
+  /// Distinct branch sites per behavior, plus one shared noise pool.
+  unsigned VocabPerBehavior = 8;
+  unsigned NoiseVocab = 8;
+  /// Sites reserved for transition churn. By default transitions are
+  /// *non-stationary*: they run through short segments (~100 elements)
+  /// each drawing from a small fresh subset of this pool, so no window
+  /// pair looks alike and the transition is detectable as such.
+  unsigned TransitionVocab = 48;
+  /// When true, transitions instead draw a uniform stationary mixture of
+  /// every vocabulary. Such a mixture is itself self-similar — windows
+  /// inside it look stable — so boundary detection must rely on telling
+  /// the *phases* apart (the regime where model choice matters; see
+  /// bench_controlled study (d)).
+  bool StationaryTransitions = false;
+  /// Probability that an in-phase element is drawn from the noise pool
+  /// instead of the phase's vocabulary.
+  double NoiseProbability = 0.1;
+  /// Fraction of each behavior's vocabulary shared with the *next*
+  /// behavior (0 = disjoint phases, 1 = identical sites). Shared sites
+  /// make phases harder for the unweighted model to distinguish.
+  double VocabOverlap = 0.0;
+  uint64_t Seed = 1;
+};
+
+/// A generated trace with its ground truth.
+struct SyntheticTrace {
+  BranchTrace Trace;
+  /// P exactly on the generated phases.
+  StateSequence Truth;
+};
+
+/// Generates the trace \p Spec describes. The layout is
+/// [transition][phase][transition][phase]...[transition]: transitions
+/// draw uniformly from all vocabularies plus the noise pool.
+SyntheticTrace generateSynthetic(const SyntheticSpec &Spec);
+
+} // namespace opd
+
+#endif // OPD_WORKLOADS_SYNTHETIC_H

@@ -1,0 +1,427 @@
+//===- workloads/Workloads.cpp - Synthetic benchmark programs ---------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "lang/Diagnostics.h"
+#include "lang/Sema.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace opd;
+
+namespace {
+
+/// Scales a repetition count, keeping at least one iteration.
+int64_t scaled(double Scale, int64_t Base) {
+  int64_t Value = static_cast<int64_t>(std::llround(Base * Scale));
+  return std::max<int64_t>(1, Value);
+}
+
+/// Shorthand: the textual form of a scaled count.
+std::string N(double Scale, int64_t Base) {
+  return std::to_string(scaled(Scale, Base));
+}
+
+//===----------------------------------------------------------------------===//
+// compress — few very large block phases; tiny hot vocabulary.
+//===----------------------------------------------------------------------===//
+
+std::string compressSource(double S) {
+  // compress has a tiny hot vocabulary: both block types run the SAME
+  // inner code (identical branch sites) with different scan/emit mixes.
+  // Distinct-set (unweighted) windows therefore look alike across the
+  // compress/decompress boundary while the frequency-sensitive weighted
+  // model can tell them apart — the paper's compress anomaly (Figure 5).
+  return std::string() +
+         "program compress;\n"
+         "method main() {\n"
+         "  loop pass times " + N(S, 3) + " {\n"
+         "    branch m0; branch m1; branch m2;\n"
+         "    call block(18, 4, 46, 5);\n" // compress: scan-heavy phase
+         "    branch m3;\n"
+         "    call block(9, 9, 14, 1);\n"  // table rebuild: transition
+         "    branch m4; branch m5;\n"
+         "    call block(4, 14, 40, 5);\n" // decompress: emit-heavy phase
+         "    branch m6;\n"
+         "    call block(9, 9, 14, 1);\n"  // transition
+         "  }\n"
+         "}\n"
+         // Size ladder: scan/emit loops (0.3K-1.7K, MPL 1K phases) inside
+         // a segment loop (~80-89K, MPL 5-50K phases) inside the block
+         // loop (~400-445K for reps=5: the MPL 100-200K phases; ~25K for
+         // the reps=1 transition sections, which no large MPL selects).
+         // Phases sit well above the MPLs that select them, so a
+         // detector's post-flush refill does not consume the phase.
+         "method block(sa, sb, segs, reps) {\n"
+         "  loop cb times reps {\n"
+         "    loop seg times segs {\n"
+         "      loop scan times sa * 40 { branch c0; branch c1 flip 0.85; }\n"
+         "      branch g0; branch g1;\n"
+         "      loop emit times sb * 40 { branch c2; branch c3; branch c4 flip 0.7; }\n"
+         "      branch g2; branch g3;\n"
+         "    }\n"
+         "    branch g4; branch g5; branch g6;\n"
+         "  }\n"
+         "}\n";
+}
+
+//===----------------------------------------------------------------------===//
+// jess — rule parsing, many small recursive match activations, firing.
+//===----------------------------------------------------------------------===//
+
+std::string jessSource(double S) {
+  return std::string() +
+         "program jess;\n"
+         "method main() {\n"
+         "  loop runs times " + N(S, 8) + " {\n"
+         "    branch t0; branch t1;\n"
+         "    call parseRules();\n"
+         "    branch t2; branch t3;\n"
+         "    loop activations times 28 {\n"
+         "      call matchNetwork(11);\n"
+         "      branch a0; branch a1;\n"
+         "    }\n"
+         "    branch t4;\n"
+         "    call fireRules(80 + runs % 4 * 320);\n"
+         "  }\n"
+         "}\n"
+         // ~4.3K per execution.
+         "method parseRules() {\n"
+         "  loop pr times 90 {\n"
+         "    branch p0; branch p1 flip 0.8; branch p2;\n"
+         "    loop tok times 21 { branch p3; branch p4; }\n"
+         "    branch p5;\n"
+         "  }\n"
+         "}\n"
+         // Recursive beta-network match; one root ~1.2K branches (a
+         // recursion-root phase at MPL 1K); ~34K per activations loop.
+         "method matchNetwork(d) {\n"
+         "  branch m0;\n"
+         "  when (d > 0) {\n"
+         "    loop beta times 11 { branch m1; branch m2 flip 0.7; }\n"
+         "    call matchNetwork(d - 1);\n"
+         "    when (d % 2 == 0) { call matchNetwork(d - 2); } else { branch m3; }\n"
+         "  } else { branch m4; }\n"
+         "}\n"
+         // n = 80..920 -> ~8.5K..98K per execution; only the heavy runs
+         // yield phases at large MPLs (the light runs fall out of
+         // coverage, matching the paper's non-monotonic "% in phase").
+         "method fireRules(n) {\n"
+         "  loop fr times n {\n"
+         "    loop act times 35 { branch f0; branch f1 flip 0.75; branch f2; }\n"
+         "    branch f3;\n"
+         "  }\n"
+         "}\n";
+}
+
+//===----------------------------------------------------------------------===//
+// raytrace — recursion-heavy per-pixel casts under row/column loops.
+//===----------------------------------------------------------------------===//
+
+std::string raytraceSource(double S) {
+  return std::string() +
+         "program raytrace;\n"
+         "method main() {\n"
+         "  call buildScene();\n"
+         "  branch s0; branch s1;\n"
+         "  loop bands times " + N(S, 5) + " {\n"
+         "    branch bb0; branch bb1;\n"
+         "    call renderBand(bands);\n"
+         "  }\n"
+         "  branch s2;\n"
+         "  call writeImage();\n"
+         "}\n"
+         "method buildScene() {\n"
+         "  loop bs times 520 { branch b0; branch b1; branch b2 flip 0.9; }\n"
+         "}\n"
+         // Ladder: traceRay roots ~1.2K (MPL 1K), column loops ~5K (MPL
+         // 5K), row loops 16K..145K growing with the band index (MPL
+         // 10K-100K).
+         "method renderBand(b) {\n"
+         "  loop rows times 3 + b * 5 {\n"
+         "    loop cols times 7 {\n"
+         "      call traceRay(9);\n"
+         "      branch px0;\n"
+         "    }\n"
+         "    branch r0; branch r1;\n"
+         "  }\n"
+         "}\n"
+         // ~1.2K branches per root on average.
+         "method traceRay(d) {\n"
+         "  branch t0; branch t1 flip 0.6;\n"
+         "  when (d > 0) {\n"
+         "    loop isect times 28 { branch i0; branch i1 flip 0.5; }\n"
+         "    if 0.8 { call traceRay(d - 1); } else { branch t2; }\n"
+         "    if 0.45 { call traceRay(d - 2); } else { branch t3; }\n"
+         "  } else { branch t4; }\n"
+         "}\n"
+         "method writeImage() {\n"
+         "  loop wi times 900 { branch w0; branch w1; }\n"
+         "}\n";
+}
+
+//===----------------------------------------------------------------------===//
+// db — repeated query invocations, pick-selected operation mix, no
+// recursion.
+//===----------------------------------------------------------------------===//
+
+std::string dbSource(double S) {
+  return std::string() +
+         "program db;\n"
+         "method main() {\n"
+         "  call loadDatabase();\n"
+         "  branch s0;\n"
+         "  loop ops times " + N(S, 30) + " {\n"
+         "    branch o0; branch o1;\n"
+         "    loop qbatch times 8 + ops % 5 * 7 {\n"
+         "      call runQuery();\n"
+         "      branch q0;\n"
+         "    }\n"
+         "    branch o2;\n"
+         "    call sortResults(ops % 4);\n"
+         "    when (ops % 10 == 9) { call tableScan(ops); } else { branch o3; }\n"
+         "  }\n"
+         "}\n"
+         "method loadDatabase() {\n"
+         "  loop ld times 8800 { branch l0; branch l1 flip 0.95; branch l2; }\n"
+         "}\n"
+         // Occasional full scans, ~47K..123K growing with the op index:
+         // the large-MPL phases.
+         "method tableScan(o) {\n"
+         "  loop ts times 8000 + o * 1700 { branch z0; branch z1 flip 0.9; }\n"
+         "}\n"
+         // ~200 branches; adjacent invocations chain into one CRI.
+         "method runQuery() {\n"
+         "  pick {\n"
+         "    weight 3 { loop scan times 42 { branch u0; branch u1 flip 0.5; } }\n"
+         "    weight 2 { loop probe times 38 { branch v0; branch v1; branch v2 flip 0.6; } }\n"
+         "  }\n"
+         "  loop cmp times 55 { branch k0; branch k1; }\n"
+         "}\n"
+         // 1.6K-6K depending on the shuffle depth.
+         "method sortResults(depth) {\n"
+         "  loop sr times 75 + depth * 70 {\n"
+         "    loop inner times 10 { branch x0; branch x1; }\n"
+         "    branch x2;\n"
+         "  }\n"
+         "}\n";
+}
+
+//===----------------------------------------------------------------------===//
+// javac — per-file lex/parse/codegen; deep irregular recursion; file
+// sizes vary with the file index.
+//===----------------------------------------------------------------------===//
+
+std::string javacSource(double S) {
+  return std::string() +
+         "program javac;\n"
+         "method main() {\n"
+         "  loop fi times " + N(S, 12) + " {\n"
+         "    branch f0; branch f1;\n"
+         "    call lexFile(400 + fi % 6 * 900);\n"
+         "    branch f2;\n"
+         "    call parseFile(7 + fi % 4);\n"
+         "    branch f3;\n"
+         "    call genCode(4 + fi % 8 * 6);\n"
+         "    when (fi % 6 == 5) { call optimize(fi); } else { branch f4; }\n"
+         "  }\n"
+         "}\n"
+         // Whole-program optimization on the big files: ~76K..126K.
+         "method optimize(f) {\n"
+         "  loop op times 17000 + f * 4200 { branch q0; branch q1 flip 0.8; }\n"
+         "}\n"
+         // n = 400..4900 -> 1.2K..14.7K per execution.
+         "method lexFile(n) {\n"
+         "  loop lx times n { branch l0; branch l1 flip 0.8; branch l2; }\n"
+         "}\n"
+         // Recursive descent; one root ~2-8K branches.
+         "method parseFile(d) {\n"
+         "  branch p0;\n"
+         "  when (d > 0) {\n"
+         "    loop toks times 30 { branch p1; branch p2 flip 0.6; }\n"
+         "    call parseFile(d - 1);\n"
+         "    if 0.5 { call parseFile(d - 2); } else { branch p3; }\n"
+         "  } else { branch p4; }\n"
+         "}\n"
+         "method genCode(m) {\n"
+         "  loop gc times m {\n"
+         "    loop bb times 140 { branch g0; branch g1; branch g2 flip 0.7; }\n"
+         "    branch g3;\n"
+         "  }\n"
+         "}\n";
+}
+
+//===----------------------------------------------------------------------===//
+// mpegaudio — thousands of small frame phases in chunks under two big
+// passes.
+//===----------------------------------------------------------------------===//
+
+std::string mpegaudioSource(double S) {
+  return std::string() +
+         "program mpegaudio;\n"
+         "method main() {\n"
+         "  call decodePass();\n"
+         "  branch g0; branch g1; branch g2;\n"
+         "  call playbackPass();\n"
+         "}\n"
+         // chunks 8K..37K (growing with index); frame ~1.4K; pass ~330K.
+         "method decodePass() {\n"
+         "  loop chunks times " + N(S, 15) + " {\n"
+         "    loop frames times 6 + chunks * 2 {\n"
+         "      loop sub times 16 { branch d0; branch d1 flip 0.8; branch d2; }\n"
+         "      loop synth times 430 { branch d3; branch d4; branch d5 flip 0.9; }\n"
+         "      branch fs0; branch fs1;\n"
+         "    }\n"
+         "    branch cs0; branch cs1;\n"
+         "  }\n"
+         "}\n"
+         // chunks 7.5K..31K; frame ~1.1K; pass ~270K.
+         "method playbackPass() {\n"
+         "  loop chunks2 times " + N(S, 16) + " {\n"
+         "    loop frames2 times 7 + chunks2 * 2 {\n"
+         "      loop filter times 355 { branch p0; branch p1 flip 0.85; branch p2; }\n"
+         "      branch q0; branch q1;\n"
+         "    }\n"
+         "    branch rs0; branch rs1;\n"
+         "  }\n"
+         "}\n";
+}
+
+//===----------------------------------------------------------------------===//
+// jack — sixteen repeated passes with pass-index-dependent sizes.
+//===----------------------------------------------------------------------===//
+
+std::string jackSource(double S) {
+  return std::string() +
+         "program jack;\n"
+         "method main() {\n"
+         "  loop passes times " + N(S, 16) + " {\n"
+         "    branch j0; branch j1;\n"
+         "    call tokenize(40 + passes * 14);\n"
+         "    branch j2;\n"
+         "    call generate(30 + passes * 16);\n"
+         "    when (passes % 8 == 7) { call emitOutput(passes); } else { branch j3; }\n"
+         "  }\n"
+         "}\n"
+         // n=40..250 -> 2.2K..13.5K per execution.
+         "method tokenize(n) {\n"
+         "  loop tk times n {\n"
+         "    loop ch times 26 { branch t0; branch t1 flip 0.7; }\n"
+         "    branch t2; branch t3;\n"
+         "  }\n"
+         "}\n"
+         // m=30..270 -> 3.7K..33K per execution.
+         "method generate(m) {\n"
+         "  loop gen times m {\n"
+         "    loop node times 40 { branch g0; branch g1; branch g2 flip 0.6; }\n"
+         "    branch g3; branch g4;\n"
+         "  }\n"
+         "}\n"
+         // Emitted on passes 7 and 15: ~65K and ~113K.
+         "method emitOutput(p) {\n"
+         "  loop eo times 16000 + p * 6000 { branch e0; branch e1 flip 0.9; }\n"
+         "}\n";
+}
+
+//===----------------------------------------------------------------------===//
+// jlex — a pipeline of a few mid/large phases.
+//===----------------------------------------------------------------------===//
+
+std::string jlexSource(double S) {
+  return std::string() +
+         "program jlex;\n"
+         "method main() {\n"
+         "  loop spec times " + N(S, 1) + " {\n"
+         "    call readSpec();\n"
+         "    branch s0;\n"
+         "    call buildNFA();\n"
+         "    branch s1;\n"
+         "    call nfa2dfa();\n"
+         "    branch s2;\n"
+         "    call minimize();\n"
+         "    branch s3;\n"
+         "    call emit();\n"
+         "    branch s4;\n"
+         "  }\n"
+         "}\n"
+         "method readSpec() {\n"
+         "  loop rs times 1400 { branch r0; branch r1 flip 0.8; }\n"
+         "}\n"
+         // ~42K; rule sub-phases ~2.6K.
+         "method buildNFA() {\n"
+         "  loop rules times 16 {\n"
+         "    loop states times 860 { branch n0; branch n1; branch n2 flip 0.75; }\n"
+         "    branch nb0; branch nb1;\n"
+         "  }\n"
+         "}\n"
+         // ~118K; closure sub-phases 3.6K..12K (growing along the
+         // worklist).
+         "method nfa2dfa() {\n"
+         "  loop worklist times 16 {\n"
+         "    loop closure times 1200 + worklist * 180 { branch d0; branch d1 flip 0.65; branch d2; }\n"
+         "    branch db0; branch db1;\n"
+         "  }\n"
+         "}\n"
+         // ~62K; round sub-phases ~5.2K.
+         "method minimize() {\n"
+         "  loop roundz times 12 {\n"
+         "    loop split times 2600 { branch m0; branch m1 flip 0.7; }\n"
+         "    branch mb0; branch mb1;\n"
+         "  }\n"
+         "}\n"
+         // ~26K.
+         "method emit() {\n"
+         "  loop table times 13000 { branch e0; branch e1; }\n"
+         "}\n";
+}
+
+} // namespace
+
+const std::vector<Workload> &opd::standardWorkloads() {
+  static const std::vector<Workload> Workloads = {
+      {"compress", compressSource, 0xc0112e55ULL},
+      {"jess", jessSource, 0x1e55ULL},
+      {"raytrace", raytraceSource, 0x7ace12aceULL},
+      {"db", dbSource, 0xdbdbdbULL},
+      {"javac", javacSource, 0x1a7acULL},
+      {"mpegaudio", mpegaudioSource, 0x3e6aULL},
+      {"jack", jackSource, 0x1ac3ULL},
+      {"jlex", jlexSource, 0x11e8ULL},
+  };
+  return Workloads;
+}
+
+const Workload *opd::findWorkload(const std::string &Name) {
+  for (const Workload &W : standardWorkloads())
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}
+
+std::unique_ptr<Program> opd::compileWorkload(const Workload &W,
+                                              double Scale) {
+  assert(Scale > 0.0 && "scale must be positive");
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> Prog = compileProgram(W.Source(Scale), Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "workload '%s' failed to compile:\n%s",
+                 W.Name.c_str(), Diags.renderAll().c_str());
+    std::abort();
+  }
+  return Prog;
+}
+
+ExecutionResult opd::executeWorkload(const Workload &W, double Scale) {
+  std::unique_ptr<Program> Prog = compileWorkload(W, Scale);
+  InterpreterOptions Options;
+  Options.Seed = W.Seed;
+  return runProgram(*Prog, Options);
+}

@@ -1,0 +1,73 @@
+//===- workloads/Workloads.h - Synthetic benchmark programs -----*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The eight synthetic workloads standing in for the paper's benchmarks
+/// (seven SPECjvm98 programs + JLex, Table 1). Each is a JP program whose
+/// repetition structure mirrors its namesake's character:
+///
+///   compress   — a few very large compress/decompress block phases with
+///                small scan/emit sub-phases, tiny hot vocabulary
+///   jess       — rule parsing + many small recursive match activations +
+///                rule-firing loops
+///   raytrace   — recursion-heavy per-pixel ray casts chained under
+///                row/column loops
+///   db         — repeated query invocations with pick-selected operation
+///                mix and periodic sorts, no recursion
+///   javac      — per-file lex/parse/codegen with deep irregular
+///                recursive descent, file sizes varying per iteration
+///   mpegaudio  — thousands of small frame phases grouped into chunks
+///                under two big decode/playback passes
+///   jack       — sixteen repeated passes whose tokenize/generate sizes
+///                grow with the pass index
+///   jlex       — a pipeline of a few mid/large phases (NFA, DFA,
+///                minimization, emission)
+///
+/// The Scale knob multiplies the number of repetitions (outer-loop trip
+/// counts), not the phase sizes, so MPL-relative behavior is preserved
+/// while smoke runs stay fast.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_WORKLOADS_WORKLOADS_H
+#define OPD_WORKLOADS_WORKLOADS_H
+
+#include "lang/AST.h"
+#include "vm/Interpreter.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace opd {
+
+/// One named workload: a JP source generator plus its fixed PRNG seed.
+struct Workload {
+  std::string Name;
+  /// JP source at the given scale (> 0; 1.0 is the paper-shaped size).
+  std::string (*Source)(double Scale);
+  uint64_t Seed;
+};
+
+/// The eight standard workloads, in the paper's table order.
+const std::vector<Workload> &standardWorkloads();
+
+/// Finds a standard workload by name; returns null if unknown.
+const Workload *findWorkload(const std::string &Name);
+
+/// Compiles and executes a workload. Workload sources are maintained with
+/// the repository and must always compile; a front-end failure aborts
+/// (assert) rather than returning an error.
+ExecutionResult executeWorkload(const Workload &W, double Scale = 1.0);
+
+/// Compiles a workload to its (Sema-checked) program.
+std::unique_ptr<Program> compileWorkload(const Workload &W,
+                                         double Scale = 1.0);
+
+} // namespace opd
+
+#endif // OPD_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,481 @@
+//===- tests/AdvancedTest.cpp - Multi-scale/prediction/interleave tests -------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the second wave of extensions: multi-scale (hierarchical)
+/// detection, next-phase prediction, multi-threaded interleaving,
+/// sampled profiles, and the constant-folding transform.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/BaselineSolution.h"
+#include "core/DetectorRunner.h"
+#include "core/MultiScale.h"
+#include "core/PhasePredictor.h"
+#include "lang/Diagnostics.h"
+#include "lang/Printer.h"
+#include "lang/Sema.h"
+#include "lang/Transforms.h"
+#include "metrics/Scoring.h"
+#include "support/Casting.h"
+#include "support/Random.h"
+#include "trace/Sampling.h"
+#include "vm/Interleave.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace opd;
+
+namespace {
+
+ExecutionResult runSource(const std::string &Source, uint64_t Seed = 1) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = compileProgram(Source, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.renderAll();
+  InterpreterOptions Options;
+  Options.Seed = Seed;
+  return runProgram(*P, Options);
+}
+
+BranchTrace makeBlockTrace(std::initializer_list<std::pair<SiteIndex, unsigned>>
+                               Blocks,
+                           SiteIndex NumSites) {
+  BranchTrace Trace;
+  for (SiteIndex S = 0; S != NumSites; ++S)
+    Trace.internSite(ProfileElement(0, S, true));
+  for (const auto &[Site, Len] : Blocks)
+    for (unsigned I = 0; I != Len; ++I)
+      Trace.appendIndex(Site);
+  return Trace;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// MultiScaleDetector
+//===----------------------------------------------------------------------===//
+
+TEST(MultiScaleTest, LevelsHaveGeometricWindows) {
+  MultiScaleDetector::Options Opts;
+  Opts.BaseCWSize = 100;
+  Opts.ScaleFactor = 4;
+  Opts.NumLevels = 3;
+  MultiScaleDetector D(Opts, 4);
+  EXPECT_EQ(D.numLevels(), 3u);
+  EXPECT_EQ(D.levelCWSize(0), 100u);
+  EXPECT_EQ(D.levelCWSize(1), 400u);
+  EXPECT_EQ(D.levelCWSize(2), 1600u);
+}
+
+TEST(MultiScaleTest, EveryLevelCoversTheTrace) {
+  BranchTrace Trace = makeBlockTrace({{0, 3000}, {1, 3000}}, 2);
+  MultiScaleDetector::Options Opts;
+  Opts.BaseCWSize = 50;
+  Opts.ScaleFactor = 5;
+  Opts.NumLevels = 3;
+  MultiScaleDetector D(Opts, Trace.numSites());
+  MultiScaleRun Run = runMultiScale(D, Trace);
+  ASSERT_EQ(Run.LevelStates.size(), 3u);
+  for (const StateSequence &S : Run.LevelStates)
+    EXPECT_EQ(S.size(), Trace.size());
+}
+
+TEST(MultiScaleTest, FinerLevelsDetectEarlier) {
+  // After the vocabulary shift at 3000, the finest level (CW 50) should
+  // re-enter P long before the coarsest (CW 1250).
+  BranchTrace Trace = makeBlockTrace({{0, 3000}, {1, 3000}}, 2);
+  MultiScaleDetector::Options Opts;
+  Opts.BaseCWSize = 50;
+  Opts.ScaleFactor = 5;
+  Opts.NumLevels = 3;
+  MultiScaleDetector D(Opts, Trace.numSites());
+  MultiScaleRun Run = runMultiScale(D, Trace);
+
+  auto firstPAfter = [&](unsigned Level, uint64_t Offset) -> uint64_t {
+    for (const PhaseInterval &P : Run.LevelStates[Level].phases())
+      if (P.Begin >= Offset)
+        return P.Begin;
+    return Trace.size();
+  };
+  uint64_t Fine = firstPAfter(0, 3000);
+  uint64_t Coarse = firstPAfter(2, 3000);
+  EXPECT_LT(Fine, Coarse);
+}
+
+TEST(MultiScaleTest, HierarchyNestsFinePhasesUnderCoarse) {
+  // jlex-like structure: a big stage containing separated sub-loops.
+  ExecutionResult Exec = runSource(
+      "program t; method main() {"
+      "  loop stage times 30 {"
+      "    loop sub times 70 { branch a; branch b; }"
+      "    branch s0; branch s1;"
+      "  }"
+      "}");
+  MultiScaleDetector::Options Opts;
+  Opts.BaseCWSize = 40;
+  Opts.ScaleFactor = 10;
+  Opts.NumLevels = 2;
+  MultiScaleDetector D(Opts, Exec.Branches.numSites());
+  MultiScaleRun Run = runMultiScale(D, Exec.Branches);
+  std::vector<PhaseHierarchyNode> Roots = buildPhaseHierarchy(Run);
+  ASSERT_FALSE(Roots.empty());
+  // At least one coarse root holds nested finer phases; every child's
+  // start lies inside its parent.
+  bool AnyNested = false;
+  for (const PhaseHierarchyNode &Root : Roots) {
+    for (const PhaseHierarchyNode &Child : Root.Children) {
+      AnyNested = true;
+      EXPECT_LT(Child.Level, Root.Level);
+      EXPECT_GE(Child.Interval.Begin, Root.Interval.Begin);
+      EXPECT_LT(Child.Interval.Begin, Root.Interval.End);
+    }
+  }
+  EXPECT_TRUE(AnyNested);
+}
+
+//===----------------------------------------------------------------------===//
+// PhasePredictor
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<RecurringPhaseTracker::CompletedPhase>
+idsToPhases(std::initializer_list<unsigned> Ids) {
+  std::vector<RecurringPhaseTracker::CompletedPhase> Phases;
+  uint64_t Offset = 0;
+  for (unsigned Id : Ids) {
+    Phases.push_back({{Offset, Offset + 10}, Id, false, 0.0});
+    Offset += 20;
+  }
+  return Phases;
+}
+
+} // namespace
+
+TEST(PhasePredictorTest, LastValueOnConstantStream) {
+  LastPhasePredictor P;
+  PredictionAccuracy Acc = evaluatePredictor(P, idsToPhases({3, 3, 3, 3}));
+  EXPECT_EQ(Acc.Predictions, 3u); // no basis before the first phase
+  EXPECT_EQ(Acc.Correct, 3u);
+  EXPECT_DOUBLE_EQ(Acc.rate(), 1.0);
+}
+
+TEST(PhasePredictorTest, LastValueFailsOnAlternation) {
+  LastPhasePredictor P;
+  PredictionAccuracy Acc =
+      evaluatePredictor(P, idsToPhases({0, 1, 0, 1, 0, 1}));
+  EXPECT_EQ(Acc.Correct, 0u);
+}
+
+TEST(PhasePredictorTest, MarkovLearnsAlternation) {
+  MarkovPhasePredictor P;
+  PredictionAccuracy Acc =
+      evaluatePredictor(P, idsToPhases({0, 1, 0, 1, 0, 1, 0, 1, 0, 1}));
+  // After observing 0->1 and 1->0 once each, every later forecast is
+  // right: 7 of 9 predictions.
+  EXPECT_GE(Acc.Correct, 7u);
+  EXPECT_EQ(Acc.Predictions, 9u);
+}
+
+TEST(PhasePredictorTest, MarkovPrefersFrequentSuccessor) {
+  MarkovPhasePredictor P;
+  P.observe(5);
+  P.observe(7); // 5 -> 7
+  P.observe(5); // 7 -> 5
+  P.observe(8); // 5 -> 8
+  P.observe(5); // 8 -> 5
+  P.observe(7); // 5 -> 7 (now 7 leads 2:1)
+  P.observe(5);
+  ASSERT_TRUE(P.predict().has_value());
+  EXPECT_EQ(*P.predict(), 7u);
+}
+
+TEST(PhasePredictorTest, MarkovFallsBackToLastValue) {
+  MarkovPhasePredictor P;
+  P.observe(4);
+  ASSERT_TRUE(P.predict().has_value());
+  EXPECT_EQ(*P.predict(), 4u); // never saw a successor of 4
+}
+
+TEST(PhasePredictorTest, NoForecastBeforeFirstObservation) {
+  LastPhasePredictor L;
+  MarkovPhasePredictor M;
+  EXPECT_FALSE(L.predict().has_value());
+  EXPECT_FALSE(M.predict().has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Interleaving
+//===----------------------------------------------------------------------===//
+
+TEST(InterleaveTest, PreservesEveryElementInThreadOrder) {
+  BranchTrace A = makeBlockTrace({{0, 500}, {1, 500}}, 2);
+  BranchTrace B = makeBlockTrace({{2, 700}}, 3);
+  InterleavedTrace Merged = interleaveTraces({&A, &B}, 100, 42);
+  ASSERT_EQ(Merged.Merged.size(), A.size() + B.size());
+  ASSERT_EQ(Merged.ThreadIds.size(), Merged.Merged.size());
+
+  // Reconstruct each thread's element sequence and compare.
+  std::vector<uint64_t> Cursor(2, 0);
+  for (uint64_t I = 0; I != Merged.Merged.size(); ++I) {
+    uint8_t T = Merged.ThreadIds[I];
+    const BranchTrace &Original = T == 0 ? A : B;
+    ASSERT_LT(Cursor[T], Original.size());
+    ProfileElement Got = Merged.Merged.sites().element(Merged.Merged[I]);
+    ProfileElement Want =
+        Original.sites().element(Original[Cursor[T]]);
+    EXPECT_EQ(Got.methodId(),
+              Want.methodId() + T * InterleavedTrace::MethodIdStride);
+    EXPECT_EQ(Got.bytecodeOffset(), Want.bytecodeOffset());
+    EXPECT_EQ(Got.taken(), Want.taken());
+    ++Cursor[T];
+  }
+  EXPECT_EQ(Cursor[0], A.size());
+  EXPECT_EQ(Cursor[1], B.size());
+}
+
+TEST(InterleaveTest, SitesStayDistinctAcrossThreads) {
+  BranchTrace A = makeBlockTrace({{0, 100}}, 1);
+  BranchTrace B = makeBlockTrace({{0, 100}}, 1); // same site id as A
+  InterleavedTrace Merged = interleaveTraces({&A, &B}, 10, 1);
+  EXPECT_EQ(Merged.Merged.numSites(), 2u);
+}
+
+TEST(InterleaveTest, DeterministicGivenSeed) {
+  BranchTrace A = makeBlockTrace({{0, 300}}, 1);
+  BranchTrace B = makeBlockTrace({{0, 300}}, 1);
+  InterleavedTrace M1 = interleaveTraces({&A, &B}, 50, 9);
+  InterleavedTrace M2 = interleaveTraces({&A, &B}, 50, 9);
+  EXPECT_EQ(M1.ThreadIds, M2.ThreadIds);
+}
+
+TEST(InterleaveTest, DemuxStatesRoundTrip) {
+  BranchTrace A = makeBlockTrace({{0, 400}}, 1);
+  BranchTrace B = makeBlockTrace({{0, 600}}, 1);
+  InterleavedTrace Merged = interleaveTraces({&A, &B}, 64, 3);
+  // Label merged elements with an arbitrary deterministic pattern.
+  StateSequence MergedStates;
+  for (uint64_t I = 0; I != Merged.Merged.size(); ++I)
+    MergedStates.append(I % 3 == 0 ? PhaseState::InPhase
+                                   : PhaseState::Transition);
+  std::vector<StateSequence> PerThread =
+      demuxStates(Merged, MergedStates);
+  ASSERT_EQ(PerThread.size(), 2u);
+  EXPECT_EQ(PerThread[0].size(), A.size());
+  EXPECT_EQ(PerThread[1].size(), B.size());
+  // Cross-check per-element routing.
+  std::vector<uint64_t> Cursor(2, 0);
+  for (uint64_t I = 0; I != Merged.Merged.size(); ++I) {
+    uint8_t T = Merged.ThreadIds[I];
+    EXPECT_EQ(PerThread[T].at(Cursor[T]), MergedStates.at(I));
+    ++Cursor[T];
+  }
+}
+
+TEST(InterleaveTest, PerThreadDetectionBeatsMergedStream) {
+  // Two phase-rich threads; interleaving with a small quantum destroys
+  // the merged stream's locality while per-thread detection is immune.
+  ExecutionResult E1 = runSource(
+      "program a; method main() {"
+      "  loop l times 8 { loop p times 500 { branch x0; branch x1; }"
+      "  branch s0; branch s1; }"
+      "}",
+      1);
+  ExecutionResult E2 = runSource(
+      "program b; method main() {"
+      "  loop l times 8 { loop p times 400 { branch y0; branch y1; branch y2; }"
+      "  branch t0; branch t1; }"
+      "}",
+      2);
+  std::vector<BaselineSolution> O1 =
+      computeBaselines(E1.CallLoop, E1.Branches.size(), {500});
+  std::vector<BaselineSolution> O2 =
+      computeBaselines(E2.CallLoop, E2.Branches.size(), {500});
+
+  InterleavedTrace Merged =
+      interleaveTraces({&E1.Branches, &E2.Branches}, 80, 5);
+
+  DetectorConfig C;
+  C.Window.CWSize = 200;
+  C.Window.TWSize = 200;
+  C.Model = ModelKind::UnweightedSet;
+  C.TheAnalyzer = AnalyzerKind::Threshold;
+  C.AnalyzerParam = 0.6;
+
+  // Merged-stream detection, projected back per thread.
+  std::unique_ptr<PhaseDetector> DM =
+      makeDetector(C, Merged.Merged.numSites());
+  DetectorRun MergedRun = runDetector(*DM, Merged.Merged);
+  std::vector<StateSequence> Projected =
+      demuxStates(Merged, MergedRun.States);
+  double MergedScore =
+      (scoreDetection(Projected[0], O1[0].states()).Score +
+       scoreDetection(Projected[1], O2[0].states()).Score) /
+      2.0;
+
+  // Per-thread detection.
+  std::unique_ptr<PhaseDetector> D1 =
+      makeDetector(C, E1.Branches.numSites());
+  std::unique_ptr<PhaseDetector> D2 =
+      makeDetector(C, E2.Branches.numSites());
+  double PerThreadScore =
+      (scoreDetection(runDetector(*D1, E1.Branches).States,
+                      O1[0].states())
+           .Score +
+       scoreDetection(runDetector(*D2, E2.Branches).States,
+                      O2[0].states())
+           .Score) /
+      2.0;
+
+  EXPECT_GT(PerThreadScore, MergedScore);
+}
+
+//===----------------------------------------------------------------------===//
+// Sampling
+//===----------------------------------------------------------------------===//
+
+TEST(SamplingTest, PeriodOneIsIdentity) {
+  BranchTrace T = makeBlockTrace({{0, 50}, {1, 30}}, 2);
+  BranchTrace S = sampleTrace(T, 1);
+  ASSERT_EQ(S.size(), T.size());
+  for (uint64_t I = 0; I != T.size(); ++I)
+    EXPECT_EQ(S.sites().element(S[I]), T.sites().element(T[I]));
+}
+
+TEST(SamplingTest, KeepsEveryKth) {
+  BranchTrace T;
+  for (unsigned I = 0; I != 10; ++I)
+    T.append(ProfileElement(0, I, true));
+  BranchTrace S = sampleTrace(T, 3);
+  ASSERT_EQ(S.size(), 4u); // offsets 0, 3, 6, 9
+  EXPECT_EQ(S.sites().element(S[1]).bytecodeOffset(), 3u);
+  EXPECT_EQ(S.sites().element(S[3]).bytecodeOffset(), 9u);
+}
+
+TEST(SamplingTest, StatesSampledConsistently) {
+  StateSequence States;
+  States.append(PhaseState::Transition, 5);
+  States.append(PhaseState::InPhase, 10);
+  States.append(PhaseState::Transition, 5);
+  StateSequence S = sampleStates(States, 4);
+  // Offsets 0,4 (T), 8,12 (P), 16 (T).
+  ASSERT_EQ(S.size(), 5u);
+  EXPECT_EQ(S.at(0), PhaseState::Transition);
+  EXPECT_EQ(S.at(1), PhaseState::Transition);
+  EXPECT_EQ(S.at(2), PhaseState::InPhase);
+  EXPECT_EQ(S.at(3), PhaseState::InPhase);
+  EXPECT_EQ(S.at(4), PhaseState::Transition);
+}
+
+TEST(SamplingTest, SampledDetectionStillWorks) {
+  ExecutionResult Exec = runSource(
+      "program t; method main() {"
+      "  loop a times 4000 { branch x0; branch x1; }"
+      "  branch s0; branch s1;"
+      "  loop b times 4000 { branch y0; branch y1; }"
+      "}");
+  std::vector<BaselineSolution> Oracle =
+      computeBaselines(Exec.CallLoop, Exec.Branches.size(), {1000});
+  BranchTrace Sampled = sampleTrace(Exec.Branches, 8);
+  StateSequence SampledOracle = sampleStates(Oracle[0].states(), 8);
+  ASSERT_EQ(Sampled.size(), SampledOracle.size());
+
+  DetectorConfig C;
+  C.Window.CWSize = 60; // 480 unsampled elements
+  C.Window.TWSize = 60;
+  std::unique_ptr<PhaseDetector> D = makeDetector(C, Sampled.numSites());
+  DetectorRun Run = runDetector(*D, Sampled);
+  AccuracyScore S = scoreDetection(Run.States, SampledOracle);
+  // Two crisp phases survive 8x sampling easily.
+  EXPECT_GT(S.Score, 0.7);
+}
+
+//===----------------------------------------------------------------------===//
+// Constant folding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::unique_ptr<Program> parseOnly(const std::string &Source) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = compileProgram(Source, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.renderAll();
+  return P;
+}
+
+} // namespace
+
+TEST(FoldConstantsTest, FoldsLiteralArithmetic) {
+  std::unique_ptr<Program> P = parseOnly(
+      "program t; method main() { loop times 3 + 4 * 2 { branch a; } }");
+  unsigned Folds = foldConstants(*P);
+  EXPECT_GE(Folds, 2u); // 4*2 then 3+8
+  const auto *Loop =
+      dyn_cast<LoopStmt>(P->methods()[0]->body()->stmts()[0].get());
+  ASSERT_NE(Loop, nullptr);
+  const auto *Lit = dyn_cast<IntLitExpr>(Loop->count());
+  ASSERT_NE(Lit, nullptr);
+  EXPECT_EQ(Lit->value(), 11);
+}
+
+TEST(FoldConstantsTest, LeavesParamsAlone) {
+  std::unique_ptr<Program> P = parseOnly(
+      "program t; method f(n) { loop times n * (2 + 3) { branch a; } }"
+      "method main() { call f(2); }");
+  foldConstants(*P);
+  const auto *Loop =
+      dyn_cast<LoopStmt>(P->methods()[0]->body()->stmts()[0].get());
+  const auto *Bin = dyn_cast<BinaryExpr>(Loop->count());
+  ASSERT_NE(Bin, nullptr); // n * 5 remains a multiply
+  EXPECT_NE(dyn_cast<IntLitExpr>(Bin->rhs()), nullptr);
+  EXPECT_EQ(cast<IntLitExpr>(Bin->rhs())->value(), 5);
+}
+
+TEST(FoldConstantsTest, PreservesDivisionByZero) {
+  std::unique_ptr<Program> P = parseOnly(
+      "program t; method main() { loop times 4 / 0 + 1 { branch a; } }");
+  unsigned Folds = foldConstants(*P);
+  (void)Folds;
+  InterpreterOptions Options;
+  ExecutionResult R = runProgram(*P, Options);
+  EXPECT_EQ(R.Stats.DivByZero, 1u); // still counted at runtime
+  EXPECT_EQ(R.Branches.size(), 1u); // 0 + 1 iterations
+}
+
+TEST(FoldConstantsTest, ExecutionUnchangedOnWorkloadLikeSource) {
+  const char *Source =
+      "program t;"
+      "method work(sa) {"
+      "  loop i times sa * 4 + 10 % 3 {"
+      "    when (i % (1 + 1) == 0) { branch a; } else { branch b flip 0.5; }"
+      "  }"
+      "}"
+      "method main() { loop times 2 * 3 { call work(5 + 5); } }";
+  std::unique_ptr<Program> Plain = parseOnly(Source);
+  std::unique_ptr<Program> Folded = parseOnly(Source);
+  unsigned Folds = foldConstants(*Folded);
+  EXPECT_GT(Folds, 0u);
+  InterpreterOptions Options;
+  Options.Seed = 77;
+  ExecutionResult A = runProgram(*Plain, Options);
+  ExecutionResult B = runProgram(*Folded, Options);
+  ASSERT_EQ(A.Branches.size(), B.Branches.size());
+  for (uint64_t I = 0; I != A.Branches.size(); ++I)
+    ASSERT_EQ(A.Branches.sites().element(A.Branches[I]),
+              B.Branches.sites().element(B.Branches[I]));
+}
+
+TEST(FoldConstantsTest, FoldedProgramStillPrints) {
+  std::unique_ptr<Program> P = parseOnly(
+      "program t; method main() { loop times -(2 + 3) + 10 { branch a; } }");
+  foldConstants(*P);
+  std::string Printed = printProgram(*P);
+  std::unique_ptr<Program> Reparsed = parseOnly(Printed);
+  ASSERT_NE(Reparsed, nullptr);
+  EXPECT_EQ(printProgram(*Reparsed), Printed);
+}

@@ -1,0 +1,351 @@
+//===- tests/BaselineTest.cpp - Oracle tests -----------------------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/BaselineSolution.h"
+#include "baseline/InstanceTree.h"
+#include "lang/Diagnostics.h"
+#include "lang/Sema.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace opd;
+
+namespace {
+
+/// Compact builder for hand-written call-loop traces.
+struct TraceBuilder {
+  CallLoopTrace Trace;
+  uint64_t Total = 0;
+
+  TraceBuilder &loopEnter(uint32_t Id, uint64_t Offset) {
+    Trace.append(CallLoopEventKind::LoopEnter, Id, Offset);
+    return *this;
+  }
+  TraceBuilder &loopExit(uint32_t Id, uint64_t Offset) {
+    Trace.append(CallLoopEventKind::LoopExit, Id, Offset);
+    return *this;
+  }
+  TraceBuilder &methodEnter(uint32_t Id, uint64_t Offset) {
+    Trace.append(CallLoopEventKind::MethodEnter, Id, Offset);
+    return *this;
+  }
+  TraceBuilder &methodExit(uint32_t Id, uint64_t Offset) {
+    Trace.append(CallLoopEventKind::MethodExit, Id, Offset);
+    return *this;
+  }
+
+  InstanceTree tree(uint64_t TotalElements) {
+    Total = TotalElements;
+    return InstanceTree::build(Trace, TotalElements);
+  }
+};
+
+ExecutionResult runSource(const std::string &Source, uint64_t Seed = 1) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = compileProgram(Source, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.renderAll();
+  InterpreterOptions Options;
+  Options.Seed = Seed;
+  return runProgram(*P, Options);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// InstanceTree
+//===----------------------------------------------------------------------===//
+
+TEST(InstanceTreeTest, BuildsNestedStructure) {
+  TraceBuilder B;
+  B.methodEnter(0, 0)
+      .loopEnter(0, 10)
+      .loopEnter(1, 20)
+      .loopExit(1, 40)
+      .loopExit(0, 50)
+      .methodExit(0, 60);
+  InstanceTree Tree = B.tree(60);
+  ASSERT_EQ(Tree.size(), 4u); // root + method + 2 loops
+  const RepetitionInstance &Root = Tree.root();
+  ASSERT_EQ(Root.Children.size(), 1u);
+  const RepetitionInstance &Main = Tree.node(Root.Children[0]);
+  EXPECT_EQ(Main.TheKind, RepetitionInstance::Kind::Method);
+  EXPECT_EQ(Main.Begin, 0u);
+  EXPECT_EQ(Main.End, 60u);
+  ASSERT_EQ(Main.Children.size(), 1u);
+  const RepetitionInstance &Outer = Tree.node(Main.Children[0]);
+  EXPECT_EQ(Outer.TheKind, RepetitionInstance::Kind::Loop);
+  EXPECT_EQ(Outer.span(), 40u);
+  ASSERT_EQ(Outer.Children.size(), 1u);
+  EXPECT_EQ(Tree.node(Outer.Children[0]).span(), 20u);
+}
+
+TEST(InstanceTreeTest, MarksRecursionRoots) {
+  TraceBuilder B;
+  B.methodEnter(0, 0)   // main
+      .methodEnter(5, 2)  // f        <- recursion root
+      .methodEnter(5, 4)  // f (nested)
+      .methodExit(5, 6)
+      .methodExit(5, 8)
+      .methodExit(0, 10);
+  InstanceTree Tree = B.tree(10);
+  unsigned Roots = 0;
+  for (const RepetitionInstance &Node : Tree.nodes())
+    Roots += Node.IsRecursionRoot ? 1 : 0;
+  EXPECT_EQ(Roots, 1u);
+  // The root is the outer f instance (span 6), not the inner (span 2).
+  for (const RepetitionInstance &Node : Tree.nodes())
+    if (Node.IsRecursionRoot)
+      EXPECT_EQ(Node.span(), 6u);
+}
+
+TEST(InstanceTreeTest, ClosesUnbalancedTraceAtEnd) {
+  TraceBuilder B;
+  B.methodEnter(0, 0).loopEnter(1, 5); // never exited (fuel stop)
+  InstanceTree Tree = B.tree(100);
+  for (const RepetitionInstance &Node : Tree.nodes())
+    EXPECT_LE(Node.End, 100u);
+  EXPECT_EQ(Tree.node(Tree.root().Children[0]).End, 100u);
+}
+
+TEST(InstanceTreeTest, SiblingOrderPreserved) {
+  TraceBuilder B;
+  B.methodEnter(0, 0);
+  for (uint32_t I = 0; I != 5; ++I) {
+    B.loopEnter(I, I * 10 + 1);
+    B.loopExit(I, I * 10 + 9);
+  }
+  B.methodExit(0, 50);
+  InstanceTree Tree = B.tree(50);
+  const RepetitionInstance &Main =
+      Tree.node(Tree.root().Children[0]);
+  ASSERT_EQ(Main.Children.size(), 5u);
+  for (size_t I = 1; I != 5; ++I)
+    EXPECT_LT(Tree.node(Main.Children[I - 1]).Begin,
+              Tree.node(Main.Children[I]).Begin);
+}
+
+//===----------------------------------------------------------------------===//
+// Phase selection
+//===----------------------------------------------------------------------===//
+
+TEST(BaselineTest, LoopMeetingMPLIsAPhase) {
+  TraceBuilder B;
+  B.methodEnter(0, 0).loopEnter(0, 10).loopExit(0, 110).methodExit(0, 120);
+  BaselineSolution Sol = computeBaseline(B.tree(120), /*MPL=*/100);
+  ASSERT_EQ(Sol.numPhases(), 1u);
+  EXPECT_EQ(Sol.phases()[0], (PhaseInterval{10, 110}));
+}
+
+TEST(BaselineTest, LoopBelowMPLIsNotAPhase) {
+  TraceBuilder B;
+  B.methodEnter(0, 0).loopEnter(0, 10).loopExit(0, 80).methodExit(0, 90);
+  BaselineSolution Sol = computeBaseline(B.tree(90), /*MPL=*/100);
+  EXPECT_EQ(Sol.numPhases(), 0u);
+  EXPECT_DOUBLE_EQ(Sol.fractionInPhase(), 0.0);
+}
+
+TEST(BaselineTest, InnermostQualifyingLoopWins) {
+  // Inner loop (span 150) inside outer (span 400); both >= MPL=100:
+  // innermost-first selects the inner one only.
+  TraceBuilder B;
+  B.methodEnter(0, 0)
+      .loopEnter(0, 10)
+      .loopEnter(1, 100)
+      .loopExit(1, 250)
+      .loopExit(0, 410)
+      .methodExit(0, 420);
+  BaselineSolution Sol = computeBaseline(B.tree(420), /*MPL=*/100);
+  ASSERT_EQ(Sol.numPhases(), 1u);
+  EXPECT_EQ(Sol.phases()[0], (PhaseInterval{100, 250}));
+}
+
+TEST(BaselineTest, InnerTooSmallFallsBackToOuter) {
+  TraceBuilder B;
+  B.methodEnter(0, 0)
+      .loopEnter(0, 10)
+      .loopEnter(1, 100)
+      .loopExit(1, 150) // span 50 < MPL
+      .loopExit(0, 410)
+      .methodExit(0, 420);
+  BaselineSolution Sol = computeBaseline(B.tree(420), /*MPL=*/100);
+  ASSERT_EQ(Sol.numPhases(), 1u);
+  EXPECT_EQ(Sol.phases()[0], (PhaseInterval{10, 410}));
+}
+
+TEST(BaselineTest, PerfectNestChainsIntoOnePhase) {
+  // Executions of inner loop 1 separated by exactly one element (the
+  // outer back edge): chained into a single CRI covering all of them.
+  TraceBuilder B;
+  B.methodEnter(0, 0).loopEnter(0, 0);
+  uint64_t Offset = 0;
+  for (int I = 0; I != 4; ++I) {
+    B.loopEnter(1, Offset);
+    Offset += 60; // 60 elements per inner execution
+    B.loopExit(1, Offset);
+    Offset += 1; // one outer-loop element between executions
+  }
+  B.loopExit(0, Offset).methodExit(0, Offset);
+  BaselineSolution Sol = computeBaseline(B.tree(Offset), /*MPL=*/100);
+  ASSERT_EQ(Sol.numPhases(), 1u);
+  // The chain spans from the first inner enter to the last inner exit.
+  EXPECT_EQ(Sol.phases()[0].Begin, 0u);
+  EXPECT_EQ(Sol.phases()[0].End, Offset - 1);
+}
+
+TEST(BaselineTest, SeparatedExecutionsAreDistinctPhases) {
+  // Gap of 2 elements between executions: no chaining; each execution
+  // (span 120 >= MPL) is its own phase.
+  TraceBuilder B;
+  B.methodEnter(0, 0).loopEnter(0, 0);
+  uint64_t Offset = 0;
+  for (int I = 0; I != 3; ++I) {
+    B.loopEnter(1, Offset);
+    Offset += 120;
+    B.loopExit(1, Offset);
+    Offset += 2;
+  }
+  B.loopExit(0, Offset).methodExit(0, Offset);
+  BaselineSolution Sol = computeBaseline(B.tree(Offset), /*MPL=*/100);
+  EXPECT_EQ(Sol.numPhases(), 3u);
+}
+
+TEST(BaselineTest, AdjacentMethodInvocationsChain) {
+  // Repeated invocations of method 7 at distance 1: one merged CRI that
+  // meets the MPL even though each invocation is below it.
+  TraceBuilder B;
+  B.methodEnter(0, 0);
+  uint64_t Offset = 0;
+  for (int I = 0; I != 5; ++I) {
+    B.methodEnter(7, Offset);
+    Offset += 30;
+    B.methodExit(7, Offset);
+    Offset += 1;
+  }
+  B.methodExit(0, Offset);
+  BaselineSolution Sol = computeBaseline(B.tree(Offset), /*MPL=*/100);
+  ASSERT_EQ(Sol.numPhases(), 1u);
+  EXPECT_EQ(Sol.phases()[0].length(), 154u); // 5*30 + 4 gaps
+}
+
+TEST(BaselineTest, LoneNonRecursiveInvocationIsNotAPhase) {
+  TraceBuilder B;
+  B.methodEnter(0, 0).methodEnter(7, 10).methodExit(7, 400).methodExit(
+      0, 410);
+  BaselineSolution Sol = computeBaseline(B.tree(410), /*MPL=*/100);
+  EXPECT_EQ(Sol.numPhases(), 0u);
+}
+
+TEST(BaselineTest, RecursionRootIsAPhase) {
+  TraceBuilder B;
+  B.methodEnter(0, 0)
+      .methodEnter(7, 10)  // root
+      .methodEnter(7, 50)
+      .methodExit(7, 200)
+      .methodExit(7, 300)
+      .methodExit(0, 310);
+  BaselineSolution Sol = computeBaseline(B.tree(310), /*MPL=*/100);
+  ASSERT_EQ(Sol.numPhases(), 1u);
+  EXPECT_EQ(Sol.phases()[0], (PhaseInterval{10, 300}));
+}
+
+TEST(BaselineTest, PhasesAreSortedAndDisjoint) {
+  ExecutionResult R = runSource(
+      "program t; method main() {"
+      "  loop a times 50 { branch x; }"
+      "  branch s0; branch s1;"
+      "  loop b times 80 { branch y; loop c times 3 { branch z; } }"
+      "  branch s2;"
+      "  loop d times 40 { branch w; }"
+      "}");
+  for (uint64_t MPL : {10ull, 50ull, 100ull, 500ull}) {
+    std::vector<BaselineSolution> Sols =
+        computeBaselines(R.CallLoop, R.Branches.size(), {MPL});
+    uint64_t PrevEnd = 0;
+    for (const PhaseInterval &P : Sols[0].phases()) {
+      EXPECT_LE(PrevEnd, P.Begin);
+      EXPECT_LT(P.Begin, P.End);
+      EXPECT_GE(P.length(), MPL);
+      PrevEnd = P.End;
+    }
+  }
+}
+
+TEST(BaselineTest, PhaseCountDecreasesWithMPL) {
+  ExecutionResult R = runSource(
+      "program t; method main() {"
+      "  loop outer times 10 {"
+      "    loop inner times 30 { branch a; branch b; }"
+      "    branch s0; branch s1;"
+      "  }"
+      "}");
+  std::vector<BaselineSolution> Sols = computeBaselines(
+      R.CallLoop, R.Branches.size(), {10, 60, 500, 100000});
+  EXPECT_GE(Sols[0].numPhases(), Sols[1].numPhases());
+  EXPECT_GE(Sols[1].numPhases(), Sols[2].numPhases());
+  EXPECT_GE(Sols[2].numPhases(), Sols[3].numPhases());
+}
+
+TEST(BaselineTest, StatesMatchPhases) {
+  TraceBuilder B;
+  B.methodEnter(0, 0).loopEnter(0, 20).loopExit(0, 170).methodExit(0, 200);
+  BaselineSolution Sol = computeBaseline(B.tree(200), /*MPL=*/100);
+  EXPECT_EQ(Sol.states().size(), 200u);
+  EXPECT_EQ(Sol.states().at(19), PhaseState::Transition);
+  EXPECT_EQ(Sol.states().at(20), PhaseState::InPhase);
+  EXPECT_EQ(Sol.states().at(169), PhaseState::InPhase);
+  EXPECT_EQ(Sol.states().at(170), PhaseState::Transition);
+  EXPECT_DOUBLE_EQ(Sol.fractionInPhase(), 150.0 / 200.0);
+}
+
+TEST(BaselineTest, EmptyTraceYieldsNoPhases) {
+  CallLoopTrace Empty;
+  std::vector<BaselineSolution> Sols = computeBaselines(Empty, 0, {1000});
+  EXPECT_EQ(Sols[0].numPhases(), 0u);
+  EXPECT_EQ(Sols[0].states().size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end properties over interpreted programs
+//===----------------------------------------------------------------------===//
+
+class BaselinePropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(BaselinePropertyTest, InvariantsOnRandomizedPrograms) {
+  // A program whose structure flexes with the seed-driven noise.
+  ExecutionResult R = runSource(
+      "program t; method main() {"
+      "  loop reps times 12 {"
+      "    if 0.5 { loop a times 40 { branch x; branch y flip 0.5; } }"
+      "    else { call f(6); }"
+      "    branch s0; branch s1;"
+      "  }"
+      "}"
+      "method f(d) { branch a; when (d > 0) { loop g times 8 { branch b; }"
+      " call f(d - 1); } }",
+      GetParam());
+  for (uint64_t MPL : {20ull, 100ull, 1000ull}) {
+    std::vector<BaselineSolution> Sols =
+        computeBaselines(R.CallLoop, R.Branches.size(), {MPL});
+    const BaselineSolution &Sol = Sols[0];
+    EXPECT_EQ(Sol.states().size(), R.Branches.size());
+    uint64_t PrevEnd = 0;
+    for (const PhaseInterval &P : Sol.phases()) {
+      EXPECT_LE(PrevEnd, P.Begin);
+      EXPECT_LT(P.Begin, P.End);
+      EXPECT_LE(P.End, R.Branches.size());
+      EXPECT_GE(P.length(), MPL);
+      PrevEnd = P.End;
+    }
+    double Frac = Sol.fractionInPhase();
+    EXPECT_GE(Frac, 0.0);
+    EXPECT_LE(Frac, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselinePropertyTest,
+                         testing::Values(1, 7, 42, 1234, 99999));

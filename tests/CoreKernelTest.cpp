@@ -1,0 +1,347 @@
+//===- tests/CoreKernelTest.cpp - Similarity kernel tests ---------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SimilarityKernel.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+using namespace opd;
+
+namespace {
+
+/// Reference implementation: recompute both similarities from raw window
+/// multisets.
+struct ReferenceWindows {
+  std::map<SiteIndex, uint64_t> CW, TW;
+  uint64_t NCW = 0, NTW = 0;
+
+  void cwAdd(SiteIndex S) {
+    ++CW[S];
+    ++NCW;
+  }
+  void cwRemove(SiteIndex S) {
+    auto It = CW.find(S);
+    ASSERT_NE(It, CW.end());
+    if (--It->second == 0)
+      CW.erase(It);
+    --NCW;
+  }
+  void twAdd(SiteIndex S) {
+    ++TW[S];
+    ++NTW;
+  }
+  void twRemove(SiteIndex S) {
+    auto It = TW.find(S);
+    ASSERT_NE(It, TW.end());
+    if (--It->second == 0)
+      TW.erase(It);
+    --NTW;
+  }
+
+  double unweighted() const {
+    if (CW.empty())
+      return 0.0;
+    uint64_t Both = 0;
+    for (const auto &[S, Count] : CW)
+      Both += TW.count(S) ? 1 : 0;
+    return static_cast<double>(Both) / static_cast<double>(CW.size());
+  }
+
+  double weighted() const {
+    if (NCW == 0 || NTW == 0)
+      return 0.0;
+    double Sum = 0.0;
+    for (const auto &[S, Count] : CW) {
+      auto It = TW.find(S);
+      uint64_t TWCount = It == TW.end() ? 0 : It->second;
+      Sum += std::min(static_cast<double>(Count) / NCW,
+                      static_cast<double>(TWCount) / NTW);
+    }
+    return Sum;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Paper examples (Section 2, Model Policy)
+//===----------------------------------------------------------------------===//
+
+TEST(UnweightedKernelTest, PaperExampleHalfOverlap) {
+  // CW = {a, b}, TW = {a, c} -> 0.5 "regardless of how often a appears".
+  UnweightedSetKernel K(3);
+  K.cwAdd(0); // a
+  K.cwAdd(1); // b
+  K.twAdd(0); // a
+  K.twAdd(2); // c
+  EXPECT_DOUBLE_EQ(K.similarity(), 0.5);
+}
+
+TEST(UnweightedKernelTest, FrequencyIndependent) {
+  // CW = {a x 100, b}, TW = {a} -> still 0.5.
+  UnweightedSetKernel K(2);
+  for (int I = 0; I < 100; ++I)
+    K.cwAdd(0);
+  K.cwAdd(1);
+  K.twAdd(0);
+  EXPECT_DOUBLE_EQ(K.similarity(), 0.5);
+}
+
+TEST(UnweightedKernelTest, FullContainmentIsOne) {
+  // All CW elements present in TW -> 1.0 regardless of frequencies.
+  UnweightedSetKernel K(4);
+  K.cwAdd(0);
+  K.cwAdd(1);
+  K.twAdd(0);
+  K.twAdd(1);
+  K.twAdd(2);
+  K.twAdd(3);
+  EXPECT_DOUBLE_EQ(K.similarity(), 1.0);
+}
+
+TEST(UnweightedKernelTest, EmptyCWIsZero) {
+  UnweightedSetKernel K(2);
+  K.twAdd(0);
+  EXPECT_DOUBLE_EQ(K.similarity(), 0.0);
+}
+
+TEST(WeightedKernelTest, PaperWorkedExample) {
+  // CW = {(a,5),(b,3),(c,2)}, TW = {(a,25),(b,15),(c,10),(d,50)}:
+  // min weights .25 + .15 + .10 = 0.5.
+  WeightedSetKernel K(4);
+  for (int I = 0; I < 5; ++I)
+    K.cwAdd(0);
+  for (int I = 0; I < 3; ++I)
+    K.cwAdd(1);
+  for (int I = 0; I < 2; ++I)
+    K.cwAdd(2);
+  for (int I = 0; I < 25; ++I)
+    K.twAdd(0);
+  for (int I = 0; I < 15; ++I)
+    K.twAdd(1);
+  for (int I = 0; I < 10; ++I)
+    K.twAdd(2);
+  for (int I = 0; I < 50; ++I)
+    K.twAdd(3);
+  EXPECT_NEAR(K.similarity(), 0.5, 1e-12);
+}
+
+TEST(WeightedKernelTest, IdenticalDistributionsAreOne) {
+  WeightedSetKernel K(3);
+  for (SiteIndex S = 0; S != 3; ++S)
+    for (int I = 0; I <= static_cast<int>(S); ++I) {
+      K.cwAdd(S);
+      K.twAdd(S);
+    }
+  EXPECT_NEAR(K.similarity(), 1.0, 1e-12);
+}
+
+TEST(WeightedKernelTest, DisjointWindowsAreZero) {
+  WeightedSetKernel K(4);
+  K.cwAdd(0);
+  K.cwAdd(1);
+  K.twAdd(2);
+  K.twAdd(3);
+  EXPECT_DOUBLE_EQ(K.similarity(), 0.0);
+}
+
+TEST(WeightedKernelTest, EmptyWindowIsZero) {
+  WeightedSetKernel K(2);
+  K.cwAdd(0);
+  EXPECT_DOUBLE_EQ(K.similarity(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental consistency: random op streams vs reference
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Drives a kernel and the reference through the same random op sequence,
+/// checking similarity after every op.
+template <typename KernelT>
+void runRandomOps(uint64_t Seed, bool Weighted) {
+  const SiteIndex NumSites = 12;
+  KernelT K(NumSites);
+  ReferenceWindows Ref;
+  Xoshiro256 Rng(Seed);
+  // Track window contents for valid removals/replaces.
+  std::vector<SiteIndex> CWItems, TWItems;
+
+  for (int Step = 0; Step < 4000; ++Step) {
+    unsigned Op = static_cast<unsigned>(Rng.nextBelow(6));
+    SiteIndex S = static_cast<SiteIndex>(Rng.nextBelow(NumSites));
+    switch (Op) {
+    case 0: // cwAdd
+      K.cwAdd(S);
+      Ref.cwAdd(S);
+      CWItems.push_back(S);
+      break;
+    case 1: // twAdd
+      K.twAdd(S);
+      Ref.twAdd(S);
+      TWItems.push_back(S);
+      break;
+    case 2: // cwRemove
+      if (CWItems.empty())
+        continue;
+      S = CWItems[Rng.nextBelow(CWItems.size())];
+      K.cwRemove(S);
+      Ref.cwRemove(S);
+      CWItems.erase(std::find(CWItems.begin(), CWItems.end(), S));
+      break;
+    case 3: // twRemove
+      if (TWItems.empty())
+        continue;
+      S = TWItems[Rng.nextBelow(TWItems.size())];
+      K.twRemove(S);
+      Ref.twRemove(S);
+      TWItems.erase(std::find(TWItems.begin(), TWItems.end(), S));
+      break;
+    case 4: { // cwReplace (totals-stable path in the weighted kernel)
+      if (CWItems.empty())
+        continue;
+      SiteIndex Out = CWItems[Rng.nextBelow(CWItems.size())];
+      K.cwReplace(S, Out);
+      Ref.cwAdd(S);
+      Ref.cwRemove(Out);
+      CWItems.erase(std::find(CWItems.begin(), CWItems.end(), Out));
+      CWItems.push_back(S);
+      break;
+    }
+    case 5: { // twReplace
+      if (TWItems.empty())
+        continue;
+      SiteIndex Out = TWItems[Rng.nextBelow(TWItems.size())];
+      K.twReplace(S, Out);
+      Ref.twAdd(S);
+      Ref.twRemove(Out);
+      TWItems.erase(std::find(TWItems.begin(), TWItems.end(), Out));
+      TWItems.push_back(S);
+      break;
+    }
+    }
+    double Expected = Weighted ? Ref.weighted() : Ref.unweighted();
+    ASSERT_NEAR(K.similarity(), Expected, 1e-9)
+        << "divergence at step " << Step << " (seed " << Seed << ")";
+  }
+}
+
+} // namespace
+
+class KernelPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(KernelPropertyTest, UnweightedMatchesReference) {
+  runRandomOps<UnweightedSetKernel>(GetParam(), /*Weighted=*/false);
+}
+
+TEST_P(KernelPropertyTest, WeightedMatchesReference) {
+  runRandomOps<WeightedSetKernel>(GetParam(), /*Weighted=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelPropertyTest,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+//===----------------------------------------------------------------------===//
+// Reset and steady-state replace behavior
+//===----------------------------------------------------------------------===//
+
+TEST(KernelTest, ResetClearsEverything) {
+  for (ModelKind Kind :
+       {ModelKind::UnweightedSet, ModelKind::WeightedSet}) {
+    std::unique_ptr<SimilarityKernel> K = makeKernel(Kind, 4);
+    K->cwAdd(0);
+    K->twAdd(0);
+    K->twAdd(1);
+    K->reset();
+    EXPECT_EQ(K->cwTotal(), 0u);
+    EXPECT_EQ(K->twTotal(), 0u);
+    EXPECT_DOUBLE_EQ(K->similarity(), 0.0);
+    EXPECT_FALSE(K->inCW(0));
+  }
+}
+
+TEST(KernelTest, InCWTracksOccupancy) {
+  UnweightedSetKernel K(3);
+  EXPECT_FALSE(K.inCW(1));
+  K.cwAdd(1);
+  EXPECT_TRUE(K.inCW(1));
+  K.cwRemove(1);
+  EXPECT_FALSE(K.inCW(1));
+}
+
+TEST(KernelTest, MoveCWToTWPreservesTotals) {
+  WeightedSetKernel K(2);
+  K.cwAdd(0);
+  K.cwAdd(1);
+  K.moveCWToTW(0);
+  EXPECT_EQ(K.cwTotal(), 1u);
+  EXPECT_EQ(K.twTotal(), 1u);
+  // CW = {1}, TW = {0}: disjoint.
+  EXPECT_DOUBLE_EQ(K.similarity(), 0.0);
+}
+
+TEST(KernelTest, WeightedSteadyStateReplaceIsExact) {
+  // Exercise many totals-stable replaces after a dirty fill and verify
+  // against a fresh recomputation through the reference.
+  const SiteIndex NumSites = 8;
+  WeightedSetKernel K(NumSites);
+  ReferenceWindows Ref;
+  Xoshiro256 Rng(99);
+  std::vector<SiteIndex> CWItems, TWItems;
+  for (int I = 0; I < 64; ++I) {
+    SiteIndex S = static_cast<SiteIndex>(Rng.nextBelow(NumSites));
+    K.cwAdd(S);
+    Ref.cwAdd(S);
+    CWItems.push_back(S);
+    SiteIndex T = static_cast<SiteIndex>(Rng.nextBelow(NumSites));
+    K.twAdd(T);
+    Ref.twAdd(T);
+    TWItems.push_back(T);
+  }
+  // Settle (forces the lazy recompute).
+  ASSERT_NEAR(K.similarity(), Ref.weighted(), 1e-9);
+  // Steady-state: only replaces from here on.
+  for (int I = 0; I < 2000; ++I) {
+    SiteIndex In = static_cast<SiteIndex>(Rng.nextBelow(NumSites));
+    SiteIndex Out = CWItems[Rng.nextBelow(CWItems.size())];
+    K.cwReplace(In, Out);
+    Ref.cwAdd(In);
+    Ref.cwRemove(Out);
+    CWItems.erase(std::find(CWItems.begin(), CWItems.end(), Out));
+    CWItems.push_back(In);
+
+    In = static_cast<SiteIndex>(Rng.nextBelow(NumSites));
+    Out = TWItems[Rng.nextBelow(TWItems.size())];
+    K.twReplace(In, Out);
+    Ref.twAdd(In);
+    Ref.twRemove(Out);
+    TWItems.erase(std::find(TWItems.begin(), TWItems.end(), Out));
+    TWItems.push_back(In);
+
+    ASSERT_NEAR(K.similarity(), Ref.weighted(), 1e-9) << "step " << I;
+  }
+}
+
+TEST(KernelTest, FactoryCreatesRightKinds) {
+  EXPECT_NE(dynamic_cast<UnweightedSetKernel *>(
+                makeKernel(ModelKind::UnweightedSet, 4).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<WeightedSetKernel *>(
+                makeKernel(ModelKind::WeightedSet, 4).get()),
+            nullptr);
+}
+
+TEST(KernelTest, ModelKindNames) {
+  EXPECT_STREQ(modelKindName(ModelKind::UnweightedSet), "unweighted");
+  EXPECT_STREQ(modelKindName(ModelKind::WeightedSet), "weighted");
+}

@@ -1,0 +1,295 @@
+//===- tests/CoreModelTest.cpp - WindowedModel mechanics tests ----------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/WindowedModel.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace opd;
+
+namespace {
+
+WindowConfig makeConfig(uint32_t CW, uint32_t TW,
+                        TWPolicyKind Policy = TWPolicyKind::Constant,
+                        AnchorKind Anchor = AnchorKind::RightmostNoisy,
+                        ResizeKind Resize = ResizeKind::Slide,
+                        uint32_t Skip = 1) {
+  WindowConfig C;
+  C.CWSize = CW;
+  C.TWSize = TW;
+  C.SkipFactor = Skip;
+  C.TWPolicy = Policy;
+  C.Anchor = Anchor;
+  C.Resize = Resize;
+  return C;
+}
+
+void consumeAll(WindowedModel &M, std::initializer_list<SiteIndex> Elems) {
+  for (SiteIndex S : Elems)
+    M.consume(S);
+}
+
+void consumeN(WindowedModel &M, SiteIndex S, unsigned N) {
+  for (unsigned I = 0; I != N; ++I)
+    M.consume(S);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Filling
+//===----------------------------------------------------------------------===//
+
+TEST(WindowedModelTest, WindowsFillCWFirstThenTW) {
+  WindowedModel M(makeConfig(3, 4), ModelKind::UnweightedSet, 2);
+  for (unsigned I = 0; I != 3; ++I) {
+    EXPECT_FALSE(M.windowsFull());
+    M.consume(0);
+  }
+  EXPECT_EQ(M.cwLength(), 3u);
+  EXPECT_EQ(M.twLength(), 0u);
+  for (unsigned I = 0; I != 4; ++I) {
+    EXPECT_FALSE(M.windowsFull());
+    M.consume(0);
+  }
+  EXPECT_TRUE(M.windowsFull());
+  EXPECT_EQ(M.cwLength(), 3u);
+  EXPECT_EQ(M.twLength(), 4u);
+}
+
+TEST(WindowedModelTest, ConstantTWHoldsSizesInSteadyState) {
+  WindowedModel M(makeConfig(4, 4), ModelKind::UnweightedSet, 3);
+  Xoshiro256 Rng(5);
+  for (unsigned I = 0; I != 500; ++I)
+    M.consume(static_cast<SiteIndex>(Rng.nextBelow(3)));
+  EXPECT_EQ(M.cwLength(), 4u);
+  EXPECT_EQ(M.twLength(), 4u);
+  EXPECT_EQ(M.kernel().cwTotal(), 4u);
+  EXPECT_EQ(M.kernel().twTotal(), 4u);
+}
+
+TEST(WindowedModelTest, WindowContentsAreTheRecentElements) {
+  // CW=2, TW=2: after consuming a,b,c,d the TW is {a,b} and CW {c,d}.
+  WindowedModel M(makeConfig(2, 2), ModelKind::UnweightedSet, 4);
+  consumeAll(M, {0, 1, 2, 3});
+  EXPECT_TRUE(M.windowsFull());
+  // CW contains exactly sites 2 and 3.
+  EXPECT_TRUE(M.kernel().inCW(2));
+  EXPECT_TRUE(M.kernel().inCW(3));
+  EXPECT_FALSE(M.kernel().inCW(0));
+  EXPECT_FALSE(M.kernel().inCW(1));
+  // Disjoint windows: unweighted similarity 0.
+  EXPECT_DOUBLE_EQ(M.similarity(), 0.0);
+}
+
+TEST(WindowedModelTest, UniformStreamSimilarityIsOne) {
+  WindowedModel M(makeConfig(10, 10), ModelKind::UnweightedSet, 1);
+  consumeN(M, 0, 200);
+  EXPECT_TRUE(M.windowsFull());
+  EXPECT_DOUBLE_EQ(M.similarity(), 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Phase end (flush)
+//===----------------------------------------------------------------------===//
+
+TEST(WindowedModelTest, EndPhaseKeepsSkipFactorSeed) {
+  WindowConfig C = makeConfig(5, 5);
+  C.SkipFactor = 2;
+  WindowedModel M(C, ModelKind::UnweightedSet, 3);
+  consumeN(M, 1, 20);
+  M.startPhase();
+  M.endPhase();
+  EXPECT_EQ(M.cwLength(), 2u); // skipFactor elements survive as CW seed
+  EXPECT_EQ(M.twLength(), 0u);
+  EXPECT_FALSE(M.windowsFull());
+  EXPECT_EQ(M.kernel().cwTotal(), 2u);
+  EXPECT_EQ(M.kernel().twTotal(), 0u);
+}
+
+TEST(WindowedModelTest, RefillsAfterFlush) {
+  WindowedModel M(makeConfig(3, 3), ModelKind::UnweightedSet, 2);
+  consumeN(M, 0, 10);
+  M.startPhase();
+  M.endPhase();
+  // Needs CW (2 more after the seed of 1) + TW (3) elements to refill.
+  unsigned Steps = 0;
+  while (!M.windowsFull()) {
+    M.consume(1);
+    ++Steps;
+  }
+  EXPECT_EQ(Steps, 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Anchoring (paper example: TW = {a,b,c}, CW = {a,a,c}; b is noisy)
+//===----------------------------------------------------------------------===//
+
+TEST(WindowedModelTest, AnchorRightmostNoisy) {
+  WindowedModel M(makeConfig(3, 3, TWPolicyKind::Adaptive,
+                             AnchorKind::RightmostNoisy),
+                  ModelKind::UnweightedSet, 3);
+  // Feed a,b,c then a,a,c: TW = [a,b,c], CW = [a,a,c].
+  consumeAll(M, {0, 1, 2, 0, 0, 2});
+  // b (index 1) is the rightmost noisy element; RN anchors one right of
+  // it: TW index 2, global offset 2.
+  EXPECT_EQ(M.computeAnchorOffset(), 2u);
+}
+
+TEST(WindowedModelTest, AnchorLeftmostNonNoisy) {
+  WindowedModel M(makeConfig(3, 3, TWPolicyKind::Adaptive,
+                             AnchorKind::LeftmostNonNoisy),
+                  ModelKind::UnweightedSet, 3);
+  consumeAll(M, {0, 1, 2, 0, 0, 2});
+  // a (TW index 0) is the leftmost element present in the CW.
+  EXPECT_EQ(M.computeAnchorOffset(), 0u);
+}
+
+TEST(WindowedModelTest, AnchorRNWithNoNoiseIsTWStart) {
+  WindowedModel M(makeConfig(2, 2, TWPolicyKind::Adaptive,
+                             AnchorKind::RightmostNoisy),
+                  ModelKind::UnweightedSet, 2);
+  consumeAll(M, {0, 1, 0, 1}); // TW = [a,b], CW = [a,b]: nothing noisy
+  EXPECT_EQ(M.computeAnchorOffset(), 0u);
+}
+
+TEST(WindowedModelTest, AnchorLNNAllNoisyIsTWEnd) {
+  WindowedModel M(makeConfig(2, 2, TWPolicyKind::Adaptive,
+                             AnchorKind::LeftmostNonNoisy),
+                  ModelKind::UnweightedSet, 4);
+  consumeAll(M, {0, 1, 2, 3}); // TW = [0,1] disjoint from CW = [2,3]
+  EXPECT_EQ(M.computeAnchorOffset(), 2u); // offset of the CW start
+}
+
+//===----------------------------------------------------------------------===//
+// Resize policies
+//===----------------------------------------------------------------------===//
+
+TEST(WindowedModelTest, SlideResizeKeepsTWLengthAndShrinksCW) {
+  WindowedModel M(makeConfig(3, 3, TWPolicyKind::Adaptive,
+                             AnchorKind::RightmostNoisy, ResizeKind::Slide),
+                  ModelKind::UnweightedSet, 3);
+  consumeAll(M, {0, 1, 2, 0, 0, 2}); // anchor at TW index 2
+  M.startPhase();
+  // Slide: TW drops [a,b], takes 2 elements from the CW: TW = [c,a,a],
+  // CW = [c].
+  EXPECT_EQ(M.twLength(), 3u);
+  EXPECT_EQ(M.cwLength(), 1u);
+  // Comparisons continue while the CW refills.
+  EXPECT_TRUE(M.windowsFull());
+}
+
+TEST(WindowedModelTest, MoveResizeShrinksTWAndKeepsCW) {
+  WindowedModel M(makeConfig(3, 3, TWPolicyKind::Adaptive,
+                             AnchorKind::RightmostNoisy, ResizeKind::Move),
+                  ModelKind::UnweightedSet, 3);
+  consumeAll(M, {0, 1, 2, 0, 0, 2});
+  M.startPhase();
+  EXPECT_EQ(M.twLength(), 1u); // [c]
+  EXPECT_EQ(M.cwLength(), 3u); // untouched
+}
+
+TEST(WindowedModelTest, AdaptiveTWGrowsWhileInPhase) {
+  WindowedModel M(makeConfig(3, 3, TWPolicyKind::Adaptive),
+                  ModelKind::UnweightedSet, 2);
+  consumeN(M, 0, 6);
+  M.startPhase();
+  uint64_t TWBefore = M.twLength();
+  consumeN(M, 0, 10);
+  EXPECT_EQ(M.twLength(), TWBefore + 10);
+  EXPECT_EQ(M.cwLength(), 3u);
+}
+
+TEST(WindowedModelTest, ConstantTWDoesNotGrowInPhase) {
+  WindowedModel M(makeConfig(3, 3, TWPolicyKind::Constant),
+                  ModelKind::UnweightedSet, 2);
+  consumeN(M, 0, 6);
+  M.startPhase();
+  consumeN(M, 0, 10);
+  EXPECT_EQ(M.twLength(), 3u);
+  EXPECT_EQ(M.cwLength(), 3u);
+}
+
+TEST(WindowedModelTest, AdaptiveTWResetsAfterPhaseEnd) {
+  WindowedModel M(makeConfig(3, 3, TWPolicyKind::Adaptive),
+                  ModelKind::UnweightedSet, 2);
+  consumeN(M, 0, 6);
+  M.startPhase();
+  consumeN(M, 0, 50);
+  M.endPhase();
+  consumeN(M, 1, 20);
+  // TW back to its configured size.
+  EXPECT_EQ(M.twLength(), 3u);
+  EXPECT_EQ(M.cwLength(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Invariants under random streams
+//===----------------------------------------------------------------------===//
+
+class ModelInvariantTest
+    : public testing::TestWithParam<std::tuple<TWPolicyKind, ModelKind>> {};
+
+TEST_P(ModelInvariantTest, BookkeepingStaysConsistent) {
+  auto [Policy, Model] = GetParam();
+  WindowedModel M(makeConfig(8, 8, Policy), Model, 6);
+  Xoshiro256 Rng(42);
+  bool InPhase = false;
+  for (int I = 0; I < 5000; ++I) {
+    M.consume(static_cast<SiteIndex>(Rng.nextBelow(6)));
+    // Kernel totals always match the window lengths.
+    ASSERT_EQ(M.kernel().cwTotal(), M.cwLength());
+    ASSERT_EQ(M.kernel().twTotal(), M.twLength());
+    ASSERT_LE(M.cwLength(), 8u);
+    if (M.windowsFull()) {
+      double Sim = M.similarity();
+      ASSERT_GE(Sim, 0.0);
+      ASSERT_LE(Sim, 1.0);
+    }
+    // Occasionally toggle phases the way a detector would.
+    if (M.windowsFull() && !InPhase && Rng.nextBool(0.01)) {
+      M.startPhase();
+      InPhase = true;
+    } else if (InPhase && Rng.nextBool(0.01)) {
+      M.endPhase();
+      InPhase = false;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, ModelInvariantTest,
+    testing::Combine(testing::Values(TWPolicyKind::Constant,
+                                     TWPolicyKind::Adaptive),
+                     testing::Values(ModelKind::UnweightedSet,
+                                     ModelKind::WeightedSet)));
+
+TEST(WindowedModelTest, ResetRestoresInitialState) {
+  WindowedModel M(makeConfig(4, 4, TWPolicyKind::Adaptive),
+                  ModelKind::WeightedSet, 3);
+  consumeN(M, 1, 30);
+  M.startPhase();
+  consumeN(M, 2, 30);
+  M.reset();
+  EXPECT_EQ(M.consumed(), 0u);
+  EXPECT_EQ(M.cwLength(), 0u);
+  EXPECT_EQ(M.twLength(), 0u);
+  EXPECT_FALSE(M.windowsFull());
+}
+
+TEST(WindowedModelTest, ConsumedCountsEverything) {
+  WindowedModel M(makeConfig(2, 2), ModelKind::UnweightedSet, 2);
+  consumeN(M, 0, 123);
+  EXPECT_EQ(M.consumed(), 123u);
+}
+
+TEST(WindowedModelTest, NamesAreStable) {
+  EXPECT_STREQ(twPolicyName(TWPolicyKind::Adaptive), "adaptive");
+  EXPECT_STREQ(anchorKindName(AnchorKind::RightmostNoisy), "RN");
+  EXPECT_STREQ(resizeKindName(ResizeKind::Move), "move");
+}

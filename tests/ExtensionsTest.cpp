@@ -1,0 +1,407 @@
+//===- tests/ExtensionsTest.cpp - Tests for the extension features ------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the features beyond the paper's core evaluation: detection
+/// latency, confidence levels, the hysteresis analyzer, recurring-phase
+/// identification, and phase attribution.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/BaselineSolution.h"
+#include "core/Analyzer.h"
+#include "core/DetectorConfig.h"
+#include "core/DetectorRunner.h"
+#include "core/RecurringPhases.h"
+#include "lang/Diagnostics.h"
+#include "lang/ProgramInfo.h"
+#include "lang/Sema.h"
+#include "metrics/Latency.h"
+#include "support/Random.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace opd;
+
+//===----------------------------------------------------------------------===//
+// Detection latency
+//===----------------------------------------------------------------------===//
+
+TEST(LatencyTest, ExactMatchHasZeroDelay) {
+  LatencyStats L =
+      computeLatency({{100, 200}}, {{100, 200}}, /*Total=*/300);
+  ASSERT_EQ(L.StartDelay.count(), 1u);
+  EXPECT_DOUBLE_EQ(L.StartDelay.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(L.EndDelay.mean(), 0.0);
+  EXPECT_EQ(L.UnmatchedStarts, 0u);
+}
+
+TEST(LatencyTest, LateDetectionMeasured) {
+  LatencyStats L =
+      computeLatency({{150, 230}}, {{100, 200}}, /*Total=*/300);
+  EXPECT_DOUBLE_EQ(L.StartDelay.mean(), 50.0);
+  EXPECT_DOUBLE_EQ(L.EndDelay.mean(), 30.0);
+}
+
+TEST(LatencyTest, UnmatchedBoundariesCounted) {
+  // Detector found nothing in the first baseline phase.
+  LatencyStats L = computeLatency({{500, 650}}, {{100, 200}, {400, 600}},
+                                  /*Total=*/1000);
+  EXPECT_EQ(L.UnmatchedStarts, 1u);
+  EXPECT_EQ(L.StartDelay.count(), 1u);
+  EXPECT_DOUBLE_EQ(L.StartDelay.mean(), 100.0); // 500 - 400
+}
+
+TEST(LatencyTest, MultiplePhasesAveraged) {
+  LatencyStats L = computeLatency({{110, 220}, {420, 640}},
+                                  {{100, 200}, {400, 600}},
+                                  /*Total=*/1000);
+  ASSERT_EQ(L.StartDelay.count(), 2u);
+  EXPECT_DOUBLE_EQ(L.StartDelay.mean(), 15.0); // (10 + 20) / 2
+  EXPECT_DOUBLE_EQ(L.EndDelay.mean(), 30.0);   // (20 + 40) / 2
+}
+
+TEST(LatencyTest, WindowFillDelayShowsUpEndToEnd) {
+  // One vocabulary shift: detector with CW=TW=100 flags the new phase
+  // ~200 elements after it starts (window fill after the flush).
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> Prog = compileProgram(
+      "program t; method main() {"
+      "  loop a times 1500 { branch x0; branch x1; }"
+      "  loop b times 1500 { branch y0; branch y1; }"
+      "}",
+      Diags);
+  ASSERT_NE(Prog, nullptr);
+  ExecutionResult Exec = runProgram(*Prog, {});
+  std::vector<BaselineSolution> Oracles =
+      computeBaselines(Exec.CallLoop, Exec.Branches.size(), {1000});
+
+  DetectorConfig C;
+  C.Window.CWSize = 100;
+  C.Window.TWSize = 100;
+  C.Model = ModelKind::UnweightedSet;
+  C.TheAnalyzer = AnalyzerKind::Threshold;
+  C.AnalyzerParam = 0.6;
+  std::unique_ptr<PhaseDetector> D =
+      makeDetector(C, Exec.Branches.numSites());
+  DetectorRun Run = runDetector(*D, Exec.Branches);
+  LatencyStats L = computeLatency(Run.DetectedPhases,
+                                  Oracles[0].phases(),
+                                  Exec.Branches.size());
+  ASSERT_GT(L.StartDelay.count(), 0u);
+  // Delay bounded by roughly CW+TW plus slack; never negative.
+  EXPECT_GE(L.StartDelay.min(), 0.0);
+  EXPECT_LE(L.StartDelay.max(), 500.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Confidence
+//===----------------------------------------------------------------------===//
+
+TEST(ConfidenceTest, ThresholdMarginScalesConfidence) {
+  ThresholdAnalyzer A(0.6);
+  A.processValue(0.61);
+  double Near = A.confidence();
+  A.processValue(0.95);
+  double Far = A.confidence();
+  EXPECT_LT(Near, Far);
+  EXPECT_DOUBLE_EQ(Far, 1.0); // saturates beyond the margin scale
+  A.processValue(0.2);
+  EXPECT_DOUBLE_EQ(A.confidence(), 1.0); // confidently in transition
+}
+
+TEST(ConfidenceTest, AverageOptimisticEntryHasZeroConfidence) {
+  AverageAnalyzer A(0.05);
+  A.processValue(0.9);
+  EXPECT_DOUBLE_EQ(A.confidence(), 0.0);
+  A.updateStats(0.9);
+  A.processValue(0.9);
+  EXPECT_GT(A.confidence(), 0.0);
+}
+
+TEST(ConfidenceTest, DetectorReportsZeroWhileFilling) {
+  DetectorConfig C;
+  C.Window.CWSize = 50;
+  C.Window.TWSize = 50;
+  std::unique_ptr<PhaseDetector> D = makeDetector(C, 2);
+  SiteIndex S = 0;
+  D->processBatch(&S, 1);
+  EXPECT_DOUBLE_EQ(D->confidence(), 0.0);
+  for (int I = 0; I < 200; ++I)
+    D->processBatch(&S, 1);
+  EXPECT_GT(D->confidence(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Hysteresis analyzer
+//===----------------------------------------------------------------------===//
+
+TEST(HysteresisTest, DeadBandSuppressesFlapping) {
+  HysteresisAnalyzer A(0.7, 0.5);
+  EXPECT_EQ(A.processValue(0.65), PhaseState::Transition); // below enter
+  EXPECT_EQ(A.processValue(0.75), PhaseState::InPhase);    // enters
+  EXPECT_EQ(A.processValue(0.65), PhaseState::InPhase);    // dead band
+  EXPECT_EQ(A.processValue(0.55), PhaseState::InPhase);    // still >= exit
+  EXPECT_EQ(A.processValue(0.45), PhaseState::Transition); // exits
+  EXPECT_EQ(A.processValue(0.65), PhaseState::Transition); // needs 0.7
+}
+
+TEST(HysteresisTest, PlainThresholdWouldFlap) {
+  // The same value stream through a single threshold flips four times;
+  // hysteresis flips twice.
+  std::vector<double> Values = {0.75, 0.65, 0.75, 0.65, 0.45};
+  ThresholdAnalyzer T(0.7);
+  HysteresisAnalyzer H(0.7, 0.5);
+  unsigned TFlips = 0, HFlips = 0;
+  PhaseState TPrev = PhaseState::Transition, HPrev = PhaseState::Transition;
+  for (double V : Values) {
+    PhaseState TS = T.processValue(V);
+    PhaseState HS = H.processValue(V);
+    TFlips += TS != TPrev;
+    HFlips += HS != HPrev;
+    TPrev = TS;
+    HPrev = HS;
+  }
+  EXPECT_GT(TFlips, HFlips);
+}
+
+TEST(HysteresisTest, ResetReturnsToTransition) {
+  HysteresisAnalyzer A(0.7, 0.5);
+  A.processValue(0.9);
+  A.reset();
+  EXPECT_EQ(A.processValue(0.6), PhaseState::Transition);
+}
+
+TEST(HysteresisTest, FactoryBuildsIt) {
+  std::unique_ptr<Analyzer> A = makeAnalyzer(AnalyzerKind::Hysteresis, 0.7);
+  ASSERT_NE(A, nullptr);
+  EXPECT_NE(A->describe().find("hysteresis"), std::string::npos);
+  EXPECT_EQ(A->processValue(0.65), PhaseState::Transition);
+  EXPECT_EQ(A->processValue(0.75), PhaseState::InPhase);
+  EXPECT_EQ(A->processValue(0.6), PhaseState::InPhase); // exit = 0.55
+}
+
+//===----------------------------------------------------------------------===//
+// Recurring phases
+//===----------------------------------------------------------------------===//
+
+TEST(PhaseSignatureTest, IdenticalDistributionsScoreOne) {
+  PhaseSignature A(4), B(4);
+  for (SiteIndex S = 0; S != 4; ++S)
+    for (unsigned I = 0; I <= S; ++I) {
+      A.addElement(S);
+      B.addElement(S);
+      B.addElement(S); // double counts: same *relative* weights
+    }
+  EXPECT_NEAR(PhaseSignature::similarity(A, B), 1.0, 1e-12);
+}
+
+TEST(PhaseSignatureTest, DisjointDistributionsScoreZero) {
+  PhaseSignature A(4), B(4);
+  A.addElement(0);
+  A.addElement(1);
+  B.addElement(2);
+  B.addElement(3);
+  EXPECT_DOUBLE_EQ(PhaseSignature::similarity(A, B), 0.0);
+}
+
+TEST(PhaseSignatureTest, EmptySignatureScoresZero) {
+  PhaseSignature A(2), B(2);
+  A.addElement(0);
+  EXPECT_DOUBLE_EQ(PhaseSignature::similarity(A, B), 0.0);
+}
+
+TEST(PhaseLibraryTest, ClassifiesNewAndRecurring) {
+  PhaseLibrary Lib(0.8);
+  PhaseSignature A(4);
+  for (int I = 0; I < 100; ++I)
+    A.addElement(0);
+  PhaseLibrary::Classification C1 = Lib.classify(A);
+  EXPECT_FALSE(C1.Recurrence);
+  EXPECT_EQ(C1.Id, 0u);
+
+  PhaseSignature B(4);
+  for (int I = 0; I < 50; ++I)
+    B.addElement(1);
+  PhaseLibrary::Classification C2 = Lib.classify(B);
+  EXPECT_FALSE(C2.Recurrence);
+  EXPECT_EQ(C2.Id, 1u);
+
+  PhaseSignature A2(4);
+  for (int I = 0; I < 90; ++I)
+    A2.addElement(0);
+  PhaseLibrary::Classification C3 = Lib.classify(A2);
+  EXPECT_TRUE(C3.Recurrence);
+  EXPECT_EQ(C3.Id, 0u);
+  EXPECT_GE(C3.Similarity, 0.8);
+  EXPECT_EQ(Lib.size(), 2u);
+}
+
+TEST(RecurringPhaseTrackerTest, ABABPattern) {
+  RecurringPhaseTracker Tracker(2, 0.8);
+  auto feedPhase = [&](SiteIndex Site, size_t Len) {
+    for (size_t I = 0; I != Len; ++I)
+      Tracker.observe(&Site, 1, PhaseState::InPhase);
+    SiteIndex Sep = Site;
+    Tracker.observe(&Sep, 1, PhaseState::Transition);
+  };
+  feedPhase(0, 100); // A
+  feedPhase(1, 100); // B
+  feedPhase(0, 100); // A again
+  feedPhase(1, 100); // B again
+  Tracker.finish();
+  const std::vector<RecurringPhaseTracker::CompletedPhase> &Phases =
+      Tracker.completedPhases();
+  ASSERT_EQ(Phases.size(), 4u);
+  EXPECT_EQ(Phases[0].Id, 0u);
+  EXPECT_FALSE(Phases[0].Recurrence);
+  EXPECT_EQ(Phases[1].Id, 1u);
+  EXPECT_FALSE(Phases[1].Recurrence);
+  EXPECT_EQ(Phases[2].Id, 0u);
+  EXPECT_TRUE(Phases[2].Recurrence);
+  EXPECT_EQ(Phases[3].Id, 1u);
+  EXPECT_TRUE(Phases[3].Recurrence);
+  EXPECT_EQ(Tracker.numDistinctPhases(), 2u);
+}
+
+TEST(RecurringPhaseTrackerTest, IntervalsMatchObservedStates) {
+  RecurringPhaseTracker Tracker(2, 0.8);
+  SiteIndex S0 = 0;
+  for (int I = 0; I < 10; ++I)
+    Tracker.observe(&S0, 1, PhaseState::Transition);
+  for (int I = 0; I < 30; ++I)
+    Tracker.observe(&S0, 1, PhaseState::InPhase);
+  for (int I = 0; I < 5; ++I)
+    Tracker.observe(&S0, 1, PhaseState::Transition);
+  Tracker.finish();
+  ASSERT_EQ(Tracker.completedPhases().size(), 1u);
+  EXPECT_EQ(Tracker.completedPhases()[0].Interval,
+            (PhaseInterval{10, 40}));
+}
+
+TEST(RecurringPhaseTrackerTest, OpenPhaseClosedByFinish) {
+  RecurringPhaseTracker Tracker(1, 0.8);
+  SiteIndex S0 = 0;
+  for (int I = 0; I < 20; ++I)
+    Tracker.observe(&S0, 1, PhaseState::InPhase);
+  EXPECT_TRUE(Tracker.completedPhases().empty());
+  Tracker.finish();
+  ASSERT_EQ(Tracker.completedPhases().size(), 1u);
+  EXPECT_EQ(Tracker.completedPhases()[0].Interval, (PhaseInterval{0, 20}));
+}
+
+TEST(RecurringPhaseTrackerTest, EndToEndWithDetector) {
+  // compress alternates scan-heavy and emit-heavy behavior over shared
+  // sites: the tracker should find a small number of distinct phases and
+  // mark later occurrences as recurrences.
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> Prog = compileProgram(
+      "program t; method main() {"
+      "  loop reps times 6 {"
+      "    loop a times 900 { branch x0; branch x1; }"
+      "    branch s0; branch s1; branch s2;"
+      "    loop b times 900 { branch y0; branch y1; branch y2; }"
+      "    branch s3; branch s4; branch s5;"
+      "  }"
+      "}",
+      Diags);
+  ASSERT_NE(Prog, nullptr);
+  ExecutionResult Exec = runProgram(*Prog, {});
+
+  DetectorConfig C;
+  C.Window.CWSize = 200;
+  C.Window.TWSize = 200;
+  C.Window.TWPolicy = TWPolicyKind::Adaptive;
+  std::unique_ptr<PhaseDetector> D =
+      makeDetector(C, Exec.Branches.numSites());
+  RecurringPhaseTracker Tracker(Exec.Branches.numSites(), 0.7);
+  const std::vector<SiteIndex> &Elements = Exec.Branches.elements();
+  for (size_t I = 0; I != Elements.size(); ++I) {
+    PhaseState S = D->processBatch(&Elements[I], 1);
+    Tracker.observe(&Elements[I], 1, S);
+  }
+  Tracker.finish();
+  // 12 loop phases of only 2 behavior classes.
+  EXPECT_GE(Tracker.completedPhases().size(), 8u);
+  EXPECT_LE(Tracker.numDistinctPhases(), 4u);
+  unsigned Recurrences = 0;
+  for (const RecurringPhaseTracker::CompletedPhase &P :
+       Tracker.completedPhases())
+    Recurrences += P.Recurrence ? 1 : 0;
+  EXPECT_GE(Recurrences, 6u);
+}
+
+//===----------------------------------------------------------------------===//
+// Phase attribution
+//===----------------------------------------------------------------------===//
+
+TEST(ProgramInfoTest, NamesMethodsAndLoops) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> Prog = compileProgram(
+      "program t;"
+      "method work() { loop k times 5 { branch a; } loop times 3 { branch b; } }"
+      "method main() { loop i times 2 { call work(); } }",
+      Diags);
+  ASSERT_NE(Prog, nullptr);
+  ProgramInfo Info = ProgramInfo::build(*Prog);
+  EXPECT_EQ(Info.numMethods(), 2u);
+  EXPECT_EQ(Info.methodName(0), "work");
+  EXPECT_EQ(Info.methodName(1), "main");
+  EXPECT_EQ(Info.numLoops(), 3u);
+  EXPECT_EQ(Info.loopName(0), "work.k");
+  EXPECT_NE(Info.loopName(1).find("work.loop@"), std::string::npos);
+  EXPECT_EQ(Info.loopName(2), "main.i");
+  // Out-of-range fallbacks.
+  EXPECT_EQ(Info.methodName(9), "method#9");
+  EXPECT_EQ(Info.loopName(9), "loop#9");
+}
+
+TEST(AttributionTest, PhasesCarryTheirConstruct) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> Prog = compileProgram(
+      "program t;"
+      "method f(d) { branch a; when (d > 0) { call f(d - 1); } }"
+      "method main() {"
+      "  loop big times 300 { branch x; }"
+      "  branch s0; branch s1;"
+      "  call f(200);"
+      "}",
+      Diags);
+  ASSERT_NE(Prog, nullptr);
+  ExecutionResult Exec = runProgram(*Prog, {});
+  std::vector<BaselineSolution> Sols =
+      computeBaselines(Exec.CallLoop, Exec.Branches.size(), {100});
+  const std::vector<AttributedPhase> &Phases =
+      Sols[0].attributedPhases();
+  ASSERT_EQ(Phases.size(), 2u);
+  ProgramInfo Info = ProgramInfo::build(*Prog);
+  // First phase: the 'big' loop.
+  EXPECT_EQ(Phases[0].ConstructKind, RepetitionInstance::Kind::Loop);
+  EXPECT_EQ(Info.loopName(Phases[0].StaticId), "main.big");
+  // Second phase: the recursive execution of f.
+  EXPECT_EQ(Phases[1].ConstructKind, RepetitionInstance::Kind::Method);
+  EXPECT_EQ(Info.methodName(Phases[1].StaticId), "f");
+}
+
+TEST(AttributionTest, ChainLengthRecorded) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> Prog = compileProgram(
+      "program t;"
+      "method q() { loop w times 20 { branch a; } }"
+      "method main() { loop r times 8 { call q(); branch s; } }",
+      Diags);
+  ASSERT_NE(Prog, nullptr);
+  ExecutionResult Exec = runProgram(*Prog, {});
+  // Adjacent q() invocations 1 element apart chain into one CRI.
+  std::vector<BaselineSolution> Sols =
+      computeBaselines(Exec.CallLoop, Exec.Branches.size(), {100});
+  ASSERT_EQ(Sols[0].numPhases(), 1u);
+  const AttributedPhase &P = Sols[0].attributedPhases()[0];
+  EXPECT_EQ(P.ConstructKind, RepetitionInstance::Kind::Method);
+  EXPECT_EQ(P.NumInstances, 8u);
+}

@@ -1,0 +1,219 @@
+//===- tests/FuzzTest.cpp - Randomized whole-pipeline property tests ----------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A random JP program generator drives property tests over the whole
+/// pipeline: generated sources must compile, print/reparse/print must be
+/// idempotent, interpretation must stay within resource bounds with
+/// balanced call-loop traces, the oracle must produce well-formed
+/// solutions, and detectors must produce well-formed output that the
+/// scoring metric maps into [0, 1].
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/BaselineSolution.h"
+#include "core/DetectorConfig.h"
+#include "core/DetectorRunner.h"
+#include "lang/Diagnostics.h"
+#include "lang/Printer.h"
+#include "lang/Sema.h"
+#include "metrics/Scoring.h"
+#include "support/Random.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace opd;
+
+namespace {
+
+/// Generates random but well-formed JP sources. Termination is
+/// guaranteed structurally: method i may only call methods with larger
+/// indices, loop trip counts are bounded literals, and recursion is
+/// never generated (the interpreter's fuel limit is a backstop, not a
+/// crutch).
+class ProgramGenerator {
+public:
+  explicit ProgramGenerator(uint64_t Seed) : Rng(Seed) {}
+
+  std::string generate() {
+    unsigned NumHelpers = 1 + static_cast<unsigned>(Rng.nextBelow(4));
+    HelperArity.clear();
+    for (unsigned I = 0; I != NumHelpers; ++I)
+      HelperArity.push_back(Rng.nextBelow(3) == 0 ? 1 : 0);
+
+    std::string Out = "program fuzz;\n";
+    // helper0..helperN-1; helper i may only call helpers with larger
+    // indices (guarantees termination); main may call any helper.
+    for (unsigned I = 0; I != NumHelpers; ++I) {
+      CurrentMethod = I;
+      Params = HelperArity[I];
+      Out += "method helper" + std::to_string(I) + "(";
+      if (Params)
+        Out += "p";
+      Out += ") " + genBlock(2) + "\n";
+    }
+    CurrentMethod = NumHelpers;
+    Params = 0;
+    Out += "method main() " + genBlock(3) + "\n";
+    return Out;
+  }
+
+private:
+  std::string genBlock(unsigned Depth) {
+    unsigned NumStmts = 1 + static_cast<unsigned>(Rng.nextBelow(4));
+    std::string Out = "{ ";
+    for (unsigned I = 0; I != NumStmts; ++I)
+      Out += genStmt(Depth) + " ";
+    Out += "}";
+    return Out;
+  }
+
+  std::string genStmt(unsigned Depth) {
+    unsigned Choice =
+        static_cast<unsigned>(Rng.nextBelow(Depth == 0 ? 2 : 7));
+    switch (Choice) {
+    case 0:
+      return "branch b" + std::to_string(NextLabel++) + ";";
+    case 1:
+      return "branch b" + std::to_string(NextLabel++) + " flip 0." +
+             std::to_string(1 + Rng.nextBelow(9)) + ";";
+    case 2: {
+      std::string Var = "v" + std::to_string(NextLabel++);
+      return "loop " + Var + " times " +
+             std::to_string(1 + Rng.nextBelow(20)) + " " +
+             genBlock(Depth - 1);
+    }
+    case 3:
+      return "if 0." + std::to_string(1 + Rng.nextBelow(9)) + " " +
+             genBlock(Depth - 1) +
+             (Rng.nextBool(0.5) ? " else " + genBlock(Depth - 1) : "");
+    case 4: {
+      std::string Cond = genExpr();
+      return "when (" + Cond + ") " + genBlock(Depth - 1) +
+             (Rng.nextBool(0.5) ? " else " + genBlock(Depth - 1) : "");
+    }
+    case 5: {
+      // Call a strictly-later-indexed helper, if any exists.
+      unsigned FirstCallable = CurrentMethod + 1;
+      if (FirstCallable >= HelperArity.size())
+        return "branch b" + std::to_string(NextLabel++) + ";";
+      unsigned Callee =
+          FirstCallable + static_cast<unsigned>(Rng.nextBelow(
+                              HelperArity.size() - FirstCallable));
+      std::string Call = "call helper" + std::to_string(Callee) + "(";
+      if (HelperArity[Callee])
+        Call += genExpr();
+      Call += ");";
+      return Call;
+    }
+    default:
+      return "pick { weight " + std::to_string(1 + Rng.nextBelow(5)) +
+             " " + genBlock(Depth - 1) + " weight " +
+             std::to_string(1 + Rng.nextBelow(5)) + " " +
+             genBlock(Depth - 1) + " }";
+    }
+  }
+
+  std::string genExpr() {
+    // Small integer expressions; use the parameter when available.
+    std::string LHS = Params && Rng.nextBool(0.5)
+                          ? "p"
+                          : std::to_string(Rng.nextBelow(10));
+    std::string RHS = std::to_string(Rng.nextBelow(10));
+    static const char *const Ops[] = {"+", "-", "*", "%", "<",
+                                      ">", "==", "!="};
+    return LHS + " " + Ops[Rng.nextBelow(8)] + " " + RHS;
+  }
+
+  Xoshiro256 Rng;
+  std::vector<unsigned> HelperArity;
+  unsigned CurrentMethod = 0;
+  unsigned Params = 0;
+  unsigned NextLabel = 0;
+};
+
+} // namespace
+
+class FuzzPipelineTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzPipelineTest, GeneratedProgramsSurviveTheWholePipeline) {
+  ProgramGenerator Gen(GetParam());
+  std::string Source = Gen.generate();
+
+  // 1. Compile.
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> Prog = compileProgram(Source, Diags);
+  ASSERT_NE(Prog, nullptr) << Diags.renderAll() << "\nsource:\n" << Source;
+
+  // 2. Print / reparse / print is idempotent.
+  std::string Printed = printProgram(*Prog);
+  DiagnosticEngine Diags2;
+  std::unique_ptr<Program> Reparsed = compileProgram(Printed, Diags2);
+  ASSERT_NE(Reparsed, nullptr)
+      << Diags2.renderAll() << "\nprinted:\n" << Printed;
+  EXPECT_EQ(printProgram(*Reparsed), Printed);
+
+  // 3. Interpret with a fuel bound; traces must be consistent.
+  InterpreterOptions Options;
+  Options.Seed = GetParam() * 31 + 7;
+  Options.MaxBranches = 200000;
+  ExecutionResult Exec = runProgram(*Prog, Options);
+  ASSERT_EQ(Exec.Stats.DynamicBranches, Exec.Branches.size());
+  // Balanced call-loop trace: every enter has a matching exit.
+  int64_t Depth = 0;
+  for (const CallLoopEvent &E : Exec.CallLoop.events()) {
+    Depth += isEnterEvent(E.Kind) ? 1 : -1;
+    ASSERT_GE(Depth, 0);
+    ASSERT_LE(E.Offset, Exec.Branches.size());
+  }
+  EXPECT_EQ(Depth, 0);
+
+  if (Exec.Branches.empty())
+    return; // A program of empty picks may emit nothing; that is fine.
+
+  // 4. Oracle well-formedness across MPLs.
+  std::vector<BaselineSolution> Sols = computeBaselines(
+      Exec.CallLoop, Exec.Branches.size(), {50, 500, 5000});
+  for (const BaselineSolution &Sol : Sols) {
+    EXPECT_EQ(Sol.states().size(), Exec.Branches.size());
+    uint64_t PrevEnd = 0;
+    for (const PhaseInterval &P : Sol.phases()) {
+      EXPECT_LE(PrevEnd, P.Begin);
+      EXPECT_LT(P.Begin, P.End);
+      EXPECT_LE(P.End, Exec.Branches.size());
+      EXPECT_GE(P.length(), Sol.mpl());
+      PrevEnd = P.End;
+    }
+  }
+
+  // 5. Detector output well-formedness and scoring bounds.
+  DetectorConfig C;
+  C.Window.CWSize = 64;
+  C.Window.TWSize = 64;
+  C.Window.TWPolicy = GetParam() % 2 == 0 ? TWPolicyKind::Adaptive
+                                          : TWPolicyKind::Constant;
+  C.Model = GetParam() % 3 == 0 ? ModelKind::WeightedSet
+                                : ModelKind::UnweightedSet;
+  C.TheAnalyzer = AnalyzerKind::Threshold;
+  C.AnalyzerParam = 0.6;
+  std::unique_ptr<PhaseDetector> D =
+      makeDetector(C, Exec.Branches.numSites());
+  DetectorRun Run = runDetector(*D, Exec.Branches);
+  EXPECT_EQ(Run.States.size(), Exec.Branches.size());
+  for (const BaselineSolution &Sol : Sols) {
+    AccuracyScore S = scoreDetection(Run.States, Sol.states());
+    EXPECT_GE(S.Score, 0.0);
+    EXPECT_LE(S.Score, 1.0);
+    AccuracyScore SA = scoreDetection(Run.AnchoredPhases, Sol.states());
+    EXPECT_GE(SA.Score, 0.0);
+    EXPECT_LE(SA.Score, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipelineTest,
+                         testing::Range<uint64_t>(1, 25));

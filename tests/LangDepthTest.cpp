@@ -1,0 +1,276 @@
+//===- tests/LangDepthTest.cpp - Additional front-end/VM depth tests ----------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "harness/Sweep.h"
+#include "lang/Diagnostics.h"
+#include "lang/Lexer.h"
+#include "lang/Sema.h"
+#include "support/Casting.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace opd;
+
+namespace {
+
+std::unique_ptr<Program> compileOK(const std::string &Source) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = compileProgram(Source, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.renderAll();
+  return P;
+}
+
+ExecutionResult run(const std::string &Source, uint64_t Seed = 1) {
+  std::unique_ptr<Program> P = compileOK(Source);
+  InterpreterOptions Options;
+  Options.Seed = Seed;
+  return runProgram(*P, Options);
+}
+
+std::string compileFail(const std::string &Source) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = compileProgram(Source, Diags);
+  EXPECT_EQ(P, nullptr);
+  return Diags.renderAll();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer depth
+//===----------------------------------------------------------------------===//
+
+TEST(LexerDepthTest, NumberFollowedByIdentifier) {
+  Lexer L("5x");
+  Token N = L.next();
+  EXPECT_EQ(N.Kind, TokenKind::Integer);
+  EXPECT_EQ(N.IntValue, 5);
+  Token Id = L.next();
+  EXPECT_EQ(Id.Kind, TokenKind::Identifier);
+  EXPECT_EQ(Id.Text, "x");
+}
+
+TEST(LexerDepthTest, LeadingDotIsError) {
+  Lexer L(".5");
+  EXPECT_EQ(L.next().Kind, TokenKind::Error);
+}
+
+TEST(LexerDepthTest, ColumnsAfterComment) {
+  Lexer L("// c\n  abc");
+  Token T = L.next();
+  EXPECT_EQ(T.Loc.Line, 2u);
+  EXPECT_EQ(T.Loc.Col, 3u);
+}
+
+TEST(LexerDepthTest, LargeIntegerWithMSuffix) {
+  Lexer L("62M");
+  Token T = L.next();
+  EXPECT_EQ(T.IntValue, 62000000);
+}
+
+TEST(LexerDepthTest, UnderscoreIdentifiers) {
+  Lexer L("_a b_2 c_d_e");
+  EXPECT_EQ(L.next().Text, "_a");
+  EXPECT_EQ(L.next().Text, "b_2");
+  EXPECT_EQ(L.next().Text, "c_d_e");
+}
+
+//===----------------------------------------------------------------------===//
+// Parser/Sema depth
+//===----------------------------------------------------------------------===//
+
+TEST(ParserDepthTest, SubtractionIsLeftAssociative) {
+  // 10 - 2 - 3 = 5 iterations.
+  ExecutionResult R = run(
+      "program t; method main() { loop times 10 - 2 - 3 { branch a; } }");
+  EXPECT_EQ(R.Branches.size(), 5u);
+}
+
+TEST(ParserDepthTest, RemBindsTighterThanPlus) {
+  // 1 + 7 % 3 = 1 + 1 = 2.
+  ExecutionResult R = run(
+      "program t; method main() { loop times 1 + 7 % 3 { branch a; } }");
+  EXPECT_EQ(R.Branches.size(), 2u);
+}
+
+TEST(ParserDepthTest, IntegerProbabilityLiterals) {
+  ExecutionResult R = run(
+      "program t; method main() {"
+      "  loop times 20 { if 1 { branch a; } else { branch b; } }"
+      "  loop times 20 { if 0 { branch c; } else { branch d; } }"
+      "}");
+  // if 1 always takes 'a'; if 0 always takes 'd'.
+  unsigned CountA = 0, CountD = 0;
+  for (uint64_t I = 0; I != R.Branches.size(); ++I) {
+    ProfileElement E = R.Branches.sites().element(R.Branches[I]);
+    CountA += E.bytecodeOffset() == 1; // branch a
+    CountD += E.bytecodeOffset() == 5; // branch d
+  }
+  EXPECT_EQ(CountA, 20u);
+  EXPECT_EQ(CountD, 20u);
+}
+
+TEST(ParserDepthTest, ForwardReferencesResolve) {
+  ExecutionResult R = run(
+      "program t;"
+      "method main() { call later(); }"
+      "method later() { branch a; }");
+  EXPECT_EQ(R.Branches.size(), 1u);
+}
+
+TEST(ParserDepthTest, DeeplyNestedBlocksParse) {
+  std::string Source = "program t; method main() ";
+  for (int I = 0; I != 30; ++I)
+    Source += "{ ";
+  Source += "branch a;";
+  for (int I = 0; I != 30; ++I)
+    Source += " }";
+  ExecutionResult R = run(Source);
+  EXPECT_EQ(R.Branches.size(), 1u);
+}
+
+TEST(ParserDepthTest, ZeroWeightRejected) {
+  std::string Diags = compileFail(
+      "program t; method main() { pick { weight 0 { branch a; } } }");
+  EXPECT_NE(Diags.find("positive integer weight"), std::string::npos);
+}
+
+TEST(SemaDepthTest, SiteOffsetsIndependentPerMethod) {
+  std::unique_ptr<Program> P = compileOK(
+      "program t;"
+      "method f() { branch a; branch b; }"
+      "method main() { branch c; call f(); }");
+  const auto *A = cast<BranchStmt>(P->methods()[0]->body()->stmts()[0].get());
+  const auto *C = cast<BranchStmt>(P->methods()[1]->body()->stmts()[0].get());
+  EXPECT_EQ(A->siteOffset(), 0u);
+  EXPECT_EQ(C->siteOffset(), 0u); // restarts per method
+  EXPECT_EQ(P->methods()[0]->numSites(), 2u);
+  EXPECT_EQ(P->methods()[1]->numSites(), 1u);
+}
+
+TEST(SemaDepthTest, NestedLoopVarsGetDistinctSlots) {
+  std::unique_ptr<Program> P = compileOK(
+      "program t; method main() {"
+      "  loop i times 2 { loop j times 2 { when (i + j > 1) { branch a; } } }"
+      "}");
+  const auto *Outer =
+      cast<LoopStmt>(P->methods()[0]->body()->stmts()[0].get());
+  const auto *Inner = cast<LoopStmt>(Outer->body()->stmts()[0].get());
+  EXPECT_NE(Outer->varSlot(), Inner->varSlot());
+  EXPECT_EQ(P->methods()[0]->numSlots(), 2u);
+}
+
+TEST(SemaDepthTest, SiblingLoopsReuseSlots) {
+  std::unique_ptr<Program> P = compileOK(
+      "program t; method main() {"
+      "  loop i times 2 { branch a; }"
+      "  loop j times 2 { branch b; }"
+      "}");
+  const auto *First =
+      cast<LoopStmt>(P->methods()[0]->body()->stmts()[0].get());
+  const auto *Second =
+      cast<LoopStmt>(P->methods()[0]->body()->stmts()[1].get());
+  EXPECT_EQ(First->varSlot(), Second->varSlot()); // scopes do not overlap
+  EXPECT_EQ(P->methods()[0]->numSlots(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter depth
+//===----------------------------------------------------------------------===//
+
+TEST(InterpreterDepthTest, LoopVarVisibleInNestedLoopCounts) {
+  // Inner trip count depends on the outer variable: sum 0+1+2 = 3.
+  ExecutionResult R = run(
+      "program t; method main() {"
+      "  loop i times 3 { loop times i { branch a; } }"
+      "}");
+  EXPECT_EQ(R.Branches.size(), 3u);
+}
+
+TEST(InterpreterDepthTest, ZeroIterationLoopStillEmitsEvents) {
+  ExecutionResult R = run(
+      "program t; method main() { loop times 0 { branch a; } }");
+  EXPECT_EQ(R.Branches.size(), 0u);
+  ASSERT_EQ(R.CallLoop.size(), 4u); // main enter, loop enter/exit, exit
+  EXPECT_EQ(R.CallLoop[1].Kind, CallLoopEventKind::LoopEnter);
+  EXPECT_EQ(R.CallLoop[2].Kind, CallLoopEventKind::LoopExit);
+  EXPECT_EQ(R.Stats.LoopExecutions, 1u);
+}
+
+TEST(InterpreterDepthTest, RecursionNearDepthLimitCompletes) {
+  ExecutionResult R = run(
+      "program t;"
+      "method f(d) { branch a; when (d > 0) { call f(d - 1); } }"
+      "method main() { call f(4000); }");
+  EXPECT_FALSE(R.Stats.HaltedByDepth);
+  EXPECT_EQ(R.Stats.MaxCallDepth, 4002u);
+  EXPECT_EQ(R.Branches.size(), 2u * 4000 + 2);
+}
+
+TEST(InterpreterDepthTest, NestedPickSelectsThroughLayers) {
+  ExecutionResult R = run(
+      "program t; method main() {"
+      "  loop times 64 {"
+      "    pick { weight 1 { pick { weight 1 { branch a; }"
+      "                             weight 1 { branch b; } } }"
+      "           weight 1 { branch c; } }"
+      "  }"
+      "}");
+  EXPECT_EQ(R.Branches.size(), 64u);
+  EXPECT_EQ(R.Branches.numSites(), 3u);
+}
+
+TEST(InterpreterDepthTest, StatsCountDistinctConstructs) {
+  ExecutionResult R = run(
+      "program t;"
+      "method g() { loop times 2 { branch a; } }"
+      "method main() {"
+      "  loop times 3 { call g(); }"
+      "  loop times 2 { branch b; }"
+      "}");
+  EXPECT_EQ(R.Stats.MethodInvocations, 4u); // main + 3x g
+  EXPECT_EQ(R.Stats.LoopExecutions, 5u);    // main's 2 + g's 3
+  EXPECT_EQ(R.Stats.RecursionRoots, 0u);
+}
+
+TEST(InterpreterDepthTest, NegativeSeedStreamsDiffer) {
+  const char *Source = "program t; method main() {"
+                       "  loop times 64 { branch a flip 0.5; } }";
+  ExecutionResult A = run(Source, 0); // seed zero is legal
+  ExecutionResult B = run(Source, UINT64_MAX);
+  ASSERT_EQ(A.Branches.size(), B.Branches.size());
+  bool Different = false;
+  for (uint64_t I = 0; I != A.Branches.size(); ++I)
+    Different |= A.Branches[I] != B.Branches[I];
+  EXPECT_TRUE(Different);
+}
+
+//===----------------------------------------------------------------------===//
+// Harness depth
+//===----------------------------------------------------------------------===//
+
+TEST(HarnessDepthTest, SubsetOrderPreserved) {
+  std::vector<BenchmarkData> Benchmarks =
+      prepareBenchmarks({"jlex", "db"}, {1000}, /*Scale=*/0.2);
+  ASSERT_EQ(Benchmarks.size(), 2u);
+  EXPECT_EQ(Benchmarks[0].Name, "jlex");
+  EXPECT_EQ(Benchmarks[1].Name, "db");
+}
+
+TEST(HarnessDepthTest, PaperAnalyzerSetMatchesFigure6) {
+  std::vector<AnalyzerSpec> Analyzers = paperAnalyzers();
+  ASSERT_EQ(Analyzers.size(), 10u);
+  unsigned Thresholds = 0, Averages = 0;
+  for (const AnalyzerSpec &A : Analyzers) {
+    Thresholds += A.Kind == AnalyzerKind::Threshold;
+    Averages += A.Kind == AnalyzerKind::Average;
+  }
+  EXPECT_EQ(Thresholds, 4u);
+  EXPECT_EQ(Averages, 6u);
+}

@@ -1,0 +1,352 @@
+//===- tests/LangTest.cpp - Unit tests for src/lang ----------------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace opd;
+
+namespace {
+
+/// Lexes all of \p Source into a token-kind vector (excluding EOF).
+std::vector<TokenKind> lexAll(const std::string &Source) {
+  Lexer L(Source);
+  std::vector<TokenKind> Kinds;
+  for (Token T = L.next(); !T.is(TokenKind::EndOfFile); T = L.next()) {
+    Kinds.push_back(T.Kind);
+    if (T.is(TokenKind::Error))
+      break;
+  }
+  return Kinds;
+}
+
+/// Parses + analyzes; expects success.
+std::unique_ptr<Program> compileOK(const std::string &Source) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = compileProgram(Source, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.renderAll();
+  return P;
+}
+
+/// Parses + analyzes; expects failure and returns the diagnostics text.
+std::string compileFail(const std::string &Source) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = compileProgram(Source, Diags);
+  EXPECT_EQ(P, nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+  return Diags.renderAll();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  std::vector<TokenKind> Kinds = lexAll("program foo method loop times x");
+  ASSERT_EQ(Kinds.size(), 6u);
+  EXPECT_EQ(Kinds[0], TokenKind::KwProgram);
+  EXPECT_EQ(Kinds[1], TokenKind::Identifier);
+  EXPECT_EQ(Kinds[2], TokenKind::KwMethod);
+  EXPECT_EQ(Kinds[3], TokenKind::KwLoop);
+  EXPECT_EQ(Kinds[4], TokenKind::KwTimes);
+  EXPECT_EQ(Kinds[5], TokenKind::Identifier);
+}
+
+TEST(LexerTest, IntegerSuffixes) {
+  Lexer L("5 10K 2M 1.5K");
+  Token A = L.next();
+  EXPECT_EQ(A.Kind, TokenKind::Integer);
+  EXPECT_EQ(A.IntValue, 5);
+  Token B = L.next();
+  EXPECT_EQ(B.IntValue, 10000);
+  Token C = L.next();
+  EXPECT_EQ(C.IntValue, 2000000);
+  Token D = L.next();
+  EXPECT_EQ(D.Kind, TokenKind::Float);
+  EXPECT_DOUBLE_EQ(D.FloatValue, 1500.0);
+}
+
+TEST(LexerTest, FloatLiterals) {
+  Lexer L("0.75");
+  Token T = L.next();
+  EXPECT_EQ(T.Kind, TokenKind::Float);
+  EXPECT_DOUBLE_EQ(T.FloatValue, 0.75);
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  std::vector<TokenKind> Kinds = lexAll("{ } ( ) ; , + - * / % < <= > >= == !=");
+  std::vector<TokenKind> Expected = {
+      TokenKind::LBrace,  TokenKind::RBrace,       TokenKind::LParen,
+      TokenKind::RParen,  TokenKind::Semicolon,    TokenKind::Comma,
+      TokenKind::Plus,    TokenKind::Minus,        TokenKind::Star,
+      TokenKind::Slash,   TokenKind::Percent,      TokenKind::Less,
+      TokenKind::LessEqual, TokenKind::Greater,    TokenKind::GreaterEqual,
+      TokenKind::EqualEqual, TokenKind::BangEqual};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  std::vector<TokenKind> Kinds = lexAll("// hello\nbranch // trailing\n;");
+  ASSERT_EQ(Kinds.size(), 2u);
+  EXPECT_EQ(Kinds[0], TokenKind::KwBranch);
+  EXPECT_EQ(Kinds[1], TokenKind::Semicolon);
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  Lexer L("a\n  b");
+  Token A = L.next();
+  EXPECT_EQ(A.Loc.Line, 1u);
+  EXPECT_EQ(A.Loc.Col, 1u);
+  Token B = L.next();
+  EXPECT_EQ(B.Loc.Line, 2u);
+  EXPECT_EQ(B.Loc.Col, 3u);
+}
+
+TEST(LexerTest, InvalidCharacterIsErrorToken) {
+  Lexer L("$");
+  Token T = L.next();
+  EXPECT_EQ(T.Kind, TokenKind::Error);
+}
+
+TEST(LexerTest, EOFIsSticky) {
+  Lexer L("");
+  EXPECT_EQ(L.next().Kind, TokenKind::EndOfFile);
+  EXPECT_EQ(L.next().Kind, TokenKind::EndOfFile);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(ParserTest, MinimalProgram) {
+  std::unique_ptr<Program> P =
+      compileOK("program t; method main() { branch b; }");
+  EXPECT_EQ(P->name(), "t");
+  ASSERT_EQ(P->methods().size(), 1u);
+  EXPECT_EQ(P->methods()[0]->name(), "main");
+}
+
+TEST(ParserTest, LoopWithVariableAndExprCount) {
+  std::unique_ptr<Program> P = compileOK(
+      "program t; method main() { loop i times 3 + 4 * 2 { branch b; } }");
+  const auto *Loop =
+      dyn_cast<LoopStmt>(P->methods()[0]->body()->stmts()[0].get());
+  ASSERT_NE(Loop, nullptr);
+  EXPECT_TRUE(Loop->hasVar());
+  EXPECT_EQ(Loop->varName(), "i");
+  const auto *Count = dyn_cast<BinaryExpr>(Loop->count());
+  ASSERT_NE(Count, nullptr);
+  EXPECT_EQ(Count->op(), BinaryOp::Add); // * binds tighter than +
+}
+
+TEST(ParserTest, BranchFlipAndPlainBranch) {
+  std::unique_ptr<Program> P = compileOK(
+      "program t; method main() { branch a; branch b flip 0.25; }");
+  const auto &Stmts = P->methods()[0]->body()->stmts();
+  ASSERT_EQ(Stmts.size(), 2u);
+  EXPECT_DOUBLE_EQ(cast<BranchStmt>(Stmts[0].get())->flipProbability(), 1.0);
+  EXPECT_DOUBLE_EQ(cast<BranchStmt>(Stmts[1].get())->flipProbability(),
+                   0.25);
+}
+
+TEST(ParserTest, IfElseAndWhen) {
+  std::unique_ptr<Program> P = compileOK(
+      "program t; method main() {"
+      "  if 0.5 { branch a; } else { branch b; }"
+      "  when (1 < 2) { branch c; }"
+      "}");
+  const auto &Stmts = P->methods()[0]->body()->stmts();
+  ASSERT_EQ(Stmts.size(), 2u);
+  EXPECT_NE(dyn_cast<IfStmt>(Stmts[0].get()), nullptr);
+  const auto *When = dyn_cast<WhenStmt>(Stmts[1].get());
+  ASSERT_NE(When, nullptr);
+  EXPECT_EQ(When->elseBlock(), nullptr);
+}
+
+TEST(ParserTest, CallWithArguments) {
+  std::unique_ptr<Program> P = compileOK(
+      "program t;"
+      "method main() { call f(1, 2 + 3); }"
+      "method f(a, b) { branch x; }");
+  const auto *Call =
+      dyn_cast<CallStmt>(P->methods()[0]->body()->stmts()[0].get());
+  ASSERT_NE(Call, nullptr);
+  EXPECT_EQ(Call->callee(), "f");
+  EXPECT_EQ(Call->args().size(), 2u);
+}
+
+TEST(ParserTest, PickArms) {
+  std::unique_ptr<Program> P = compileOK(
+      "program t; method main() {"
+      "  pick { weight 3 { branch a; } weight 1 { branch b; } }"
+      "}");
+  const auto *Pick =
+      dyn_cast<PickStmt>(P->methods()[0]->body()->stmts()[0].get());
+  ASSERT_NE(Pick, nullptr);
+  EXPECT_EQ(Pick->arms().size(), 2u);
+  EXPECT_EQ(Pick->totalWeight(), 4u);
+}
+
+TEST(ParserTest, ErrorMissingSemicolon) {
+  std::string Diags =
+      compileFail("program t; method main() { branch a }");
+  EXPECT_NE(Diags.find("error"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorUnterminatedBlock) {
+  std::string Diags = compileFail("program t; method main() { branch a;");
+  EXPECT_NE(Diags.find("unterminated block"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorProbabilityOutOfRange) {
+  std::string Diags =
+      compileFail("program t; method main() { if 1.5 { branch a; } }");
+  EXPECT_NE(Diags.find("probability"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorEmptyPick) {
+  std::string Diags =
+      compileFail("program t; method main() { pick { } }");
+  EXPECT_NE(Diags.find("at least one arm"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorMissingProgramKeyword) {
+  std::string Diags = compileFail("method main() { branch a; }");
+  EXPECT_NE(Diags.find("'program'"), std::string::npos);
+}
+
+TEST(ParserTest, DiagnosticCarriesLocation) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P =
+      parseProgram("program t;\nmethod main() {\n  bogus;\n}", Diags);
+  EXPECT_EQ(P, nullptr);
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.diagnostics()[0].Loc.Line, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Sema
+//===----------------------------------------------------------------------===//
+
+TEST(SemaTest, AssignsMethodIndicesAndEntry) {
+  std::unique_ptr<Program> P = compileOK(
+      "program t;"
+      "method helper() { branch h; }"
+      "method main() { call helper(); }");
+  EXPECT_EQ(P->entryIndex(), 1u);
+  EXPECT_EQ(P->methods()[0]->methodIndex(), 0u);
+  EXPECT_EQ(P->methods()[1]->methodIndex(), 1u);
+}
+
+TEST(SemaTest, AssignsDistinctSiteOffsets) {
+  std::unique_ptr<Program> P = compileOK(
+      "program t; method main() {"
+      "  branch a; if 0.5 { branch b; } when (1) { branch c; }"
+      "}");
+  const auto &Stmts = P->methods()[0]->body()->stmts();
+  const auto *A = cast<BranchStmt>(Stmts[0].get());
+  const auto *If = cast<IfStmt>(Stmts[1].get());
+  const auto *When = cast<WhenStmt>(Stmts[2].get());
+  const auto *B = cast<BranchStmt>(If->thenBlock()->stmts()[0].get());
+  const auto *C = cast<BranchStmt>(When->thenBlock()->stmts()[0].get());
+  std::vector<uint32_t> Offsets = {A->siteOffset(), If->siteOffset(),
+                                   B->siteOffset(), When->siteOffset(),
+                                   C->siteOffset()};
+  std::sort(Offsets.begin(), Offsets.end());
+  EXPECT_TRUE(std::adjacent_find(Offsets.begin(), Offsets.end()) ==
+              Offsets.end())
+      << "site offsets must be unique within a method";
+  EXPECT_EQ(P->methods()[0]->numSites(), 5u);
+}
+
+TEST(SemaTest, AssignsLoopIdsProgramWide) {
+  std::unique_ptr<Program> P = compileOK(
+      "program t;"
+      "method f() { loop times 2 { branch a; } }"
+      "method main() { loop times 3 { branch b; } call f(); }");
+  EXPECT_EQ(P->numLoops(), 2u);
+  const auto *L0 = cast<LoopStmt>(P->methods()[0]->body()->stmts()[0].get());
+  const auto *L1 = cast<LoopStmt>(P->methods()[1]->body()->stmts()[0].get());
+  EXPECT_NE(L0->loopId(), L1->loopId());
+}
+
+TEST(SemaTest, ResolvesParamsAndLoopVars) {
+  std::unique_ptr<Program> P = compileOK(
+      "program t;"
+      "method f(n) { loop i times n { when (i % 2 == 0) { branch a; } } }"
+      "method main() { call f(4); }");
+  const MethodDecl &F = *P->methods()[0];
+  EXPECT_EQ(F.numSlots(), 2u); // n + i
+}
+
+TEST(SemaTest, LoopVarShadowsParam) {
+  std::unique_ptr<Program> P = compileOK(
+      "program t;"
+      "method f(x) { loop x times 3 { when (x > 0) { branch a; } } }"
+      "method main() { call f(9); }");
+  const auto *Loop =
+      cast<LoopStmt>(P->methods()[0]->body()->stmts()[0].get());
+  const auto *When = cast<WhenStmt>(Loop->body()->stmts()[0].get());
+  const auto *Cond = cast<BinaryExpr>(When->cond());
+  const auto *Ref = cast<ParamRefExpr>(Cond->lhs());
+  EXPECT_EQ(Ref->slot(), Loop->varSlot());
+  EXPECT_NE(Ref->slot(), 0u); // not the parameter slot
+}
+
+TEST(SemaTest, ErrorNoMain) {
+  std::string Diags = compileFail("program t; method f() { branch a; }");
+  EXPECT_NE(Diags.find("no 'main'"), std::string::npos);
+}
+
+TEST(SemaTest, ErrorMainWithParams) {
+  std::string Diags =
+      compileFail("program t; method main(x) { branch a; }");
+  EXPECT_NE(Diags.find("must not take parameters"), std::string::npos);
+}
+
+TEST(SemaTest, ErrorDuplicateMethod) {
+  std::string Diags = compileFail(
+      "program t; method main() { branch a; } method main() { branch b; }");
+  EXPECT_NE(Diags.find("duplicate method"), std::string::npos);
+}
+
+TEST(SemaTest, ErrorUndefinedCallee) {
+  std::string Diags =
+      compileFail("program t; method main() { call ghost(); }");
+  EXPECT_NE(Diags.find("undefined method 'ghost'"), std::string::npos);
+}
+
+TEST(SemaTest, ErrorArityMismatch) {
+  std::string Diags = compileFail(
+      "program t; method f(a) { branch x; } method main() { call f(); }");
+  EXPECT_NE(Diags.find("expects 1 argument"), std::string::npos);
+}
+
+TEST(SemaTest, ErrorUnknownName) {
+  std::string Diags = compileFail(
+      "program t; method main() { loop times zz { branch a; } }");
+  EXPECT_NE(Diags.find("unknown name 'zz'"), std::string::npos);
+}
+
+TEST(SemaTest, ErrorDuplicateParam) {
+  std::string Diags = compileFail(
+      "program t; method f(a, a) { branch x; } method main() { call f(1, 2); }");
+  EXPECT_NE(Diags.find("duplicate parameter"), std::string::npos);
+}
+
+TEST(SemaTest, ErrorLoopVarOutOfScope) {
+  std::string Diags = compileFail(
+      "program t; method main() { loop i times 2 { branch a; } "
+      "when (i > 0) { branch b; } }");
+  EXPECT_NE(Diags.find("unknown name 'i'"), std::string::npos);
+}

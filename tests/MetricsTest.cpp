@@ -1,0 +1,216 @@
+//===- tests/MetricsTest.cpp - Scoring metric tests ----------------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Scoring.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace opd;
+
+namespace {
+
+StateSequence seqFromPhases(std::vector<PhaseInterval> Phases,
+                            uint64_t Total) {
+  return StateSequence::fromPhases(Phases, Total);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Boundary matching
+//===----------------------------------------------------------------------===//
+
+TEST(BoundaryMatchTest, ExactMatchCountsBoth) {
+  std::vector<PhaseInterval> Baseline = {{100, 200}};
+  std::vector<PhaseInterval> Detected = {{100, 200}};
+  BoundaryMatchResult M = matchBoundaries(Detected, Baseline, 300);
+  EXPECT_EQ(M.MatchedStarts, 1u);
+  EXPECT_EQ(M.MatchedEnds, 1u);
+  EXPECT_EQ(M.baseline(), 2u);
+  EXPECT_EQ(M.detected(), 2u);
+}
+
+TEST(BoundaryMatchTest, LateStartStillMatches) {
+  // Constraint 1: detected start in [baseline start, baseline end).
+  std::vector<PhaseInterval> Baseline = {{100, 200}};
+  for (uint64_t Start : {100ull, 150ull, 199ull}) {
+    std::vector<PhaseInterval> Detected = {{Start, 210}};
+    BoundaryMatchResult M = matchBoundaries(Detected, Baseline, 300);
+    EXPECT_EQ(M.MatchedStarts, 1u) << "start " << Start;
+  }
+}
+
+TEST(BoundaryMatchTest, StartAtBaselineEndDoesNotMatch) {
+  std::vector<PhaseInterval> Baseline = {{100, 200}};
+  std::vector<PhaseInterval> Detected = {{200, 250}};
+  BoundaryMatchResult M = matchBoundaries(Detected, Baseline, 300);
+  EXPECT_EQ(M.MatchedStarts, 0u);
+  // But the end 250 lies in [200, Total+1): it matches the baseline end.
+  EXPECT_EQ(M.MatchedEnds, 1u);
+}
+
+TEST(BoundaryMatchTest, EndBeforeBaselineEndDoesNotMatch) {
+  // Constraint 2: detected end must be at/after the baseline end.
+  std::vector<PhaseInterval> Baseline = {{100, 200}};
+  std::vector<PhaseInterval> Detected = {{110, 190}};
+  BoundaryMatchResult M = matchBoundaries(Detected, Baseline, 300);
+  EXPECT_EQ(M.MatchedStarts, 1u);
+  EXPECT_EQ(M.MatchedEnds, 0u);
+}
+
+TEST(BoundaryMatchTest, EndMustPrecedeNextBaselineStart) {
+  std::vector<PhaseInterval> Baseline = {{100, 200}, {250, 400}};
+  // End 260 is past the start of the next baseline phase.
+  std::vector<PhaseInterval> Detected = {{120, 260}};
+  BoundaryMatchResult M = matchBoundaries(Detected, Baseline, 500);
+  EXPECT_EQ(M.MatchedEnds, 0u);
+  // End 240 would match.
+  Detected = {{120, 240}};
+  M = matchBoundaries(Detected, Baseline, 500);
+  EXPECT_EQ(M.MatchedEnds, 1u);
+}
+
+TEST(BoundaryMatchTest, OneToOneWithinABaselinePhase) {
+  // Two detected starts inside one baseline phase: only one matches.
+  std::vector<PhaseInterval> Baseline = {{100, 300}};
+  std::vector<PhaseInterval> Detected = {{110, 150}, {160, 320}};
+  BoundaryMatchResult M = matchBoundaries(Detected, Baseline, 400);
+  EXPECT_EQ(M.MatchedStarts, 1u);
+  EXPECT_EQ(M.MatchedEnds, 1u); // the end 320 in [300, 401)
+  EXPECT_EQ(M.detected(), 4u);
+}
+
+TEST(BoundaryMatchTest, MultipleBaselinePhases) {
+  std::vector<PhaseInterval> Baseline = {{0, 100}, {150, 250}, {300, 400}};
+  std::vector<PhaseInterval> Detected = {{10, 120}, {160, 260}, {310, 410}};
+  BoundaryMatchResult M = matchBoundaries(Detected, Baseline, 500);
+  EXPECT_EQ(M.MatchedStarts, 3u);
+  EXPECT_EQ(M.MatchedEnds, 3u);
+}
+
+TEST(BoundaryMatchTest, EmptyDetectedMatchesNothing) {
+  std::vector<PhaseInterval> Baseline = {{10, 60}};
+  BoundaryMatchResult M = matchBoundaries({}, Baseline, 100);
+  EXPECT_EQ(M.matched(), 0u);
+  EXPECT_EQ(M.detected(), 0u);
+  EXPECT_EQ(M.baseline(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Score composition
+//===----------------------------------------------------------------------===//
+
+TEST(ScoringTest, PerfectDetectorScoresOne) {
+  StateSequence Baseline = seqFromPhases({{100, 500}, {700, 900}}, 1000);
+  AccuracyScore S = scoreDetection(Baseline, Baseline);
+  EXPECT_DOUBLE_EQ(S.Correlation, 1.0);
+  EXPECT_DOUBLE_EQ(S.Sensitivity, 1.0);
+  EXPECT_DOUBLE_EQ(S.FalsePositives, 0.0);
+  EXPECT_DOUBLE_EQ(S.Score, 1.0);
+}
+
+TEST(ScoringTest, AlwaysTransitionDetector) {
+  StateSequence Baseline = seqFromPhases({{0, 600}}, 1000);
+  StateSequence Detected = seqFromPhases({}, 1000);
+  AccuracyScore S = scoreDetection(Detected, Baseline);
+  EXPECT_DOUBLE_EQ(S.Correlation, 0.4); // agrees on the 400 T elements
+  EXPECT_DOUBLE_EQ(S.Sensitivity, 0.0);
+  EXPECT_DOUBLE_EQ(S.FalsePositives, 0.0); // no detected boundaries
+  EXPECT_DOUBLE_EQ(S.Score, 0.4 / 2 + 0.0 / 4 + 1.0 / 4);
+}
+
+TEST(ScoringTest, AlwaysInPhaseDetector) {
+  StateSequence Baseline = seqFromPhases({{0, 600}}, 1000);
+  StateSequence Detected = seqFromPhases({{0, 1000}}, 1000);
+  AccuracyScore S = scoreDetection(Detected, Baseline);
+  EXPECT_DOUBLE_EQ(S.Correlation, 0.6);
+  // Start 0 matches ([0,600)); end 1000 in [600, 1001) matches.
+  EXPECT_DOUBLE_EQ(S.Sensitivity, 1.0);
+  EXPECT_DOUBLE_EQ(S.FalsePositives, 0.0);
+}
+
+TEST(ScoringTest, FalsePositivesPenalized) {
+  StateSequence Baseline = seqFromPhases({{0, 500}}, 1000);
+  // Three detected phases; the extra boundaries in [500,1000) are false.
+  StateSequence Detected =
+      seqFromPhases({{0, 200}, {600, 700}, {800, 900}}, 1000);
+  AccuracyScore S = scoreDetection(Detected, Baseline);
+  EXPECT_EQ(S.DetectedBoundaries, 6u);
+  // Start 0 matches; ends 700/900... end must be in [500, 1001): the
+  // closest (700) matches; 200 does not (in-phase), 900 unmatched.
+  EXPECT_EQ(S.MatchedBoundaries, 2u);
+  EXPECT_DOUBLE_EQ(S.FalsePositives, 4.0 / 6.0);
+}
+
+TEST(ScoringTest, ScoreIsInUnitInterval) {
+  Xoshiro256 Rng(2);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    uint64_t Total = 500 + Rng.nextBelow(500);
+    auto randomPhases = [&] {
+      std::vector<PhaseInterval> Phases;
+      uint64_t Cursor = Rng.nextBelow(50);
+      while (Cursor + 20 < Total) {
+        uint64_t Len = 10 + Rng.nextBelow(100);
+        uint64_t End = std::min(Total, Cursor + Len);
+        Phases.push_back({Cursor, End});
+        Cursor = End + 1 + Rng.nextBelow(80);
+      }
+      return Phases;
+    };
+    StateSequence A = seqFromPhases(randomPhases(), Total);
+    StateSequence B = seqFromPhases(randomPhases(), Total);
+    AccuracyScore S = scoreDetection(A, B);
+    EXPECT_GE(S.Score, 0.0);
+    EXPECT_LE(S.Score, 1.0);
+    EXPECT_GE(S.Correlation, 0.0);
+    EXPECT_LE(S.Correlation, 1.0);
+    EXPECT_GE(S.Sensitivity, 0.0);
+    EXPECT_LE(S.Sensitivity, 1.0);
+    EXPECT_GE(S.FalsePositives, 0.0);
+    EXPECT_LE(S.FalsePositives, 1.0);
+  }
+}
+
+TEST(ScoringTest, WeightsAreHalfQuarterQuarter) {
+  AccuracyScore S;
+  S.Correlation = 0.8;
+  S.Sensitivity = 0.4;
+  S.FalsePositives = 0.2;
+  S.combine();
+  EXPECT_DOUBLE_EQ(S.Score, 0.8 / 2 + 0.4 / 4 + 0.8 / 4);
+}
+
+TEST(ScoringTest, EmptyBaselineSensitivityIsVacuouslyOne) {
+  StateSequence Baseline = seqFromPhases({}, 500);
+  StateSequence Detected = seqFromPhases({{100, 200}}, 500);
+  AccuracyScore S = scoreDetection(Detected, Baseline);
+  EXPECT_DOUBLE_EQ(S.Sensitivity, 1.0);
+  EXPECT_DOUBLE_EQ(S.FalsePositives, 1.0); // every boundary unmatched
+}
+
+TEST(ScoringTest, AnchoredOverloadUsesGivenPhases) {
+  StateSequence Baseline = seqFromPhases({{100, 400}}, 1000);
+  // Detected (late) phase [250, 450); anchored start pulls it to 120.
+  std::vector<PhaseInterval> Anchored = {{120, 450}};
+  std::vector<PhaseInterval> Late = {{250, 450}};
+  AccuracyScore SAnchored = scoreDetection(Anchored, Baseline);
+  AccuracyScore SLate = scoreDetection(Late, Baseline);
+  // Anchoring improves correlation (more overlap) while matching equally.
+  EXPECT_GT(SAnchored.Correlation, SLate.Correlation);
+  EXPECT_EQ(SAnchored.MatchedBoundaries, SLate.MatchedBoundaries);
+  EXPECT_GT(SAnchored.Score, SLate.Score);
+}
+
+TEST(ScoringTest, LateDetectionDegradesCorrelationOnly) {
+  StateSequence Baseline = seqFromPhases({{0, 1000}}, 2000);
+  StateSequence Detected = seqFromPhases({{200, 1000}}, 2000);
+  AccuracyScore S = scoreDetection(Detected, Baseline);
+  EXPECT_DOUBLE_EQ(S.Correlation, 0.9);
+  EXPECT_DOUBLE_EQ(S.Sensitivity, 1.0);
+  EXPECT_DOUBLE_EQ(S.FalsePositives, 0.0);
+}

@@ -1,0 +1,134 @@
+//===- tests/OfflineTest.cpp - Offline clustering tests ------------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/OfflineClustering.h"
+#include "metrics/Scoring.h"
+#include "workloads/Synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace opd;
+
+namespace {
+
+SyntheticTrace makeCleanTrace(unsigned Phases, unsigned Behaviors,
+                              uint64_t PhaseLen, uint64_t Seed = 7) {
+  SyntheticSpec Spec;
+  Spec.NumPhases = Phases;
+  Spec.NumBehaviors = Behaviors;
+  Spec.PhaseLength = PhaseLen;
+  Spec.TransitionLength = 0;
+  Spec.NoiseProbability = 0.0;
+  Spec.Seed = Seed;
+  return generateSynthetic(Spec);
+}
+
+} // namespace
+
+TEST(OfflineClusteringTest, RecoversPlantedBehaviors) {
+  // 6 phases cycling 2 behaviors, no noise, no transitions: clustering
+  // with k=2 must label the phases in the alternating pattern. (With a
+  // larger k, k-means is free to split a behavior's phases by sampling
+  // variance — that over-segmentation is expected, not a bug.)
+  SyntheticTrace T = makeCleanTrace(6, 2, 10000);
+  OfflineClusteringOptions Options;
+  Options.IntervalLength = 10000; // aligned with the phases
+  Options.NumClusters = 2;
+  OfflineClusteringResult R = clusterTrace(T.Trace, Options);
+  ASSERT_EQ(R.IntervalLabels.size(), 6u);
+  EXPECT_EQ(R.NumClusters, 2u);
+  for (size_t I = 2; I != R.IntervalLabels.size(); ++I)
+    EXPECT_EQ(R.IntervalLabels[I], R.IntervalLabels[I - 2]);
+  EXPECT_NE(R.IntervalLabels[0], R.IntervalLabels[1]);
+}
+
+TEST(OfflineClusteringTest, PhasesAreMaximalLabelRuns) {
+  SyntheticTrace T = makeCleanTrace(4, 2, 5000);
+  OfflineClusteringOptions Options;
+  Options.IntervalLength = 5000;
+  Options.NumClusters = 2;
+  OfflineClusteringResult R = clusterTrace(T.Trace, Options);
+  ASSERT_EQ(R.Phases.size(), 4u);
+  uint64_t PrevEnd = 0;
+  for (const PhaseInterval &P : R.Phases) {
+    EXPECT_EQ(P.Begin, PrevEnd); // abutting, covering everything
+    PrevEnd = P.End;
+  }
+  EXPECT_EQ(PrevEnd, T.Trace.size());
+}
+
+TEST(OfflineClusteringTest, DeterministicForSeed) {
+  SyntheticTrace T = makeCleanTrace(8, 3, 4000);
+  OfflineClusteringOptions Options;
+  Options.IntervalLength = 2000;
+  Options.NumClusters = 5;
+  OfflineClusteringResult A = clusterTrace(T.Trace, Options);
+  OfflineClusteringResult B = clusterTrace(T.Trace, Options);
+  EXPECT_EQ(A.IntervalLabels, B.IntervalLabels);
+}
+
+TEST(OfflineClusteringTest, KOneYieldsSinglePhase) {
+  SyntheticTrace T = makeCleanTrace(4, 2, 3000);
+  OfflineClusteringOptions Options;
+  Options.IntervalLength = 1000;
+  Options.NumClusters = 1;
+  OfflineClusteringResult R = clusterTrace(T.Trace, Options);
+  EXPECT_EQ(R.NumClusters, 1u);
+  ASSERT_EQ(R.Phases.size(), 1u);
+  EXPECT_EQ(R.Phases[0].length(), T.Trace.size());
+}
+
+TEST(OfflineClusteringTest, PartialFinalIntervalIncluded) {
+  SyntheticTrace T = makeCleanTrace(1, 1, 2500);
+  OfflineClusteringOptions Options;
+  Options.IntervalLength = 1000;
+  Options.NumClusters = 2;
+  OfflineClusteringResult R = clusterTrace(T.Trace, Options);
+  EXPECT_EQ(R.IntervalLabels.size(), 3u); // 1000 + 1000 + 500
+  EXPECT_EQ(R.Phases.back().End, T.Trace.size());
+}
+
+TEST(OfflineClusteringTest, EmptyTrace) {
+  BranchTrace Empty;
+  OfflineClusteringResult R = clusterTrace(Empty, {});
+  EXPECT_TRUE(R.IntervalLabels.empty());
+  EXPECT_TRUE(R.Phases.empty());
+  EXPECT_EQ(R.States.size(), 0u);
+}
+
+TEST(OfflineClusteringTest, MoreClustersThanIntervalsIsSafe) {
+  SyntheticTrace T = makeCleanTrace(1, 1, 1500);
+  OfflineClusteringOptions Options;
+  Options.IntervalLength = 1000;
+  Options.NumClusters = 16;
+  OfflineClusteringResult R = clusterTrace(T.Trace, Options);
+  EXPECT_LE(R.NumClusters, 2u);
+}
+
+TEST(OfflineClusteringTest, ScoresAgainstOracleStates) {
+  // The offline pipeline's output plugs into the same scoring metric.
+  SyntheticSpec Spec;
+  Spec.NumPhases = 6;
+  Spec.PhaseLength = 12000;
+  Spec.TransitionLength = 3000;
+  Spec.Seed = 5;
+  SyntheticTrace T = generateSynthetic(Spec);
+  OfflineClusteringOptions Options;
+  Options.IntervalLength = 3000;
+  Options.NumClusters = 6;
+  OfflineClusteringResult R = clusterTrace(T.Trace, Options);
+  AccuracyScore S = scoreDetection(R.Phases, T.Truth);
+  EXPECT_GE(S.Score, 0.0);
+  EXPECT_LE(S.Score, 1.0);
+  // It is always in phase, so correlation is bounded by the truth's
+  // in-phase fraction.
+  double InPhaseFrac = static_cast<double>(T.Truth.numInPhase()) /
+                       static_cast<double>(T.Truth.size());
+  EXPECT_LE(S.Correlation, InPhaseFrac + 1e-9);
+}

@@ -1,0 +1,100 @@
+//===- tests/PrinterTest.cpp - JP pretty-printer tests -------------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Diagnostics.h"
+#include "lang/Printer.h"
+#include "lang/Sema.h"
+#include "vm/Interpreter.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace opd;
+
+namespace {
+
+std::unique_ptr<Program> compileOK(const std::string &Source) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = compileProgram(Source, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.renderAll();
+  return P;
+}
+
+/// Print -> reparse -> print must be a fixed point.
+void expectRoundTrip(const std::string &Source) {
+  std::unique_ptr<Program> P1 = compileOK(Source);
+  ASSERT_NE(P1, nullptr);
+  std::string S1 = printProgram(*P1);
+  std::unique_ptr<Program> P2 = compileOK(S1);
+  ASSERT_NE(P2, nullptr) << "printer emitted unparsable source:\n" << S1;
+  EXPECT_EQ(printProgram(*P2), S1);
+}
+
+} // namespace
+
+TEST(PrinterTest, MinimalProgram) {
+  expectRoundTrip("program t; method main() { branch b; }");
+}
+
+TEST(PrinterTest, AllStatementForms) {
+  expectRoundTrip(
+      "program t;"
+      "method f(n) {"
+      "  loop i times n * 2 + 1 {"
+      "    branch a; branch b flip 0.25;"
+      "    when (i % 2 == 0) { branch c; } else { branch d; }"
+      "    if 0.5 { branch e; }"
+      "    pick { weight 2 { branch g; } weight 1 { branch h; } }"
+      "  }"
+      "}"
+      "method main() { call f(4); { branch z; } }");
+}
+
+TEST(PrinterTest, ExpressionParenthesization) {
+  std::unique_ptr<Program> P = compileOK(
+      "program t; method main() { loop times (1 + 2) * 3 { branch a; } }");
+  // The loop count must survive with the same value.
+  ExecutionResult R1 = runProgram(*P, {});
+  std::unique_ptr<Program> P2 = compileOK(printProgram(*P));
+  ExecutionResult R2 = runProgram(*P2, {});
+  EXPECT_EQ(R1.Branches.size(), R2.Branches.size());
+  EXPECT_EQ(R1.Branches.size(), 9u);
+}
+
+TEST(PrinterTest, NestedUnary) {
+  expectRoundTrip(
+      "program t; method main() { loop times - -3 { branch a; } }");
+}
+
+TEST(PrinterTest, PrintedProgramBehavesIdentically) {
+  // The printed form of every standard workload must execute to the
+  // exact same trace.
+  for (const Workload &W : standardWorkloads()) {
+    std::unique_ptr<Program> Original = compileWorkload(W, 0.1);
+    std::unique_ptr<Program> Printed = compileOK(printProgram(*Original));
+    ASSERT_NE(Printed, nullptr) << W.Name;
+    InterpreterOptions Options;
+    Options.Seed = W.Seed;
+    ExecutionResult A = runProgram(*Original, Options);
+    ExecutionResult B = runProgram(*Printed, Options);
+    ASSERT_EQ(A.Branches.size(), B.Branches.size()) << W.Name;
+    for (uint64_t I = 0; I != A.Branches.size(); ++I)
+      ASSERT_EQ(A.Branches.sites().element(A.Branches[I]),
+                B.Branches.sites().element(B.Branches[I]))
+          << W.Name << " diverges at element " << I;
+  }
+}
+
+TEST(PrinterTest, PrintExprForms) {
+  std::unique_ptr<Program> P = compileOK(
+      "program t; method f(x) { loop times x * 2 - 1 { branch a; } }"
+      "method main() { call f(3); }");
+  const auto *Loop = dynamic_cast<const LoopStmt *>(
+      P->methods()[0]->body()->stmts()[0].get());
+  ASSERT_NE(Loop, nullptr);
+  EXPECT_EQ(printExpr(*Loop->count()), "(x * 2) - 1");
+}

@@ -1,0 +1,94 @@
+//===- tests/TimelineTest.cpp - Timeline rendering tests -----------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Timeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace opd;
+
+namespace {
+
+StateSequence makeStates(std::vector<PhaseInterval> Phases,
+                         uint64_t Total) {
+  return StateSequence::fromPhases(Phases, Total);
+}
+
+size_t countOccurrences(const std::string &Haystack,
+                        const std::string &Needle) {
+  size_t Count = 0;
+  for (size_t Pos = Haystack.find(Needle); Pos != std::string::npos;
+       Pos = Haystack.find(Needle, Pos + Needle.size()))
+    ++Count;
+  return Count;
+}
+
+} // namespace
+
+TEST(TimelineTest, SVGContainsOneBarPerPhaseRun) {
+  StateSequence S = makeStates({{100, 200}, {300, 500}, {700, 900}}, 1000);
+  std::string SVG = renderTimelineSVG({{"track", &S, "#112233"}});
+  EXPECT_NE(SVG.find("<svg"), std::string::npos);
+  EXPECT_NE(SVG.find("</svg>"), std::string::npos);
+  // One background rect + three phase bars.
+  EXPECT_EQ(countOccurrences(SVG, "<rect"), 4u);
+  EXPECT_EQ(countOccurrences(SVG, "#112233"), 3u);
+  EXPECT_NE(SVG.find(">track<"), std::string::npos);
+}
+
+TEST(TimelineTest, MultipleTracksStack) {
+  StateSequence A = makeStates({{0, 10}}, 100);
+  StateSequence B = makeStates({{50, 100}}, 100);
+  std::string SVG = renderTimelineSVG(
+      {{"oracle", &A, "#0a0"}, {"detector", &B, "#00a"}});
+  EXPECT_NE(SVG.find(">oracle<"), std::string::npos);
+  EXPECT_NE(SVG.find(">detector<"), std::string::npos);
+  EXPECT_EQ(countOccurrences(SVG, "<rect"), 4u); // 2 backgrounds + 2 bars
+}
+
+TEST(TimelineTest, BarPositionsScaleWithOffsets) {
+  // Phase covering the second half: its x must be at LabelWidth + W/2.
+  StateSequence S = makeStates({{500, 1000}}, 1000);
+  TimelineOptions Options;
+  Options.Width = 1000;
+  Options.LabelWidth = 100;
+  std::string SVG = renderTimelineSVG({{"t", &S, "#abc"}}, Options);
+  EXPECT_NE(SVG.find("x=\"600.00\""), std::string::npos);
+  EXPECT_NE(SVG.find("width=\"500.00\""), std::string::npos);
+}
+
+TEST(TimelineTest, TinyPhasesStayVisible) {
+  // A 1-element phase in a huge trace still renders at >= 0.5 px.
+  StateSequence S = makeStates({{500000, 500001}}, 1000000);
+  std::string SVG = renderTimelineSVG({{"t", &S, "#abc"}});
+  EXPECT_NE(SVG.find("width=\"0.50\""), std::string::npos);
+}
+
+TEST(TimelineTest, EscapesLabels) {
+  StateSequence S = makeStates({}, 10);
+  std::string SVG =
+      renderTimelineSVG({{"a<b> & \"c\"", &S, "#abc"}});
+  EXPECT_NE(SVG.find("a&lt;b&gt; &amp; &quot;c&quot;"),
+            std::string::npos);
+  EXPECT_EQ(SVG.find(">a<b>"), std::string::npos);
+}
+
+TEST(TimelineTest, HTMLWrapsSVG) {
+  StateSequence S = makeStates({{1, 5}}, 10);
+  std::string Html = renderTimelineHTML("My <Title>", {{"t", &S, "#abc"}});
+  EXPECT_NE(Html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(Html.find("My &lt;Title&gt;"), std::string::npos);
+  EXPECT_NE(Html.find("<svg"), std::string::npos);
+  EXPECT_NE(Html.find("</html>"), std::string::npos);
+}
+
+TEST(TimelineTest, AxisShowsTraceLength) {
+  StateSequence S = makeStates({}, 123456);
+  std::string SVG = renderTimelineSVG({{"t", &S, "#abc"}});
+  EXPECT_NE(SVG.find("123,456"), std::string::npos);
+  EXPECT_NE(SVG.find("61,728"), std::string::npos); // midpoint tick
+}

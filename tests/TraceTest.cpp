@@ -1,0 +1,341 @@
+//===- tests/TraceTest.cpp - Unit tests for src/trace -------------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+#include "trace/BranchTrace.h"
+#include "trace/CallLoopTrace.h"
+#include "trace/ProfileElement.h"
+#include "trace/StateSequence.h"
+#include "trace/TraceIO.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+
+using namespace opd;
+
+namespace {
+
+/// Temp-file path helper; removes the file on destruction.
+class TempFile {
+  std::string Path;
+
+public:
+  explicit TempFile(const std::string &Suffix) {
+    Path = testing::TempDir() + "opd_trace_test_" +
+           std::to_string(::getpid()) + "_" + Suffix;
+  }
+  ~TempFile() { std::remove(Path.c_str()); }
+  const std::string &path() const { return Path; }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ProfileElement
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileElementTest, PacksAndUnpacks) {
+  ProfileElement E(1234, 567, true);
+  EXPECT_EQ(E.methodId(), 1234u);
+  EXPECT_EQ(E.bytecodeOffset(), 567u);
+  EXPECT_TRUE(E.taken());
+}
+
+TEST(ProfileElementTest, ExtremeFieldValues) {
+  ProfileElement E(ProfileElement::MaxMethodId, ProfileElement::MaxOffset,
+                   false);
+  EXPECT_EQ(E.methodId(), ProfileElement::MaxMethodId);
+  EXPECT_EQ(E.bytecodeOffset(), ProfileElement::MaxOffset);
+  EXPECT_FALSE(E.taken());
+}
+
+TEST(ProfileElementTest, TakenBitDistinguishesElements) {
+  ProfileElement Taken(5, 10, true), NotTaken(5, 10, false);
+  EXPECT_NE(Taken, NotTaken);
+  EXPECT_NE(Taken.raw(), NotTaken.raw());
+}
+
+TEST(ProfileElementTest, RawRoundTrip) {
+  ProfileElement E(42, 99, true);
+  EXPECT_EQ(ProfileElement::fromRaw(E.raw()), E);
+}
+
+//===----------------------------------------------------------------------===//
+// SiteTable / BranchTrace
+//===----------------------------------------------------------------------===//
+
+TEST(SiteTableTest, InternIsIdempotent) {
+  SiteTable T;
+  ProfileElement A(1, 2, true), B(3, 4, false);
+  SiteIndex IA = T.intern(A);
+  SiteIndex IB = T.intern(B);
+  EXPECT_NE(IA, IB);
+  EXPECT_EQ(T.intern(A), IA);
+  EXPECT_EQ(T.numSites(), 2u);
+  EXPECT_EQ(T.element(IA), A);
+  EXPECT_EQ(T.element(IB), B);
+}
+
+TEST(SiteTableTest, LookupMissReturnsNumSites) {
+  SiteTable T;
+  T.intern(ProfileElement(1, 1, true));
+  EXPECT_EQ(T.lookup(ProfileElement(9, 9, false)), T.numSites());
+}
+
+TEST(BranchTraceTest, AppendAndIndex) {
+  BranchTrace Trace;
+  Trace.append(ProfileElement(1, 0, true));
+  Trace.append(ProfileElement(1, 1, true));
+  Trace.append(ProfileElement(1, 0, true));
+  EXPECT_EQ(Trace.size(), 3u);
+  EXPECT_EQ(Trace.numSites(), 2u);
+  EXPECT_EQ(Trace[0], Trace[2]);
+  EXPECT_NE(Trace[0], Trace[1]);
+}
+
+TEST(BranchTraceTest, DenseIndicesAreContiguous) {
+  BranchTrace Trace;
+  for (unsigned I = 0; I != 10; ++I)
+    Trace.append(ProfileElement(I, I, false));
+  for (SiteIndex S = 0; S != Trace.numSites(); ++S)
+    EXPECT_EQ(Trace.sites().lookup(Trace.sites().element(S)), S);
+}
+
+//===----------------------------------------------------------------------===//
+// CallLoopTrace
+//===----------------------------------------------------------------------===//
+
+TEST(CallLoopTraceTest, AppendsInOrder) {
+  CallLoopTrace T;
+  T.append(CallLoopEventKind::MethodEnter, 0, 0);
+  T.append(CallLoopEventKind::LoopEnter, 1, 5);
+  T.append(CallLoopEventKind::LoopExit, 1, 50);
+  T.append(CallLoopEventKind::MethodExit, 0, 50);
+  EXPECT_EQ(T.size(), 4u);
+  EXPECT_EQ(T[1].Kind, CallLoopEventKind::LoopEnter);
+  EXPECT_EQ(T[1].Id, 1u);
+  EXPECT_EQ(T[2].Offset, 50u);
+}
+
+TEST(CallLoopTraceTest, EventKindPredicates) {
+  EXPECT_TRUE(isEnterEvent(CallLoopEventKind::LoopEnter));
+  EXPECT_TRUE(isEnterEvent(CallLoopEventKind::MethodEnter));
+  EXPECT_FALSE(isEnterEvent(CallLoopEventKind::LoopExit));
+  EXPECT_TRUE(isLoopEvent(CallLoopEventKind::LoopExit));
+  EXPECT_FALSE(isLoopEvent(CallLoopEventKind::MethodEnter));
+}
+
+//===----------------------------------------------------------------------===//
+// StateSequence
+//===----------------------------------------------------------------------===//
+
+TEST(StateSequenceTest, MergesAdjacentRuns) {
+  StateSequence S;
+  S.append(PhaseState::Transition, 5);
+  S.append(PhaseState::Transition, 3);
+  S.append(PhaseState::InPhase, 2);
+  EXPECT_EQ(S.size(), 10u);
+  EXPECT_EQ(S.runs().size(), 2u);
+  EXPECT_EQ(S.runs()[0].Length, 8u);
+}
+
+TEST(StateSequenceTest, AtBinarySearch) {
+  StateSequence S;
+  S.append(PhaseState::Transition, 4);
+  S.append(PhaseState::InPhase, 6);
+  S.append(PhaseState::Transition, 2);
+  EXPECT_EQ(S.at(0), PhaseState::Transition);
+  EXPECT_EQ(S.at(3), PhaseState::Transition);
+  EXPECT_EQ(S.at(4), PhaseState::InPhase);
+  EXPECT_EQ(S.at(9), PhaseState::InPhase);
+  EXPECT_EQ(S.at(10), PhaseState::Transition);
+  EXPECT_EQ(S.at(11), PhaseState::Transition);
+}
+
+TEST(StateSequenceTest, PhasesExtraction) {
+  StateSequence S;
+  S.append(PhaseState::InPhase, 3);
+  S.append(PhaseState::Transition, 2);
+  S.append(PhaseState::InPhase, 5);
+  std::vector<PhaseInterval> P = S.phases();
+  ASSERT_EQ(P.size(), 2u);
+  EXPECT_EQ(P[0], (PhaseInterval{0, 3}));
+  EXPECT_EQ(P[1], (PhaseInterval{5, 10}));
+  EXPECT_EQ(S.numInPhase(), 8u);
+}
+
+TEST(StateSequenceTest, FromPhasesRoundTrip) {
+  std::vector<PhaseInterval> Phases = {{2, 5}, {9, 12}, {12, 13}};
+  // Adjacent intervals merge into one run but preserve coverage.
+  StateSequence S = StateSequence::fromPhases(Phases, 20);
+  EXPECT_EQ(S.size(), 20u);
+  EXPECT_EQ(S.numInPhase(), 3u + 3u + 1u);
+  EXPECT_EQ(S.at(2), PhaseState::InPhase);
+  EXPECT_EQ(S.at(5), PhaseState::Transition);
+  EXPECT_EQ(S.at(12), PhaseState::InPhase);
+  EXPECT_EQ(S.at(13), PhaseState::Transition);
+}
+
+TEST(StateSequenceTest, CountAgreementIdentical) {
+  StateSequence A;
+  A.append(PhaseState::Transition, 7);
+  A.append(PhaseState::InPhase, 3);
+  EXPECT_EQ(countAgreement(A, A), 10u);
+}
+
+TEST(StateSequenceTest, CountAgreementMixed) {
+  StateSequence A, B;
+  A.append(PhaseState::Transition, 5);
+  A.append(PhaseState::InPhase, 5);
+  B.append(PhaseState::Transition, 3);
+  B.append(PhaseState::InPhase, 7);
+  // Disagreement exactly on [3, 5).
+  EXPECT_EQ(countAgreement(A, B), 8u);
+}
+
+TEST(StateSequenceTest, CountAgreementRandomizedAgainstBruteForce) {
+  Xoshiro256 Rng(555);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    StateSequence A, B;
+    std::vector<PhaseState> VA, VB;
+    uint64_t Len = 100 + Rng.nextBelow(200);
+    for (uint64_t I = 0; I != Len; ++I) {
+      PhaseState SA = Rng.nextBool(0.5) ? PhaseState::InPhase
+                                        : PhaseState::Transition;
+      PhaseState SB = Rng.nextBool(0.5) ? PhaseState::InPhase
+                                        : PhaseState::Transition;
+      A.append(SA);
+      B.append(SB);
+      VA.push_back(SA);
+      VB.push_back(SB);
+    }
+    uint64_t Expected = 0;
+    for (uint64_t I = 0; I != Len; ++I)
+      Expected += VA[I] == VB[I];
+    EXPECT_EQ(countAgreement(A, B), Expected);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// TraceIO
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+BranchTrace makeRandomBranchTrace(uint64_t Seed, uint64_t Len) {
+  Xoshiro256 Rng(Seed);
+  BranchTrace Trace;
+  for (uint64_t I = 0; I != Len; ++I)
+    Trace.append(ProfileElement(static_cast<uint32_t>(Rng.nextBelow(50)),
+                                static_cast<uint32_t>(Rng.nextBelow(100)),
+                                Rng.nextBool(0.5)));
+  return Trace;
+}
+
+void expectTracesEqual(const BranchTrace &A, const BranchTrace &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (uint64_t I = 0; I != A.size(); ++I)
+    EXPECT_EQ(A.sites().element(A[I]), B.sites().element(B[I]));
+}
+
+} // namespace
+
+TEST(TraceIOTest, BranchBinaryRoundTrip) {
+  TempFile F("branch.bin");
+  BranchTrace Original = makeRandomBranchTrace(11, 1000);
+  ASSERT_TRUE(writeBranchTraceBinary(Original, F.path()));
+  BranchTrace Loaded;
+  ASSERT_TRUE(readBranchTraceBinary(F.path(), Loaded));
+  expectTracesEqual(Original, Loaded);
+}
+
+TEST(TraceIOTest, BranchTextRoundTrip) {
+  TempFile F("branch.txt");
+  BranchTrace Original = makeRandomBranchTrace(22, 500);
+  ASSERT_TRUE(writeBranchTraceText(Original, F.path()));
+  BranchTrace Loaded;
+  ASSERT_TRUE(readBranchTraceText(F.path(), Loaded));
+  expectTracesEqual(Original, Loaded);
+}
+
+TEST(TraceIOTest, CallLoopBinaryRoundTrip) {
+  TempFile F("cl.bin");
+  CallLoopTrace Original;
+  Original.append(CallLoopEventKind::MethodEnter, 0, 0);
+  Original.append(CallLoopEventKind::LoopEnter, 7, 3);
+  Original.append(CallLoopEventKind::LoopExit, 7, 120);
+  Original.append(CallLoopEventKind::MethodExit, 0, 125);
+  ASSERT_TRUE(writeCallLoopTraceBinary(Original, F.path()));
+  CallLoopTrace Loaded;
+  ASSERT_TRUE(readCallLoopTraceBinary(F.path(), Loaded));
+  ASSERT_EQ(Loaded.size(), Original.size());
+  for (size_t I = 0; I != Original.size(); ++I) {
+    EXPECT_EQ(Loaded[I].Kind, Original[I].Kind);
+    EXPECT_EQ(Loaded[I].Id, Original[I].Id);
+    EXPECT_EQ(Loaded[I].Offset, Original[I].Offset);
+  }
+}
+
+TEST(TraceIOTest, CallLoopTextRoundTrip) {
+  TempFile F("cl.txt");
+  CallLoopTrace Original;
+  Original.append(CallLoopEventKind::MethodEnter, 3, 0);
+  Original.append(CallLoopEventKind::MethodExit, 3, 99);
+  ASSERT_TRUE(writeCallLoopTraceText(Original, F.path()));
+  CallLoopTrace Loaded;
+  ASSERT_TRUE(readCallLoopTraceText(F.path(), Loaded));
+  ASSERT_EQ(Loaded.size(), 2u);
+  EXPECT_EQ(Loaded[0].Kind, CallLoopEventKind::MethodEnter);
+  EXPECT_EQ(Loaded[1].Offset, 99u);
+}
+
+TEST(TraceIOTest, MissingFileFails) {
+  BranchTrace T;
+  IOStatus S = readBranchTraceBinary("/nonexistent/path/trace.bin", T);
+  EXPECT_FALSE(S);
+  EXPECT_NE(S.Message.find("cannot open"), std::string::npos);
+}
+
+TEST(TraceIOTest, BadMagicFails) {
+  TempFile F("bad.bin");
+  std::FILE *Raw = std::fopen(F.path().c_str(), "wb");
+  ASSERT_NE(Raw, nullptr);
+  std::fputs("NOT A TRACE", Raw);
+  std::fclose(Raw);
+  BranchTrace T;
+  IOStatus S = readBranchTraceBinary(F.path(), T);
+  EXPECT_FALSE(S);
+  EXPECT_NE(S.Message.find("bad magic"), std::string::npos);
+}
+
+TEST(TraceIOTest, MalformedTextLineFails) {
+  TempFile F("bad.txt");
+  std::FILE *Raw = std::fopen(F.path().c_str(), "w");
+  ASSERT_NE(Raw, nullptr);
+  std::fputs("1 2 1\nnot numbers\n", Raw);
+  std::fclose(Raw);
+  BranchTrace T;
+  IOStatus S = readBranchTraceText(F.path(), T);
+  EXPECT_FALSE(S);
+  EXPECT_NE(S.Message.find("line 2"), std::string::npos);
+}
+
+TEST(TraceIOTest, TextCommentsSkipped) {
+  TempFile F("comments.txt");
+  std::FILE *Raw = std::fopen(F.path().c_str(), "w");
+  ASSERT_NE(Raw, nullptr);
+  std::fputs("# header\n5 6 1\n\n# more\n7 8 0\n", Raw);
+  std::fclose(Raw);
+  BranchTrace T;
+  ASSERT_TRUE(readBranchTraceText(F.path(), T));
+  ASSERT_EQ(T.size(), 2u);
+  EXPECT_EQ(T.sites().element(T[0]).methodId(), 5u);
+  EXPECT_FALSE(T.sites().element(T[1]).taken());
+}

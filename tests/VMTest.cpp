@@ -1,0 +1,295 @@
+//===- tests/VMTest.cpp - Unit tests for src/vm --------------------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Diagnostics.h"
+#include "lang/Sema.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace opd;
+
+namespace {
+
+ExecutionResult run(const std::string &Source, uint64_t Seed = 1,
+                    uint64_t MaxBranches = UINT64_MAX,
+                    uint32_t MaxDepth = 4096) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = compileProgram(Source, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.renderAll();
+  InterpreterOptions Options;
+  Options.Seed = Seed;
+  Options.MaxBranches = MaxBranches;
+  Options.MaxCallDepth = MaxDepth;
+  return runProgram(*P, Options);
+}
+
+} // namespace
+
+TEST(InterpreterTest, EmitsOneElementPerBranch) {
+  ExecutionResult R = run("program t; method main() { branch a; branch b; }");
+  EXPECT_EQ(R.Branches.size(), 2u);
+  EXPECT_EQ(R.Stats.DynamicBranches, 2u);
+  EXPECT_EQ(R.Stats.MethodInvocations, 1u); // main itself
+  EXPECT_EQ(R.Stats.LoopExecutions, 0u);
+  EXPECT_EQ(R.Stats.RecursionRoots, 0u);
+}
+
+TEST(InterpreterTest, LoopRepeatsBody) {
+  ExecutionResult R =
+      run("program t; method main() { loop times 5 { branch a; } }");
+  EXPECT_EQ(R.Branches.size(), 5u);
+  EXPECT_EQ(R.Stats.LoopExecutions, 1u); // one execution = all iterations
+}
+
+TEST(InterpreterTest, BranchSitesAreDistinctPerStatement) {
+  ExecutionResult R =
+      run("program t; method main() { branch a; branch b; branch a2; }");
+  EXPECT_EQ(R.Branches.numSites(), 3u);
+}
+
+TEST(InterpreterTest, SameStatementSameSite) {
+  ExecutionResult R =
+      run("program t; method main() { loop times 10 { branch a; } }");
+  EXPECT_EQ(R.Branches.numSites(), 1u);
+}
+
+TEST(InterpreterTest, FlipBranchYieldsTwoSites) {
+  // A flipping branch contributes both the taken and not-taken elements.
+  ExecutionResult R = run(
+      "program t; method main() { loop times 200 { branch a flip 0.5; } }");
+  EXPECT_EQ(R.Branches.numSites(), 2u);
+}
+
+TEST(InterpreterTest, DeterministicAcrossRuns) {
+  const char *Source =
+      "program t; method main() {"
+      "  loop times 100 { branch a flip 0.5; if 0.3 { branch b; } }"
+      "}";
+  ExecutionResult A = run(Source, 42), B = run(Source, 42);
+  ASSERT_EQ(A.Branches.size(), B.Branches.size());
+  for (uint64_t I = 0; I != A.Branches.size(); ++I)
+    EXPECT_EQ(A.Branches[I], B.Branches[I]);
+}
+
+TEST(InterpreterTest, SeedChangesNoise) {
+  const char *Source =
+      "program t; method main() {"
+      "  loop times 100 { branch a flip 0.5; }"
+      "}";
+  ExecutionResult A = run(Source, 1), B = run(Source, 2);
+  ASSERT_EQ(A.Branches.size(), B.Branches.size());
+  bool AnyDifferent = false;
+  for (uint64_t I = 0; I != A.Branches.size(); ++I)
+    AnyDifferent |= A.Branches[I] != B.Branches[I];
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(InterpreterTest, WhenBranchTakenBitReflectsCondition) {
+  ExecutionResult R = run(
+      "program t; method main() {"
+      "  when (1 < 2) { branch a; }"
+      "  when (2 < 1) { branch b; } else { branch c; }"
+      "}");
+  // Elements: when#1 (taken), a, when#2 (not taken), c.
+  ASSERT_EQ(R.Branches.size(), 4u);
+  EXPECT_TRUE(R.Branches.sites().element(R.Branches[0]).taken());
+  EXPECT_FALSE(R.Branches.sites().element(R.Branches[2]).taken());
+}
+
+TEST(InterpreterTest, LoopVariableCountsIterations) {
+  // Sum pattern: when (i % 2 == 0) takes the then-branch 3 times out of 5.
+  ExecutionResult R = run(
+      "program t; method main() {"
+      "  loop i times 5 { when (i % 2 == 0) { branch even; } "
+      "else { branch odd; } }"
+      "}");
+  // Each iteration: when-element + one arm element = 10 elements.
+  ASSERT_EQ(R.Branches.size(), 10u);
+  unsigned EvenCount = 0;
+  for (uint64_t I = 0; I != R.Branches.size(); ++I) {
+    ProfileElement E = R.Branches.sites().element(R.Branches[I]);
+    // The 'even' arm branch has a distinct site; count taken when-elements
+    // instead (offset of 'when' is 0 within main).
+    if (E.bytecodeOffset() == 0 && E.taken())
+      ++EvenCount;
+  }
+  EXPECT_EQ(EvenCount, 3u); // i = 0, 2, 4
+}
+
+TEST(InterpreterTest, ParamArithmetic) {
+  ExecutionResult R = run(
+      "program t;"
+      "method f(n) { loop times n * 2 + 1 { branch a; } }"
+      "method main() { call f(3); }");
+  EXPECT_EQ(R.Branches.size(), 7u);
+}
+
+TEST(InterpreterTest, NegativeLoopCountRunsZeroTimes) {
+  ExecutionResult R = run(
+      "program t;"
+      "method f(n) { loop times n - 10 { branch a; } }"
+      "method main() { call f(3); branch done; }");
+  EXPECT_EQ(R.Branches.size(), 1u);
+}
+
+TEST(InterpreterTest, DivisionByZeroIsZero) {
+  ExecutionResult R = run(
+      "program t;"
+      "method f(n) { loop times 4 / n + 2 { branch a; } }"
+      "method main() { call f(0); }");
+  EXPECT_EQ(R.Branches.size(), 2u);
+  EXPECT_EQ(R.Stats.DivByZero, 1u);
+}
+
+TEST(InterpreterTest, CallLoopEventsProperlyNested) {
+  ExecutionResult R = run(
+      "program t;"
+      "method g() { loop times 2 { branch a; } }"
+      "method main() { loop times 3 { call g(); } }");
+  // Verify enter/exit nesting with a stack.
+  std::vector<std::pair<CallLoopEventKind, uint32_t>> Stack;
+  for (const CallLoopEvent &E : R.CallLoop.events()) {
+    switch (E.Kind) {
+    case CallLoopEventKind::LoopEnter:
+      Stack.push_back({CallLoopEventKind::LoopExit, E.Id});
+      break;
+    case CallLoopEventKind::MethodEnter:
+      Stack.push_back({CallLoopEventKind::MethodExit, E.Id});
+      break;
+    case CallLoopEventKind::LoopExit:
+    case CallLoopEventKind::MethodExit:
+      ASSERT_FALSE(Stack.empty());
+      EXPECT_EQ(Stack.back().first, E.Kind);
+      EXPECT_EQ(Stack.back().second, E.Id);
+      Stack.pop_back();
+      break;
+    }
+  }
+  EXPECT_TRUE(Stack.empty());
+}
+
+TEST(InterpreterTest, EventOffsetsMatchBranchCounts) {
+  ExecutionResult R = run(
+      "program t;"
+      "method main() { branch a; loop times 2 { branch b; } branch c; }");
+  // main enter at 0; loop enter after 1 branch; loop exit after 3; main
+  // exit after 4.
+  ASSERT_EQ(R.CallLoop.size(), 4u);
+  EXPECT_EQ(R.CallLoop[0].Offset, 0u);
+  EXPECT_EQ(R.CallLoop[1].Offset, 1u);
+  EXPECT_EQ(R.CallLoop[2].Offset, 3u);
+  EXPECT_EQ(R.CallLoop[3].Offset, 4u);
+}
+
+TEST(InterpreterTest, CountsMethodInvocations) {
+  ExecutionResult R = run(
+      "program t;"
+      "method g() { branch a; }"
+      "method main() { loop times 4 { call g(); } }");
+  EXPECT_EQ(R.Stats.MethodInvocations, 5u); // main + 4x g
+}
+
+TEST(InterpreterTest, DirectRecursionRootsCountedOncePerRoot) {
+  ExecutionResult R = run(
+      "program t;"
+      "method f(d) { branch a; when (d > 0) { call f(d - 1); } }"
+      "method main() { loop times 3 { call f(4); } }");
+  // Each top-level f(4) is one recursion root (inner calls are not roots).
+  EXPECT_EQ(R.Stats.RecursionRoots, 3u);
+  EXPECT_EQ(R.Stats.MethodInvocations, 1u + 3u * 5u);
+}
+
+TEST(InterpreterTest, MutualRecursionMarksBottomInstance) {
+  ExecutionResult R = run(
+      "program t;"
+      "method f(d) { branch a; when (d > 0) { call g(d - 1); } }"
+      "method g(d) { branch b; when (d > 0) { call f(d - 1); } }"
+      "method main() { call f(4); }");
+  // f is re-invoked while the first f is live => 1 root for f; likewise g.
+  EXPECT_EQ(R.Stats.RecursionRoots, 2u);
+}
+
+TEST(InterpreterTest, NonRecursiveCallsAreNotRoots) {
+  ExecutionResult R = run(
+      "program t;"
+      "method g() { branch a; }"
+      "method main() { call g(); call g(); }");
+  EXPECT_EQ(R.Stats.RecursionRoots, 0u);
+}
+
+TEST(InterpreterTest, FuelLimitStopsGracefully) {
+  ExecutionResult R = run(
+      "program t; method main() { loop times 1000000 { branch a; } }",
+      /*Seed=*/1, /*MaxBranches=*/5000);
+  EXPECT_TRUE(R.Stats.HaltedByFuel);
+  EXPECT_EQ(R.Branches.size(), 5000u);
+  // Exits still emitted: trace remains balanced.
+  ASSERT_GE(R.CallLoop.size(), 2u);
+  EXPECT_EQ(R.CallLoop.events().back().Kind, CallLoopEventKind::MethodExit);
+}
+
+TEST(InterpreterTest, DepthLimitStopsGracefully) {
+  ExecutionResult R = run(
+      "program t;"
+      "method f() { branch a; call f(); }"
+      "method main() { call f(); }",
+      /*Seed=*/1, /*MaxBranches=*/UINT64_MAX, /*MaxDepth=*/50);
+  EXPECT_TRUE(R.Stats.HaltedByDepth);
+  EXPECT_LE(R.Stats.MaxCallDepth, 50u);
+  EXPECT_EQ(R.CallLoop.events().back().Kind, CallLoopEventKind::MethodExit);
+}
+
+TEST(InterpreterTest, PickSelectsExactlyOneArm) {
+  ExecutionResult R = run(
+      "program t; method main() {"
+      "  loop times 100 { pick { weight 1 { branch a; } "
+      "weight 1 { branch b; } } }"
+      "}");
+  EXPECT_EQ(R.Branches.size(), 100u);
+  EXPECT_EQ(R.Branches.numSites(), 2u);
+}
+
+TEST(InterpreterTest, PickWeightsRespected) {
+  ExecutionResult R = run(
+      "program t; method main() {"
+      "  loop times 10000 { pick { weight 9 { branch a; } "
+      "weight 1 { branch b; } } }"
+      "}");
+  uint64_t CountA = 0;
+  SiteIndex SiteA = R.Branches[0]; // whichever site; count exact below
+  (void)SiteA;
+  // Count elements whose bytecode offset matches 'branch a' (first arm).
+  for (uint64_t I = 0; I != R.Branches.size(); ++I) {
+    ProfileElement E = R.Branches.sites().element(R.Branches[I]);
+    if (E.bytecodeOffset() == 0)
+      ++CountA;
+  }
+  EXPECT_NEAR(static_cast<double>(CountA), 9000.0, 300.0);
+}
+
+TEST(InterpreterTest, IfProbabilityRespected) {
+  ExecutionResult R = run(
+      "program t; method main() {"
+      "  loop times 10000 { if 0.2 { branch a; } else { branch b; } }"
+      "}");
+  uint64_t TakenCount = 0;
+  for (uint64_t I = 0; I != R.Branches.size(); ++I) {
+    ProfileElement E = R.Branches.sites().element(R.Branches[I]);
+    if (E.bytecodeOffset() == 0 && E.taken()) // the if's own element
+      ++TakenCount;
+  }
+  EXPECT_NEAR(static_cast<double>(TakenCount), 2000.0, 150.0);
+}
+
+TEST(InterpreterTest, MaxCallDepthTracked) {
+  ExecutionResult R = run(
+      "program t;"
+      "method f(d) { branch a; when (d > 0) { call f(d - 1); } }"
+      "method main() { call f(9); }");
+  EXPECT_EQ(R.Stats.MaxCallDepth, 11u); // main + f(9..0)
+}

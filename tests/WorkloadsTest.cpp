@@ -1,0 +1,124 @@
+//===- tests/WorkloadsTest.cpp - Workload suite tests --------------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/BaselineSolution.h"
+#include "lang/Diagnostics.h"
+#include "lang/Sema.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace opd;
+
+TEST(WorkloadsTest, EightStandardWorkloads) {
+  const std::vector<Workload> &All = standardWorkloads();
+  ASSERT_EQ(All.size(), 8u);
+  EXPECT_EQ(All[0].Name, "compress");
+  EXPECT_EQ(All.back().Name, "jlex");
+}
+
+TEST(WorkloadsTest, FindByName) {
+  EXPECT_NE(findWorkload("db"), nullptr);
+  EXPECT_NE(findWorkload("mpegaudio"), nullptr);
+  EXPECT_EQ(findWorkload("nonexistent"), nullptr);
+}
+
+TEST(WorkloadsTest, AllSourcesCompileAtVariousScales) {
+  for (const Workload &W : standardWorkloads()) {
+    for (double Scale : {0.1, 0.5, 1.0}) {
+      DiagnosticEngine Diags;
+      std::unique_ptr<Program> P = compileProgram(W.Source(Scale), Diags);
+      EXPECT_TRUE(P != nullptr)
+          << W.Name << " @ scale " << Scale << ":\n" << Diags.renderAll();
+    }
+  }
+}
+
+TEST(WorkloadsTest, ExecutionIsDeterministic) {
+  const Workload *W = findWorkload("jess");
+  ASSERT_NE(W, nullptr);
+  ExecutionResult A = executeWorkload(*W, 0.1);
+  ExecutionResult B = executeWorkload(*W, 0.1);
+  ASSERT_EQ(A.Branches.size(), B.Branches.size());
+  for (uint64_t I = 0; I != A.Branches.size(); ++I)
+    ASSERT_EQ(A.Branches[I], B.Branches[I]);
+  ASSERT_EQ(A.CallLoop.size(), B.CallLoop.size());
+}
+
+TEST(WorkloadsTest, ScaleShrinksTraces) {
+  const Workload *W = findWorkload("compress");
+  ExecutionResult Small = executeWorkload(*W, 0.25);
+  ExecutionResult Full = executeWorkload(*W, 1.0);
+  EXPECT_LT(Small.Branches.size(), Full.Branches.size());
+  EXPECT_GT(Small.Branches.size(), 0u);
+}
+
+TEST(WorkloadsTest, NoWorkloadHitsResourceLimits) {
+  for (const Workload &W : standardWorkloads()) {
+    ExecutionResult R = executeWorkload(W, 1.0);
+    EXPECT_FALSE(R.Stats.HaltedByFuel) << W.Name;
+    EXPECT_FALSE(R.Stats.HaltedByDepth) << W.Name;
+    EXPECT_EQ(R.Stats.DivByZero, 0u) << W.Name;
+  }
+}
+
+TEST(WorkloadsTest, TraceSizesInExpectedRanges) {
+  // Keep the suite's scale sane: every benchmark 100K..3M dynamic
+  // branches, compress the largest (as in the paper).
+  uint64_t CompressSize = 0, LargestOther = 0;
+  for (const Workload &W : standardWorkloads()) {
+    ExecutionResult R = executeWorkload(W, 1.0);
+    EXPECT_GE(R.Branches.size(), 100000u) << W.Name;
+    EXPECT_LE(R.Branches.size(), 3000000u) << W.Name;
+    EXPECT_LE(R.Branches.numSites(), 512u) << W.Name;
+    if (W.Name == "compress")
+      CompressSize = R.Branches.size();
+    else
+      LargestOther = std::max(LargestOther, R.Branches.size());
+  }
+  EXPECT_GT(CompressSize, LargestOther);
+}
+
+TEST(WorkloadsTest, RecursionPresentWhereExpected) {
+  // jess, raytrace, and javac exercise recursion; compress, db,
+  // mpegaudio, jack, and jlex do not (Table 1(a) character).
+  for (const Workload &W : standardWorkloads()) {
+    ExecutionResult R = executeWorkload(W, 0.5);
+    bool ExpectRecursion =
+        W.Name == "jess" || W.Name == "raytrace" || W.Name == "javac";
+    if (ExpectRecursion)
+      EXPECT_GT(R.Stats.RecursionRoots, 0u) << W.Name;
+    else
+      EXPECT_EQ(R.Stats.RecursionRoots, 0u) << W.Name;
+  }
+}
+
+TEST(WorkloadsTest, BaselinePhaseCountsDecayWithMPL) {
+  for (const Workload &W : standardWorkloads()) {
+    ExecutionResult R = executeWorkload(W, 1.0);
+    std::vector<BaselineSolution> Sols = computeBaselines(
+        R.CallLoop, R.Branches.size(), {1000, 10000, 100000});
+    EXPECT_GE(Sols[0].numPhases(), Sols[1].numPhases()) << W.Name;
+    EXPECT_GE(Sols[1].numPhases(), Sols[2].numPhases()) << W.Name;
+    // At least one phase at small MPL in every benchmark.
+    EXPECT_GT(Sols[0].numPhases(), 0u) << W.Name;
+  }
+}
+
+TEST(WorkloadsTest, LargeMPLDoesNotDegenerateToWholeTrace) {
+  // The paper notes that a single whole-trace phase makes comparisons
+  // meaningless; the workloads are shaped to avoid that at 100K.
+  for (const Workload &W : standardWorkloads()) {
+    ExecutionResult R = executeWorkload(W, 1.0);
+    std::vector<BaselineSolution> Sols =
+        computeBaselines(R.CallLoop, R.Branches.size(), {100000});
+    for (const PhaseInterval &P : Sols[0].phases())
+      EXPECT_LT(P.length(), R.Branches.size() * 9 / 10) << W.Name;
+  }
+}
