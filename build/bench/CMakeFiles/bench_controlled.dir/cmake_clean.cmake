@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_controlled.dir/BenchControlled.cpp.o"
+  "CMakeFiles/bench_controlled.dir/BenchControlled.cpp.o.d"
+  "bench_controlled"
+  "bench_controlled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_controlled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

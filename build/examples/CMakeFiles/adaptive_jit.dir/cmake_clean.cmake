@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_jit.dir/adaptive_jit.cpp.o"
+  "CMakeFiles/adaptive_jit.dir/adaptive_jit.cpp.o.d"
+  "adaptive_jit"
+  "adaptive_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/BaselineSolution.cpp" "src/baseline/CMakeFiles/opd_baseline.dir/BaselineSolution.cpp.o" "gcc" "src/baseline/CMakeFiles/opd_baseline.dir/BaselineSolution.cpp.o.d"
+  "/root/repo/src/baseline/InstanceTree.cpp" "src/baseline/CMakeFiles/opd_baseline.dir/InstanceTree.cpp.o" "gcc" "src/baseline/CMakeFiles/opd_baseline.dir/InstanceTree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/opd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/opd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opd_baseline.dir/BaselineSolution.cpp.o"
+  "CMakeFiles/opd_baseline.dir/BaselineSolution.cpp.o.d"
+  "CMakeFiles/opd_baseline.dir/InstanceTree.cpp.o"
+  "CMakeFiles/opd_baseline.dir/InstanceTree.cpp.o.d"
+  "libopd_baseline.a"
+  "libopd_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opd_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Analyzer.cpp" "src/core/CMakeFiles/opd_core.dir/Analyzer.cpp.o" "gcc" "src/core/CMakeFiles/opd_core.dir/Analyzer.cpp.o.d"
+  "/root/repo/src/core/DetectorConfig.cpp" "src/core/CMakeFiles/opd_core.dir/DetectorConfig.cpp.o" "gcc" "src/core/CMakeFiles/opd_core.dir/DetectorConfig.cpp.o.d"
+  "/root/repo/src/core/DetectorRunner.cpp" "src/core/CMakeFiles/opd_core.dir/DetectorRunner.cpp.o" "gcc" "src/core/CMakeFiles/opd_core.dir/DetectorRunner.cpp.o.d"
+  "/root/repo/src/core/MultiScale.cpp" "src/core/CMakeFiles/opd_core.dir/MultiScale.cpp.o" "gcc" "src/core/CMakeFiles/opd_core.dir/MultiScale.cpp.o.d"
+  "/root/repo/src/core/OfflineClustering.cpp" "src/core/CMakeFiles/opd_core.dir/OfflineClustering.cpp.o" "gcc" "src/core/CMakeFiles/opd_core.dir/OfflineClustering.cpp.o.d"
+  "/root/repo/src/core/PhaseDetector.cpp" "src/core/CMakeFiles/opd_core.dir/PhaseDetector.cpp.o" "gcc" "src/core/CMakeFiles/opd_core.dir/PhaseDetector.cpp.o.d"
+  "/root/repo/src/core/PhaseMonitor.cpp" "src/core/CMakeFiles/opd_core.dir/PhaseMonitor.cpp.o" "gcc" "src/core/CMakeFiles/opd_core.dir/PhaseMonitor.cpp.o.d"
+  "/root/repo/src/core/PhasePredictor.cpp" "src/core/CMakeFiles/opd_core.dir/PhasePredictor.cpp.o" "gcc" "src/core/CMakeFiles/opd_core.dir/PhasePredictor.cpp.o.d"
+  "/root/repo/src/core/RecurringPhases.cpp" "src/core/CMakeFiles/opd_core.dir/RecurringPhases.cpp.o" "gcc" "src/core/CMakeFiles/opd_core.dir/RecurringPhases.cpp.o.d"
+  "/root/repo/src/core/RelatedWork.cpp" "src/core/CMakeFiles/opd_core.dir/RelatedWork.cpp.o" "gcc" "src/core/CMakeFiles/opd_core.dir/RelatedWork.cpp.o.d"
+  "/root/repo/src/core/SimilarityKernel.cpp" "src/core/CMakeFiles/opd_core.dir/SimilarityKernel.cpp.o" "gcc" "src/core/CMakeFiles/opd_core.dir/SimilarityKernel.cpp.o.d"
+  "/root/repo/src/core/WindowedModel.cpp" "src/core/CMakeFiles/opd_core.dir/WindowedModel.cpp.o" "gcc" "src/core/CMakeFiles/opd_core.dir/WindowedModel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/opd_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/opd_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

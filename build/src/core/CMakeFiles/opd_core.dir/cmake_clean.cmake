@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opd_core.dir/Analyzer.cpp.o"
+  "CMakeFiles/opd_core.dir/Analyzer.cpp.o.d"
+  "CMakeFiles/opd_core.dir/DetectorConfig.cpp.o"
+  "CMakeFiles/opd_core.dir/DetectorConfig.cpp.o.d"
+  "CMakeFiles/opd_core.dir/DetectorRunner.cpp.o"
+  "CMakeFiles/opd_core.dir/DetectorRunner.cpp.o.d"
+  "CMakeFiles/opd_core.dir/MultiScale.cpp.o"
+  "CMakeFiles/opd_core.dir/MultiScale.cpp.o.d"
+  "CMakeFiles/opd_core.dir/OfflineClustering.cpp.o"
+  "CMakeFiles/opd_core.dir/OfflineClustering.cpp.o.d"
+  "CMakeFiles/opd_core.dir/PhaseDetector.cpp.o"
+  "CMakeFiles/opd_core.dir/PhaseDetector.cpp.o.d"
+  "CMakeFiles/opd_core.dir/PhaseMonitor.cpp.o"
+  "CMakeFiles/opd_core.dir/PhaseMonitor.cpp.o.d"
+  "CMakeFiles/opd_core.dir/PhasePredictor.cpp.o"
+  "CMakeFiles/opd_core.dir/PhasePredictor.cpp.o.d"
+  "CMakeFiles/opd_core.dir/RecurringPhases.cpp.o"
+  "CMakeFiles/opd_core.dir/RecurringPhases.cpp.o.d"
+  "CMakeFiles/opd_core.dir/RelatedWork.cpp.o"
+  "CMakeFiles/opd_core.dir/RelatedWork.cpp.o.d"
+  "CMakeFiles/opd_core.dir/SimilarityKernel.cpp.o"
+  "CMakeFiles/opd_core.dir/SimilarityKernel.cpp.o.d"
+  "CMakeFiles/opd_core.dir/WindowedModel.cpp.o"
+  "CMakeFiles/opd_core.dir/WindowedModel.cpp.o.d"
+  "libopd_core.a"
+  "libopd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opd_harness.dir/Experiment.cpp.o"
+  "CMakeFiles/opd_harness.dir/Experiment.cpp.o.d"
+  "CMakeFiles/opd_harness.dir/Sweep.cpp.o"
+  "CMakeFiles/opd_harness.dir/Sweep.cpp.o.d"
+  "libopd_harness.a"
+  "libopd_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opd_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libopd_harness.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opd_lang.dir/AST.cpp.o"
+  "CMakeFiles/opd_lang.dir/AST.cpp.o.d"
+  "CMakeFiles/opd_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/opd_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/opd_lang.dir/Parser.cpp.o"
+  "CMakeFiles/opd_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/opd_lang.dir/Printer.cpp.o"
+  "CMakeFiles/opd_lang.dir/Printer.cpp.o.d"
+  "CMakeFiles/opd_lang.dir/ProgramInfo.cpp.o"
+  "CMakeFiles/opd_lang.dir/ProgramInfo.cpp.o.d"
+  "CMakeFiles/opd_lang.dir/Sema.cpp.o"
+  "CMakeFiles/opd_lang.dir/Sema.cpp.o.d"
+  "CMakeFiles/opd_lang.dir/Transforms.cpp.o"
+  "CMakeFiles/opd_lang.dir/Transforms.cpp.o.d"
+  "libopd_lang.a"
+  "libopd_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opd_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/Latency.cpp" "src/metrics/CMakeFiles/opd_metrics.dir/Latency.cpp.o" "gcc" "src/metrics/CMakeFiles/opd_metrics.dir/Latency.cpp.o.d"
+  "/root/repo/src/metrics/Scoring.cpp" "src/metrics/CMakeFiles/opd_metrics.dir/Scoring.cpp.o" "gcc" "src/metrics/CMakeFiles/opd_metrics.dir/Scoring.cpp.o.d"
+  "/root/repo/src/metrics/Stability.cpp" "src/metrics/CMakeFiles/opd_metrics.dir/Stability.cpp.o" "gcc" "src/metrics/CMakeFiles/opd_metrics.dir/Stability.cpp.o.d"
+  "/root/repo/src/metrics/Timeline.cpp" "src/metrics/CMakeFiles/opd_metrics.dir/Timeline.cpp.o" "gcc" "src/metrics/CMakeFiles/opd_metrics.dir/Timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/opd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/opd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opd_metrics.dir/Latency.cpp.o"
+  "CMakeFiles/opd_metrics.dir/Latency.cpp.o.d"
+  "CMakeFiles/opd_metrics.dir/Scoring.cpp.o"
+  "CMakeFiles/opd_metrics.dir/Scoring.cpp.o.d"
+  "CMakeFiles/opd_metrics.dir/Stability.cpp.o"
+  "CMakeFiles/opd_metrics.dir/Stability.cpp.o.d"
+  "CMakeFiles/opd_metrics.dir/Timeline.cpp.o"
+  "CMakeFiles/opd_metrics.dir/Timeline.cpp.o.d"
+  "libopd_metrics.a"
+  "libopd_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opd_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

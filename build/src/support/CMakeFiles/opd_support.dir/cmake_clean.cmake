@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opd_support.dir/ArgParser.cpp.o"
+  "CMakeFiles/opd_support.dir/ArgParser.cpp.o.d"
+  "CMakeFiles/opd_support.dir/Format.cpp.o"
+  "CMakeFiles/opd_support.dir/Format.cpp.o.d"
+  "CMakeFiles/opd_support.dir/Parallel.cpp.o"
+  "CMakeFiles/opd_support.dir/Parallel.cpp.o.d"
+  "CMakeFiles/opd_support.dir/Table.cpp.o"
+  "CMakeFiles/opd_support.dir/Table.cpp.o.d"
+  "libopd_support.a"
+  "libopd_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opd_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

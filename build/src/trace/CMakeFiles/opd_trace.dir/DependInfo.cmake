@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/Sampling.cpp" "src/trace/CMakeFiles/opd_trace.dir/Sampling.cpp.o" "gcc" "src/trace/CMakeFiles/opd_trace.dir/Sampling.cpp.o.d"
+  "/root/repo/src/trace/StateSequence.cpp" "src/trace/CMakeFiles/opd_trace.dir/StateSequence.cpp.o" "gcc" "src/trace/CMakeFiles/opd_trace.dir/StateSequence.cpp.o.d"
+  "/root/repo/src/trace/TraceIO.cpp" "src/trace/CMakeFiles/opd_trace.dir/TraceIO.cpp.o" "gcc" "src/trace/CMakeFiles/opd_trace.dir/TraceIO.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/opd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

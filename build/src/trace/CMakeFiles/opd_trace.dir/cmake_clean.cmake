@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opd_trace.dir/Sampling.cpp.o"
+  "CMakeFiles/opd_trace.dir/Sampling.cpp.o.d"
+  "CMakeFiles/opd_trace.dir/StateSequence.cpp.o"
+  "CMakeFiles/opd_trace.dir/StateSequence.cpp.o.d"
+  "CMakeFiles/opd_trace.dir/TraceIO.cpp.o"
+  "CMakeFiles/opd_trace.dir/TraceIO.cpp.o.d"
+  "libopd_trace.a"
+  "libopd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opd_vm.dir/Interleave.cpp.o"
+  "CMakeFiles/opd_vm.dir/Interleave.cpp.o.d"
+  "CMakeFiles/opd_vm.dir/Interpreter.cpp.o"
+  "CMakeFiles/opd_vm.dir/Interpreter.cpp.o.d"
+  "libopd_vm.a"
+  "libopd_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opd_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

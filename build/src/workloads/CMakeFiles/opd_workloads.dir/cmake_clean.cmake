@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opd_workloads.dir/Synthetic.cpp.o"
+  "CMakeFiles/opd_workloads.dir/Synthetic.cpp.o.d"
+  "CMakeFiles/opd_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/opd_workloads.dir/Workloads.cpp.o.d"
+  "libopd_workloads.a"
+  "libopd_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opd_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_depth_test.dir/LangDepthTest.cpp.o"
+  "CMakeFiles/lang_depth_test.dir/LangDepthTest.cpp.o.d"
+  "lang_depth_test"
+  "lang_depth_test.pdb"
+  "lang_depth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_depth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

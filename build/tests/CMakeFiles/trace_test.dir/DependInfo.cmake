@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/TraceTest.cpp" "tests/CMakeFiles/trace_test.dir/TraceTest.cpp.o" "gcc" "tests/CMakeFiles/trace_test.dir/TraceTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/opd_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/opd_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/opd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/opd_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/opd_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/opd_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/opd_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/opd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/opd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/core_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/core_model_test[1]_include.cmake")
+include("/root/repo/build/tests/core_detector_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/printer_test[1]_include.cmake")
+include("/root/repo/build/tests/advanced_test[1]_include.cmake")
+include("/root/repo/build/tests/synthetic_test[1]_include.cmake")
+include("/root/repo/build/tests/timeline_test[1]_include.cmake")
+include("/root/repo/build/tests/offline_test[1]_include.cmake")
+include("/root/repo/build/tests/edgecase_test[1]_include.cmake")
+include("/root/repo/build/tests/monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_depth_test[1]_include.cmake")
