@@ -21,6 +21,7 @@
 #include "core/RelatedWork.h"
 #include "harness/Experiment.h"
 #include "metrics/Scoring.h"
+#include "obs/RunTrace.h"
 #include "support/Random.h"
 #include "workloads/Workloads.h"
 
@@ -90,6 +91,25 @@ static void BM_DetectorSkipFactor(benchmark::State &State) {
                           static_cast<int64_t>(B.Trace.size()));
 }
 BENCHMARK(BM_DetectorSkipFactor)->Arg(1)->Arg(16)->Arg(256)->Arg(5000);
+
+// The observability hooks must be zero-cost when no observer is attached
+// (the BM_Detector numbers above) and cheap when one is: this measures a
+// full run with a CountingObserver against unweighted_adaptive above.
+static void BM_DetectorObserved(benchmark::State &State) {
+  const BenchmarkData &B = sharedBenchmark();
+  std::unique_ptr<PhaseDetector> D = makeDetector(
+      configFor(ModelKind::UnweightedSet, TWPolicyKind::Adaptive),
+      B.Trace.numSites());
+  for (auto _ : State) {
+    CountingObserver Observer;
+    DetectorRun Run = runDetector(*D, B.Trace, &Observer);
+    benchmark::DoNotOptimize(Observer.counters().Evaluations);
+    benchmark::DoNotOptimize(Run.States.size());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(B.Trace.size()));
+}
+BENCHMARK(BM_DetectorObserved);
 
 static void BM_LuDetectorRun(benchmark::State &State) {
   const BenchmarkData &B = sharedBenchmark();

@@ -77,6 +77,8 @@ int main(int Argc, char **Argv) {
                  "constant,adaptive");
   Args.addOption("scale", "workload scale factor", "1.0");
   Args.addFlag("anchored", "also score anchor-corrected starts");
+  Args.addFlag("stats", "print per-configuration observability counters "
+                        "and stage timings to stderr");
   if (!Args.parse(Argc, Argv))
     return Args.helpRequested() ? 0 : 1;
 
@@ -152,6 +154,7 @@ int main(int Argc, char **Argv) {
 
   SweepOptions RunOptions;
   RunOptions.ScoreAnchored = Args.getFlag("anchored");
+  RunOptions.CollectStats = Args.getFlag("stats");
 
   std::printf("workload,mpl,model,policy,cw,tw,skip,anchor,resize,"
               "analyzer,param,correlation,sensitivity,falsePositives,"
@@ -160,6 +163,11 @@ int main(int Argc, char **Argv) {
   for (const BenchmarkData &B : Benchmarks) {
     std::vector<RunScores> Runs =
         runSweep(B.Trace, B.Baselines, Configs, RunOptions);
+    if (RunOptions.CollectStats)
+      std::fputs(
+          sweepStatsTable(Runs, "Sweep statistics: " + B.Name).render()
+              .c_str(),
+          stderr);
     for (const RunScores &R : Runs) {
       for (size_t I = 0; I != MPLs.size(); ++I) {
         const DetectorConfig &C = R.Config;

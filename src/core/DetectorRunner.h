@@ -38,7 +38,20 @@ struct DetectorRun {
 
 /// Streams \p Trace through \p Detector (which is reset first). The
 /// trailing partial batch, if any, is processed as a short batch.
+///
+/// This overload carries no observation code at all — it is the
+/// zero-cost path observer-free callers bind to.
 DetectorRun runDetector(OnlineDetector &Detector, const BranchTrace &Trace);
+
+/// As above; when \p Observer is non-null it is attached to the detector
+/// for the duration of the run (detached again before returning) and
+/// additionally receives the stream-level events: onRunBegin/onRunEnd
+/// and onPhaseBegin/onPhaseEnd at exact element offsets, so the observed
+/// phase intervals equal DetectorRun::DetectedPhases. An observed run
+/// produces output identical to an unobserved one; a null \p Observer
+/// forwards to the unobserved overload.
+DetectorRun runDetector(OnlineDetector &Detector, const BranchTrace &Trace,
+                        DetectorObserver *Observer);
 
 } // namespace opd
 

@@ -11,6 +11,8 @@
 
 using namespace opd;
 
+DetectorObserver::~DetectorObserver() = default;
+
 OnlineDetector::~OnlineDetector() = default;
 
 PhaseDetector::PhaseDetector(const WindowConfig &Window, ModelKind Model,
@@ -20,7 +22,9 @@ PhaseDetector::PhaseDetector(const WindowConfig &Window, ModelKind Model,
   assert(this->TheAnalyzer && "detector requires an analyzer");
 }
 
-PhaseState PhaseDetector::processBatch(const SiteIndex *Elements, size_t N) {
+template <bool Observed>
+PhaseState PhaseDetector::processBatchImpl(const SiteIndex *Elements,
+                                           size_t N) {
   // Figure 3: the model consumes the new profile elements and updates the
   // windows.
   for (size_t I = 0; I != N; ++I)
@@ -33,13 +37,23 @@ PhaseState PhaseDetector::processBatch(const SiteIndex *Elements, size_t N) {
   } else {
     double Similarity = Model.similarity();
     NewState = TheAnalyzer->processValue(Similarity);
+    if constexpr (Observed)
+      Observer->onEvaluation(Model.consumed(), Similarity, NewState,
+                             TheAnalyzer->confidence());
 
     if (State == PhaseState::Transition &&
         NewState == PhaseState::InPhase) {
       // Start phase: anchor the TW at the phase start and reset the
       // analyzer's phase statistics.
       LastAnchor = Model.computeAnchorOffset();
+      if constexpr (Observed)
+        Observer->onAnchor(Model.consumed(), Model.config().Anchor,
+                           LastAnchor);
       Model.startPhase();
+      if constexpr (Observed)
+        if (Model.config().TWPolicy == TWPolicyKind::Adaptive)
+          Observer->onWindowResize(Model.consumed(), Model.config().Resize,
+                                   Model.twLength(), Model.cwLength());
       TheAnalyzer->resetStats();
     } else if (State == PhaseState::InPhase &&
                NewState == PhaseState::InPhase) {
@@ -52,11 +66,23 @@ PhaseState PhaseDetector::processBatch(const SiteIndex *Elements, size_t N) {
     // End phase: flush the windows; the analyzer drops the dead phase's
     // statistics (the optional reset of Figure 3).
     Model.endPhase();
+    if constexpr (Observed)
+      Observer->onWindowFlush(Model.consumed(), Model.cwLength());
     TheAnalyzer->resetStats();
   }
 
   State = NewState;
   return State;
+}
+
+PhaseState PhaseDetector::processBatch(const SiteIndex *Elements, size_t N) {
+  return processBatchImpl<false>(Elements, N);
+}
+
+PhaseState PhaseDetector::processBatchObserved(const SiteIndex *Elements,
+                                               size_t N) {
+  assert(Observer && "observed entry point requires an attached observer");
+  return processBatchImpl<true>(Elements, N);
 }
 
 void PhaseDetector::reset() {

@@ -8,7 +8,9 @@
 #include "harness/Sweep.h"
 
 #include "core/DetectorRunner.h"
+#include "support/Format.h"
 #include "support/Parallel.h"
+#include "support/Timer.h"
 
 #include <algorithm>
 
@@ -96,10 +98,19 @@ opd::runSweep(const BranchTrace &Trace,
     const DetectorConfig &Config = Configs[I];
     std::unique_ptr<PhaseDetector> Detector =
         makeDetector(Config, Trace.numSites());
-    DetectorRun Run = runDetector(*Detector, Trace);
 
     RunScores &R = Results[I];
     R.Config = Config;
+    CountingObserver Stats;
+    Stopwatch Timer;
+    DetectorRun Run = runDetector(
+        *Detector, Trace, Options.CollectStats ? &Stats : nullptr);
+    if (Options.CollectStats) {
+      R.DetectSeconds = Timer.seconds();
+      R.Counters = Stats.counters();
+      Timer.restart();
+    }
+
     R.PerMPL.reserve(Baselines.size());
     for (const BaselineSolution &B : Baselines)
       R.PerMPL.push_back(scoreDetection(Run.States, B.states()));
@@ -109,6 +120,8 @@ opd::runSweep(const BranchTrace &Trace,
         R.AnchoredPerMPL.push_back(
             scoreDetection(Run.AnchoredPhases, B.states()));
     }
+    if (Options.CollectStats)
+      R.ScoreSeconds = Timer.seconds();
   });
   return Results;
 }
@@ -127,4 +140,26 @@ double opd::bestScore(
     Best = std::max(Best, Scores[MPLIdx].Score);
   }
   return Best;
+}
+
+Table opd::sweepStatsTable(const std::vector<RunScores> &Runs,
+                           const std::string &Title) {
+  Table T(Title);
+  T.setHeader({"configuration", "elements", "evals", "phases", "anchor corr",
+               "resizes", "flushes", "detect ms", "score ms", "Melem/s"});
+  for (const RunScores &R : Runs) {
+    const RunCounters &C = R.Counters;
+    double MElemPerSec =
+        R.DetectSeconds > 0.0
+            ? static_cast<double>(C.Elements) / R.DetectSeconds / 1e6
+            : 0.0;
+    T.addRow({R.Config.describe(), formatCount(C.Elements),
+              formatCount(C.Evaluations), formatCount(C.PhasesOpened),
+              formatCount(C.AnchorCorrections),
+              formatCount(C.WindowResizes), formatCount(C.WindowFlushes),
+              formatDouble(R.DetectSeconds * 1e3, 1),
+              formatDouble(R.ScoreSeconds * 1e3, 1),
+              formatDouble(MElemPerSec, 1)});
+  }
+  return T;
 }

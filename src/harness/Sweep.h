@@ -21,6 +21,8 @@
 #include "baseline/BaselineSolution.h"
 #include "core/DetectorConfig.h"
 #include "metrics/Scoring.h"
+#include "obs/RunTrace.h"
+#include "support/Table.h"
 #include "trace/BranchTrace.h"
 
 #include <functional>
@@ -72,10 +74,21 @@ struct RunScores {
   /// Same, scored with anchor-corrected phase starts (Figure 8); filled
   /// only when SweepOptions::ScoreAnchored.
   std::vector<AccuracyScore> AnchoredPerMPL;
+  /// Observability counters of this configuration's run; filled only
+  /// when SweepOptions::CollectStats.
+  RunCounters Counters;
+  /// Per-stage wall time of this configuration: the detector run and
+  /// the scoring passes; filled only when SweepOptions::CollectStats.
+  double DetectSeconds = 0.0;
+  double ScoreSeconds = 0.0;
 };
 
 struct SweepOptions {
   bool ScoreAnchored = false;
+  /// Attach a CountingObserver to every run and record per-stage wall
+  /// times into RunScores. Off by default: the unobserved hot path is
+  /// what the benches measure.
+  bool CollectStats = false;
 };
 
 /// Runs every configuration over \p Trace once and scores it against
@@ -90,6 +103,12 @@ std::vector<RunScores> runSweep(const BranchTrace &Trace,
 double bestScore(const std::vector<RunScores> &Runs, size_t MPLIdx,
                  const std::function<bool(const DetectorConfig &)> &Filter,
                  bool Anchored = false);
+
+/// Renders the per-configuration observability counters of a sweep run
+/// with CollectStats as a table: evaluations, phases, anchor
+/// corrections, window churn, per-stage wall time, and throughput.
+Table sweepStatsTable(const std::vector<RunScores> &Runs,
+                      const std::string &Title = "Sweep statistics");
 
 } // namespace opd
 

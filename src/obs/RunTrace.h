@@ -1,0 +1,191 @@
+//===- obs/RunTrace.h - Materialized detector-run timelines -----*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete DetectorObserver implementations:
+///
+///  * CountingObserver — aggregates every callback into RunCounters
+///    (evaluations, phases, anchor corrections, window churn) without
+///    storing anything per event; cheap enough to attach across a full
+///    configuration sweep.
+///  * RunTrace — additionally materializes the callbacks into a compact
+///    in-memory timeline of TraceEvents, reconstructable phase
+///    intervals included. TraceExport.h serializes it to JSON/CSV.
+///
+/// One TraceEvent is a tagged record; the kind-specific meaning of the
+/// generic payload fields A/B/Policy is documented per TraceEventKind
+/// below and mirrored by the export schema in docs/OBSERVABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_OBS_RUNTRACE_H
+#define OPD_OBS_RUNTRACE_H
+
+#include "core/DetectorObserver.h"
+#include "trace/StateSequence.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace opd {
+
+/// Aggregated per-run observability counters.
+struct RunCounters {
+  /// Elements consumed by the run (set at onRunEnd).
+  uint64_t Elements = 0;
+  /// Similarity evaluations (full-window comparisons).
+  uint64_t Evaluations = 0;
+  /// Detected phase opens / closes (closes include a trace-final close).
+  uint64_t PhasesOpened = 0;
+  uint64_t PhasesClosed = 0;
+  /// Anchor computations at phase starts.
+  uint64_t Anchors = 0;
+  /// Phase starts whose anchored estimate moved the boundary (the
+  /// corrections Figure 8 scores).
+  uint64_t AnchorCorrections = 0;
+  /// Adaptive-TW resizes (Slide/Move) at phase starts.
+  uint64_t WindowResizes = 0;
+  /// Window flushes at phase ends (Figure 2, rows F-G).
+  uint64_t WindowFlushes = 0;
+
+  friend bool operator==(const RunCounters &A, const RunCounters &B) {
+    return A.Elements == B.Elements && A.Evaluations == B.Evaluations &&
+           A.PhasesOpened == B.PhasesOpened &&
+           A.PhasesClosed == B.PhasesClosed && A.Anchors == B.Anchors &&
+           A.AnchorCorrections == B.AnchorCorrections &&
+           A.WindowResizes == B.WindowResizes &&
+           A.WindowFlushes == B.WindowFlushes;
+  }
+};
+
+/// Observer that only aggregates RunCounters; attach it when per-event
+/// storage is too expensive (e.g. across a sweep).
+class CountingObserver : public DetectorObserver {
+public:
+  void onRunBegin(uint64_t TraceSize, uint64_t BatchSize) override;
+  void onRunEnd(uint64_t Consumed) override;
+  void onEvaluation(uint64_t Offset, double Similarity, PhaseState Decision,
+                    double Confidence) override;
+  void onAnchor(uint64_t Offset, AnchorKind Kind,
+                uint64_t AnchorOffset) override;
+  void onWindowResize(uint64_t Offset, ResizeKind Kind, uint64_t TWLength,
+                      uint64_t CWLength) override;
+  void onWindowFlush(uint64_t Offset, uint64_t SeedLength) override;
+  void onPhaseBegin(uint64_t Offset, uint64_t AnchorEstimate) override;
+  void onPhaseEnd(uint64_t Offset) override;
+
+  const RunCounters &counters() const { return Counters; }
+
+  /// Clears the counters for a fresh run.
+  void clearCounters() { Counters = RunCounters(); }
+
+private:
+  RunCounters Counters;
+};
+
+/// The timeline event kinds, one per DetectorObserver callback.
+enum class TraceEventKind : uint8_t {
+  RunBegin,     ///< A = trace size, B = batch size.
+  RunEnd,       ///< Offset = elements consumed.
+  Evaluation,   ///< Similarity/Decision/Confidence valid.
+  Anchor,       ///< A = anchor offset, Policy = AnchorKind.
+  WindowResize, ///< A = TW length, B = CW length, Policy = ResizeKind.
+  WindowFlush,  ///< A = CW seed length.
+  PhaseBegin,   ///< Offset = phase start, A = anchored start estimate.
+  PhaseEnd,     ///< Offset = phase end (exclusive).
+};
+
+/// Stable mnemonic used by the JSON/CSV export ("eval", "anchor", ...).
+const char *traceEventKindName(TraceEventKind Kind);
+
+/// Inverse of traceEventKindName(); returns false on an unknown name.
+bool traceEventKindFromName(const std::string &Name, TraceEventKind &Kind);
+
+/// One timeline record. Field validity depends on Kind (see
+/// TraceEventKind); unused fields hold their zero defaults so events
+/// compare and serialize deterministically.
+struct TraceEvent {
+  TraceEventKind Kind = TraceEventKind::RunBegin;
+  /// Global element offset of the event (0 for RunBegin).
+  uint64_t Offset = 0;
+  /// Evaluation payload.
+  double Similarity = 0.0;
+  double Confidence = 0.0;
+  PhaseState Decision = PhaseState::Transition;
+  /// Kind-specific payload (see TraceEventKind).
+  uint64_t A = 0;
+  uint64_t B = 0;
+  /// Raw AnchorKind (Anchor) or ResizeKind (WindowResize) value.
+  uint8_t Policy = 0;
+
+  friend bool operator==(const TraceEvent &X, const TraceEvent &Y) {
+    return X.Kind == Y.Kind && X.Offset == Y.Offset &&
+           X.Similarity == Y.Similarity && X.Confidence == Y.Confidence &&
+           X.Decision == Y.Decision && X.A == Y.A && X.B == Y.B &&
+           X.Policy == Y.Policy;
+  }
+};
+
+/// Records a detector run's full event timeline (plus the counters of
+/// CountingObserver). Attach via runDetector(); the recorded phase
+/// intervals then match DetectorRun::DetectedPhases exactly.
+class RunTrace final : public CountingObserver {
+public:
+  void onRunBegin(uint64_t TraceSize, uint64_t BatchSize) override;
+  void onRunEnd(uint64_t Consumed) override;
+  void onEvaluation(uint64_t Offset, double Similarity, PhaseState Decision,
+                    double Confidence) override;
+  void onAnchor(uint64_t Offset, AnchorKind Kind,
+                uint64_t AnchorOffset) override;
+  void onWindowResize(uint64_t Offset, ResizeKind Kind, uint64_t TWLength,
+                      uint64_t CWLength) override;
+  void onWindowFlush(uint64_t Offset, uint64_t SeedLength) override;
+  void onPhaseBegin(uint64_t Offset, uint64_t AnchorEstimate) override;
+  void onPhaseEnd(uint64_t Offset) override;
+
+  /// The recorded timeline in emission order.
+  const std::vector<TraceEvent> &events() const { return Events; }
+
+  /// Trace size and batch size of the recorded run (from RunBegin).
+  uint64_t traceSize() const { return TraceSize; }
+  uint64_t batchSize() const { return BatchSize; }
+
+  /// Description of the observed detector, carried into the export
+  /// header (set it from OnlineDetector::describe()).
+  void setDetectorName(std::string Name) { Detector = std::move(Name); }
+  const std::string &detectorName() const { return Detector; }
+
+  /// The detected phase intervals, reconstructed from the
+  /// PhaseBegin/PhaseEnd events; equal to DetectorRun::DetectedPhases
+  /// for the observed run.
+  std::vector<PhaseInterval> phases() const;
+
+  /// Same intervals with each start replaced by the anchored estimate
+  /// (unclamped; DetectorRun::AnchoredPhases clamps overlaps).
+  std::vector<PhaseInterval> anchoredPhases() const;
+
+  /// Re-dispatches a deserialized event through the corresponding
+  /// observer callback, rebuilding counters and the timeline in one
+  /// pass; TraceExport readers replay a file through this.
+  void replayEvent(const TraceEvent &E);
+
+  /// Clears events, counters, and run metadata.
+  void clear();
+
+private:
+  void record(const TraceEvent &E) { Events.push_back(E); }
+
+  std::vector<TraceEvent> Events;
+  std::string Detector;
+  uint64_t TraceSize = 0;
+  uint64_t BatchSize = 0;
+};
+
+} // namespace opd
+
+#endif // OPD_OBS_RUNTRACE_H

@@ -1,0 +1,43 @@
+//===- support/Timer.h - Wall-clock stopwatch -------------------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal steady-clock stopwatch for the per-stage wall-time counters
+/// the observability layer aggregates (sweep detect/score time,
+/// inspect_tool stage breakdowns). Not a benchmarking harness — BenchPerf
+/// uses google-benchmark for that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_SUPPORT_TIMER_H
+#define OPD_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace opd {
+
+/// Measures elapsed wall time from construction (or the last restart()).
+class Stopwatch {
+  std::chrono::steady_clock::time_point Start;
+
+public:
+  Stopwatch() : Start(std::chrono::steady_clock::now()) {}
+
+  /// Resets the start point to now.
+  void restart() { Start = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since the start point.
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  }
+};
+
+} // namespace opd
+
+#endif // OPD_SUPPORT_TIMER_H
