@@ -11,8 +11,8 @@
 /// material behind every table in the paper, exposed for custom
 /// analysis.
 ///
-///   sweep_tool --workloads jess,db --mpls 1K,10K --cw 500,5000 \
-///              --models unweighted,weighted --analyzers t0.6,a0.05 \
+///   sweep_tool --workloads jess,db --mpls 1K,10K --cw 500,5000
+///              --models unweighted,weighted --analyzers t0.6,a0.05
 ///              --policies constant,adaptive,fixed > scores.csv
 ///
 //===----------------------------------------------------------------------===//

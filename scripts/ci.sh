@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+#===- scripts/ci.sh - Full verification pipeline ----------------------------===#
+#
+# Part of the OPD project: a reproduction of "Online Phase Detection
+# Algorithms" (CGO 2006).
+#
+# Runs the complete CI matrix from a clean tree:
+#
+#   1. plain:     configure + build (warnings-as-errors) + ctest
+#   2. sanitized: the same under AddressSanitizer + UndefinedBehaviorSanitizer
+#
+# Both configurations include the jp_lint_* ctests, which lint every .jp
+# workload bundled under examples/. When clang-tidy is on PATH, the plain
+# configuration also runs it over src/ with the repo .clang-tidy profile.
+#
+# Usage: scripts/ci.sh [build-dir-prefix]
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PREFIX="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1"; shift
+  local dir="${PREFIX}-${name}"
+  echo "=== [$name] configure ($*) ==="
+  cmake -B "$dir" -S . -DOPD_WERROR=ON "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$JOBS"
+  echo "=== [$name] ctest ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+run_config plain
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== [plain] clang-tidy ==="
+  cmake -B "${PREFIX}-plain" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  find src -name '*.cpp' -print0 |
+    xargs -0 -P "$JOBS" -n 4 clang-tidy -p "${PREFIX}-plain" --quiet
+else
+  echo "=== clang-tidy not found; skipping (config: .clang-tidy) ==="
+fi
+
+run_config asan-ubsan -DOPD_SANITIZE="address;undefined"
+
+echo "=== CI passed ==="

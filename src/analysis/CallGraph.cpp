@@ -1,0 +1,214 @@
+//===- analysis/CallGraph.cpp - Static call graph over JP programs -----------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include "lang/ConstEval.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+
+using namespace opd;
+
+namespace {
+
+/// Collects call sites with their conditionality in one AST walk.
+class SiteCollector {
+public:
+  SiteCollector(uint32_t Caller, std::vector<CallSite> &Sites)
+      : Caller(Caller), Sites(Sites) {}
+
+  void walk(const BlockStmt &B) { walkBlock(B, /*Unconditional=*/true); }
+
+private:
+  void walkBlock(const BlockStmt &B, bool Unconditional) {
+    for (const std::unique_ptr<Stmt> &S : B.stmts())
+      walkStmt(*S, Unconditional);
+  }
+
+  void walkStmt(const Stmt &S, bool Unconditional) {
+    switch (S.kind()) {
+    case Stmt::Kind::Block:
+      walkBlock(*cast<BlockStmt>(&S), Unconditional);
+      return;
+    case Stmt::Kind::Loop: {
+      const auto *Loop = cast<LoopStmt>(&S);
+      // The body runs unconditionally only when the trip count is a
+      // compile-time constant >= 1.
+      std::optional<int64_t> Count = evaluateConstant(*Loop->count());
+      walkBlock(*Loop->body(), Unconditional && Count && *Count >= 1);
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(&S);
+      walkBlock(*If->thenBlock(), false);
+      if (If->elseBlock())
+        walkBlock(*If->elseBlock(), false);
+      return;
+    }
+    case Stmt::Kind::When: {
+      const auto *When = cast<WhenStmt>(&S);
+      walkBlock(*When->thenBlock(), false);
+      if (When->elseBlock())
+        walkBlock(*When->elseBlock(), false);
+      return;
+    }
+    case Stmt::Kind::Call: {
+      const auto *Call = cast<CallStmt>(&S);
+      Sites.push_back(
+          {Call, Caller, Call->calleeIndex(), Unconditional});
+      return;
+    }
+    case Stmt::Kind::Pick:
+      for (const PickStmt::Arm &Arm : cast<PickStmt>(&S)->arms())
+        walkBlock(*Arm.Body, false);
+      return;
+    case Stmt::Kind::Branch:
+      return;
+    }
+  }
+
+  uint32_t Caller;
+  std::vector<CallSite> &Sites;
+};
+
+/// Iterative Tarjan SCC state for one node.
+struct TarjanNode {
+  uint32_t Index = ~0u;
+  uint32_t LowLink = ~0u;
+  bool OnStack = false;
+};
+
+} // namespace
+
+CallGraph CallGraph::build(const Program &Prog) {
+  CallGraph G;
+  size_t N = Prog.methods().size();
+  G.Callees.resize(N);
+  G.Reachable.assign(N, false);
+  G.Recursive.assign(N, false);
+  G.UnconditionallyRecursive.assign(N, false);
+  G.SccIds.assign(N, ~0u);
+
+  for (uint32_t M = 0; M != N; ++M)
+    SiteCollector(M, G.Sites).walk(*Prog.methods()[M]->body());
+
+  for (const CallSite &Site : G.Sites) {
+    std::vector<uint32_t> &Out = G.Callees[Site.Caller];
+    if (std::find(Out.begin(), Out.end(), Site.Callee) == Out.end())
+      Out.push_back(Site.Callee);
+  }
+
+  // Reachability from the entry method (DFS over deduplicated edges).
+  if (Prog.entryIndex() < N) {
+    std::vector<uint32_t> Work = {Prog.entryIndex()};
+    G.Reachable[Prog.entryIndex()] = true;
+    while (!Work.empty()) {
+      uint32_t M = Work.back();
+      Work.pop_back();
+      for (uint32_t Callee : G.Callees[M])
+        if (!G.Reachable[Callee]) {
+          G.Reachable[Callee] = true;
+          Work.push_back(Callee);
+        }
+    }
+  }
+
+  // Tarjan's SCC algorithm, iterative to keep deep call chains off the C++
+  // stack. Components complete in reverse topological order.
+  std::vector<TarjanNode> Nodes(N);
+  std::vector<uint32_t> Stack;
+  uint32_t NextIndex = 0;
+  struct DfsFrame {
+    uint32_t Node;
+    size_t NextCallee;
+  };
+  for (uint32_t Root = 0; Root != N; ++Root) {
+    if (Nodes[Root].Index != ~0u)
+      continue;
+    std::vector<DfsFrame> Dfs = {{Root, 0}};
+    Nodes[Root].Index = Nodes[Root].LowLink = NextIndex++;
+    Nodes[Root].OnStack = true;
+    Stack.push_back(Root);
+    while (!Dfs.empty()) {
+      DfsFrame &Frame = Dfs.back();
+      const std::vector<uint32_t> &Out = G.Callees[Frame.Node];
+      if (Frame.NextCallee < Out.size()) {
+        uint32_t Callee = Out[Frame.NextCallee++];
+        if (Nodes[Callee].Index == ~0u) {
+          Nodes[Callee].Index = Nodes[Callee].LowLink = NextIndex++;
+          Nodes[Callee].OnStack = true;
+          Stack.push_back(Callee);
+          Dfs.push_back({Callee, 0});
+        } else if (Nodes[Callee].OnStack) {
+          Nodes[Frame.Node].LowLink =
+              std::min(Nodes[Frame.Node].LowLink, Nodes[Callee].Index);
+        }
+        continue;
+      }
+      uint32_t Done = Frame.Node;
+      Dfs.pop_back();
+      if (!Dfs.empty())
+        Nodes[Dfs.back().Node].LowLink =
+            std::min(Nodes[Dfs.back().Node].LowLink, Nodes[Done].LowLink);
+      if (Nodes[Done].LowLink == Nodes[Done].Index) {
+        std::vector<uint32_t> Component;
+        uint32_t Member;
+        do {
+          Member = Stack.back();
+          Stack.pop_back();
+          Nodes[Member].OnStack = false;
+          G.SccIds[Member] = static_cast<uint32_t>(G.Sccs.size());
+          Component.push_back(Member);
+        } while (Member != Done);
+        std::sort(Component.begin(), Component.end());
+        G.Sccs.push_back(std::move(Component));
+      }
+    }
+  }
+
+  // Recursive methods: nontrivial SCC membership or a self-edge.
+  for (uint32_t M = 0; M != N; ++M) {
+    bool SelfEdge = std::find(G.Callees[M].begin(), G.Callees[M].end(),
+                              M) != G.Callees[M].end();
+    G.Recursive[M] = SelfEdge || G.Sccs[G.SccIds[M]].size() > 1;
+  }
+
+  // Unconditional recursion: restrict the graph to unconditional edges
+  // within each recursive SCC and re-run the cycle test. A method on such
+  // a cycle re-enters itself on every invocation.
+  std::vector<std::vector<uint32_t>> UncondEdges(N);
+  for (const CallSite &Site : G.Sites)
+    if (Site.Unconditional &&
+        G.SccIds[Site.Caller] == G.SccIds[Site.Callee])
+      UncondEdges[Site.Caller].push_back(Site.Callee);
+  for (uint32_t M = 0; M != N; ++M) {
+    if (!G.Recursive[M])
+      continue;
+    // DFS from M over unconditional same-SCC edges looking for a cycle
+    // back to M. SCCs are small; the quadratic scan is fine.
+    std::vector<bool> Seen(N, false);
+    std::vector<uint32_t> Work = UncondEdges[M];
+    bool Cycles = false;
+    while (!Work.empty() && !Cycles) {
+      uint32_t Next = Work.back();
+      Work.pop_back();
+      if (Next == M) {
+        Cycles = true;
+        break;
+      }
+      if (Seen[Next])
+        continue;
+      Seen[Next] = true;
+      for (uint32_t Callee : UncondEdges[Next])
+        Work.push_back(Callee);
+    }
+    G.UnconditionallyRecursive[M] = Cycles;
+  }
+
+  return G;
+}

@@ -1,0 +1,97 @@
+//===- analysis/CallGraph.h - Static call graph over JP programs -*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static call graph of a Sema-checked JP program: one node per
+/// method, one edge per distinct (caller, callee) pair with every call
+/// site recorded. On top of the raw edges the graph computes the three
+/// facts the rest of src/analysis consumes:
+///
+///  - reachability from `main` (dead-method detection),
+///  - strongly connected components via Tarjan's algorithm, in reverse
+///    topological order (the cost analysis processes callees first), and
+///  - recursion cycles: any method in a nontrivial SCC, or with a
+///    self-edge, is recursive. An edge is *unconditional* when the call
+///    site is nested under no `if`/`when`/`pick` arm and every enclosing
+///    loop has a statically positive trip count; a recursion cycle made
+///    entirely of unconditional edges can never terminate, which Lint
+///    reports as a hard error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_ANALYSIS_CALLGRAPH_H
+#define OPD_ANALYSIS_CALLGRAPH_H
+
+#include "lang/AST.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace opd {
+
+/// One static call site: the AST statement plus its conditionality.
+struct CallSite {
+  const CallStmt *Stmt;
+  uint32_t Caller;
+  uint32_t Callee;
+  /// True when the site executes on every invocation of the caller: it is
+  /// nested under no `if`/`when`/`pick` arm, and every enclosing loop has
+  /// a constant trip count >= 1.
+  bool Unconditional;
+};
+
+/// The static call graph of one Sema-checked program.
+class CallGraph {
+public:
+  /// Builds the graph for \p Prog (must have passed Sema).
+  static CallGraph build(const Program &Prog);
+
+  /// Number of methods (graph nodes).
+  size_t numMethods() const { return Callees.size(); }
+
+  /// Deduplicated callee indices of method \p Method, in first-call order.
+  const std::vector<uint32_t> &callees(uint32_t Method) const {
+    return Callees[Method];
+  }
+
+  /// Every call site, in AST order.
+  const std::vector<CallSite> &callSites() const { return Sites; }
+
+  /// True if \p Method is reachable from `main` through any call chain.
+  bool isReachable(uint32_t Method) const { return Reachable[Method]; }
+
+  /// True if \p Method can re-enter itself: it sits in a nontrivial SCC
+  /// or has a self-edge.
+  bool isRecursive(uint32_t Method) const { return Recursive[Method]; }
+
+  /// True if \p Method sits on a recursion cycle made entirely of
+  /// unconditional calls — invoking it can never terminate.
+  bool isUnconditionallyRecursive(uint32_t Method) const {
+    return UnconditionallyRecursive[Method];
+  }
+
+  /// SCC id of \p Method. Ids are assigned in reverse topological order:
+  /// if A calls B and they are in different SCCs, sccId(B) < sccId(A).
+  uint32_t sccId(uint32_t Method) const { return SccIds[Method]; }
+
+  /// The SCCs in reverse topological order (callees before callers).
+  /// Members are method indices.
+  const std::vector<std::vector<uint32_t>> &sccs() const { return Sccs; }
+
+private:
+  std::vector<std::vector<uint32_t>> Callees;
+  std::vector<CallSite> Sites;
+  std::vector<bool> Reachable;
+  std::vector<bool> Recursive;
+  std::vector<bool> UnconditionallyRecursive;
+  std::vector<uint32_t> SccIds;
+  std::vector<std::vector<uint32_t>> Sccs;
+};
+
+} // namespace opd
+
+#endif // OPD_ANALYSIS_CALLGRAPH_H

@@ -1,0 +1,156 @@
+//===- analysis/CostModel.cpp - Loop-nest and trace-cost analysis ------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CostModel.h"
+
+#include "lang/ConstEval.h"
+#include "support/Casting.h"
+
+using namespace opd;
+
+namespace {
+
+/// Computes statement costs for one method body against the current
+/// method-summary table, optionally recording LoopCost entries.
+class BodyCoster {
+public:
+  BodyCoster(const std::vector<Cost> &MethodCosts, uint32_t Method,
+             std::vector<LoopCost> *LoopsOut)
+      : MethodCosts(MethodCosts), Method(Method), LoopsOut(LoopsOut) {}
+
+  Cost cost(const BlockStmt &B, uint32_t Depth = 0) {
+    Cost Total;
+    for (const std::unique_ptr<Stmt> &S : B.stmts())
+      Total = Total.seq(costStmt(*S, Depth));
+    return Total;
+  }
+
+private:
+  Cost costStmt(const Stmt &S, uint32_t Depth) {
+    switch (S.kind()) {
+    case Stmt::Kind::Block:
+      return cost(*cast<BlockStmt>(&S), Depth);
+
+    case Stmt::Kind::Branch:
+      // `flip` randomizes the taken bit, not the element count.
+      return Cost::exactly(1);
+
+    case Stmt::Kind::Loop: {
+      const auto *Loop = cast<LoopStmt>(&S);
+      Cost Body = cost(*Loop->body(), Depth + 1);
+      std::optional<uint64_t> Trip;
+      // Context-insensitive: parameters and loop variables are unknown,
+      // so only closed `times` expressions fold.
+      if (std::optional<int64_t> N = evaluateConstant(*Loop->count()))
+        Trip = *N < 0 ? 0 : static_cast<uint64_t>(*N);
+      Cost Total = Body.times(Trip);
+      if (LoopsOut)
+        LoopsOut->push_back({Loop, Method, Depth, Trip, Body, Total});
+      return Total;
+    }
+
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(&S);
+      Cost Then = cost(*If->thenBlock(), Depth);
+      Cost Else =
+          If->elseBlock() ? cost(*If->elseBlock(), Depth) : Cost();
+      // Degenerate probabilities pin the arm; anything else joins.
+      Cost Arms = If->probability() >= 1.0  ? Then
+                  : If->probability() <= 0.0 ? Else
+                                             : Then.join(Else);
+      return Cost::exactly(1).seq(Arms);
+    }
+
+    case Stmt::Kind::When: {
+      const auto *When = cast<WhenStmt>(&S);
+      Cost Then = cost(*When->thenBlock(), Depth);
+      Cost Else =
+          When->elseBlock() ? cost(*When->elseBlock(), Depth) : Cost();
+      Cost Arms = Then.join(Else);
+      if (std::optional<int64_t> C = evaluateConstant(*When->cond()))
+        Arms = *C != 0 ? Then : Else;
+      return Cost::exactly(1).seq(Arms);
+    }
+
+    case Stmt::Kind::Call:
+      return MethodCosts[cast<CallStmt>(&S)->calleeIndex()];
+
+    case Stmt::Kind::Pick: {
+      const auto *Pick = cast<PickStmt>(&S);
+      // `pick` emits no element itself; join over the reachable arms.
+      Cost Arms;
+      bool First = true;
+      for (const PickStmt::Arm &Arm : Pick->arms()) {
+        if (Arm.Weight == 0)
+          continue;
+        Cost C = cost(*Arm.Body, Depth);
+        Arms = First ? C : Arms.join(C);
+        First = false;
+      }
+      return Arms;
+    }
+    }
+    return Cost();
+  }
+
+  const std::vector<Cost> &MethodCosts;
+  uint32_t Method;
+  std::vector<LoopCost> *LoopsOut;
+};
+
+} // namespace
+
+CostAnalysis CostAnalysis::run(const Program &Prog,
+                               const CallGraph &Graph) {
+  CostAnalysis Result;
+  size_t N = Prog.methods().size();
+  Result.Entry = Prog.entryIndex() < N ? Prog.entryIndex() : 0;
+  // Seed every summary at [0, unbounded): a sound starting point that
+  // lets recursive SCCs iterate upward on Min.
+  Result.MethodCosts.assign(N, Cost::atLeast(0));
+
+  auto CostOfMethod = [&](uint32_t M) {
+    return BodyCoster(Result.MethodCosts, M, nullptr)
+        .cost(*Prog.methods()[M]->body());
+  };
+
+  // Summarize SCCs callees-first (CallGraph yields them in reverse
+  // topological order).
+  for (const std::vector<uint32_t> &Scc : Graph.sccs()) {
+    bool IsCycle = Scc.size() > 1 || Graph.isRecursive(Scc.front());
+    if (!IsCycle) {
+      uint32_t M = Scc.front();
+      Result.MethodCosts[M] = CostOfMethod(M);
+      continue;
+    }
+    // Recursive component: Max is unbounded (termination depends on
+    // runtime values), but Min converges — iterate it upward to a
+    // fixpoint. Min strictly grows by at least 1 per productive round
+    // and the round cap bounds pathological cases; stopping early only
+    // weakens the lower bound, never soundness.
+    const unsigned MaxRounds = 16;
+    for (unsigned Round = 0; Round != MaxRounds; ++Round) {
+      bool Changed = false;
+      for (uint32_t M : Scc) {
+        Cost New = Cost::atLeast(CostOfMethod(M).min());
+        if (!(New == Result.MethodCosts[M])) {
+          Result.MethodCosts[M] = New;
+          Changed = true;
+        }
+      }
+      if (!Changed)
+        break;
+    }
+  }
+
+  // Final pass: record per-loop bounds now that all summaries are final.
+  for (uint32_t M = 0; M != N; ++M)
+    BodyCoster(Result.MethodCosts, M, &Result.Loops)
+        .cost(*Prog.methods()[M]->body());
+
+  return Result;
+}

@@ -1,0 +1,160 @@
+//===- analysis/CostModel.h - Loop-nest and trace-cost analysis -*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interprocedural estimation of how many profile elements (dynamic
+/// branches) each construct of a JP program emits — the static half of
+/// the paper's phase structure. The analysis folds constant `times`
+/// expressions to bound loop trip counts, propagates a cost lattice
+/// through `if`/`when`/`pick` arms, and summarizes methods bottom-up over
+/// the call graph's SCCs.
+///
+/// The lattice is an interval [Min, Max] of element counts where Max may
+/// be *unbounded* (recursion whose depth depends on runtime values, or a
+/// loop whose trip count is not a compile-time constant):
+///
+///   exact     Min == Max, bounded — the construct emits exactly that
+///             many elements on every execution (probabilistic `branch
+///             flip` still emits exactly one element, so flips stay
+///             exact; `if`/`pick` arms of different sizes do not).
+///   bounded   Min <= Max, both finite.
+///   unbounded Max unknown; Min remains a sound lower bound.
+///
+/// Arithmetic saturates at Cost::Saturated so adversarially large
+/// constant trip counts cannot overflow (saturated values compare as
+/// "at least this much", which is all Lint's budget checks need).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_ANALYSIS_COSTMODEL_H
+#define OPD_ANALYSIS_COSTMODEL_H
+
+#include "analysis/CallGraph.h"
+#include "lang/AST.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace opd {
+
+/// Interval lattice of statically estimated element counts.
+class Cost {
+public:
+  /// Saturation cap for the finite arithmetic (2^62; far beyond any
+  /// realistic trace budget, small enough that sums cannot wrap).
+  static constexpr uint64_t Saturated = uint64_t(1) << 62;
+
+  /// The zero cost (exact 0).
+  Cost() = default;
+
+  /// An exact cost of \p N elements.
+  static Cost exactly(uint64_t N) { return {N, N, true}; }
+
+  /// A bounded interval [Lo, Hi].
+  static Cost between(uint64_t Lo, uint64_t Hi) { return {Lo, Hi, true}; }
+
+  /// An unbounded cost with lower bound \p Lo.
+  static Cost atLeast(uint64_t Lo) { return {Lo, 0, false}; }
+
+  uint64_t min() const { return Min; }
+  /// Valid only when bounded().
+  uint64_t max() const { return Max; }
+  bool bounded() const { return Bounded; }
+  bool exact() const { return Bounded && Min == Max; }
+  bool isZero() const { return Bounded && Max == 0; }
+
+  /// Sequential composition: both costs are paid.
+  Cost seq(const Cost &Other) const {
+    return {satAdd(Min, Other.Min), satAdd(Max, Other.Max),
+            Bounded && Other.Bounded};
+  }
+
+  /// Branch join: either cost is paid (interval hull).
+  Cost join(const Cost &Other) const {
+    return {std::min(Min, Other.Min), std::max(Max, Other.Max),
+            Bounded && Other.Bounded};
+  }
+
+  /// Repetition: this cost is paid \p Count times. An unknown count
+  /// yields [0, unbounded) unless the body is free.
+  Cost times(const std::optional<uint64_t> &Count) const {
+    if (Count)
+      return {satMul(Min, *Count), satMul(Max, *Count), Bounded};
+    if (isZero())
+      return exactly(0);
+    return atLeast(0);
+  }
+
+  friend bool operator==(const Cost &A, const Cost &B) {
+    return A.Min == B.Min && A.Bounded == B.Bounded &&
+           (!A.Bounded || A.Max == B.Max);
+  }
+
+private:
+  Cost(uint64_t Min, uint64_t Max, bool Bounded)
+      : Min(Min), Max(Max), Bounded(Bounded) {}
+
+  static uint64_t satAdd(uint64_t A, uint64_t B) {
+    return A + B < Saturated ? A + B : Saturated;
+  }
+  static uint64_t satMul(uint64_t A, uint64_t B) {
+    if (A == 0 || B == 0)
+      return 0;
+    return A < Saturated / B ? A * B : Saturated;
+  }
+
+  uint64_t Min = 0;
+  uint64_t Max = 0;
+  bool Bounded = true;
+};
+
+/// Static facts about one `loop` statement.
+struct LoopCost {
+  const LoopStmt *Loop;
+  /// Enclosing method index.
+  uint32_t Method;
+  /// Static nesting depth within the method (0 = top level).
+  uint32_t Depth;
+  /// Constant trip count when the `times` expression folds (clamped to 0
+  /// like the interpreter clamps negatives); nullopt when it depends on
+  /// parameters or loop variables.
+  std::optional<uint64_t> TripCount;
+  /// Elements emitted by one iteration of the body.
+  Cost Body;
+  /// Elements emitted by one full execution of the loop.
+  Cost Total;
+};
+
+/// Interprocedural cost summaries for a whole program.
+class CostAnalysis {
+public:
+  /// Runs the analysis over \p Prog using \p Graph's SCC order. The
+  /// program must have passed Sema.
+  static CostAnalysis run(const Program &Prog, const CallGraph &Graph);
+
+  /// Elements one invocation of method \p Method emits (including its
+  /// transitive callees).
+  const Cost &methodCost(uint32_t Method) const {
+    return MethodCosts[Method];
+  }
+
+  /// Elements one run of the program emits (the entry method's cost).
+  const Cost &programCost() const { return MethodCosts[Entry]; }
+
+  /// Every `loop` statement with its bounds, in (method, AST) order.
+  const std::vector<LoopCost> &loops() const { return Loops; }
+
+private:
+  std::vector<Cost> MethodCosts;
+  std::vector<LoopCost> Loops;
+  uint32_t Entry = 0;
+};
+
+} // namespace opd
+
+#endif // OPD_ANALYSIS_COSTMODEL_H

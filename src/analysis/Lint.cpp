@@ -1,0 +1,254 @@
+//===- analysis/Lint.cpp - Static defect checks for JP workloads -------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+
+#include "analysis/CallGraph.h"
+#include "analysis/CostModel.h"
+#include "lang/ConstEval.h"
+#include "support/Casting.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace opd;
+
+namespace {
+
+/// Walks one method body flagging arms that can never execute.
+class ArmChecker {
+public:
+  ArmChecker(DiagnosticEngine &Diags) : Diags(Diags) {}
+
+  void walk(const BlockStmt &B) {
+    for (const std::unique_ptr<Stmt> &S : B.stmts())
+      walkStmt(*S);
+  }
+
+private:
+  void walkStmt(const Stmt &S) {
+    switch (S.kind()) {
+    case Stmt::Kind::Block:
+      walk(*cast<BlockStmt>(&S));
+      return;
+    case Stmt::Kind::Loop:
+      walk(*cast<LoopStmt>(&S)->body());
+      return;
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(&S);
+      if (If->probability() <= 0.0)
+        Diags.report(DiagSeverity::Warning, If->loc(), "unreachable-arm",
+                     "'if 0' never takes its then arm");
+      else if (If->probability() >= 1.0 && If->elseBlock())
+        Diags.report(DiagSeverity::Warning, If->loc(), "unreachable-arm",
+                     "'if 1' never takes its else arm");
+      walk(*If->thenBlock());
+      if (If->elseBlock())
+        walk(*If->elseBlock());
+      return;
+    }
+    case Stmt::Kind::When: {
+      const auto *When = cast<WhenStmt>(&S);
+      // Context-insensitive: only closed conditions fold. Loop variables
+      // and parameters stay unknown, so `when (pass % 2 == 0)` is fine.
+      if (std::optional<int64_t> C = evaluateConstant(*When->cond())) {
+        bool True = *C != 0;
+        if (!True)
+          Diags.report(DiagSeverity::Warning, When->loc(),
+                       "unreachable-arm",
+                       "'when' condition is always false; the then arm "
+                       "is unreachable");
+        else if (When->elseBlock())
+          Diags.report(DiagSeverity::Warning, When->loc(),
+                       "unreachable-arm",
+                       "'when' condition is always true; the else arm "
+                       "is unreachable");
+        else
+          Diags.report(DiagSeverity::Note, When->loc(),
+                       "constant-condition",
+                       "'when' condition is constant; the branch site "
+                       "is never biased");
+      }
+      walk(*When->thenBlock());
+      if (When->elseBlock())
+        walk(*When->elseBlock());
+      return;
+    }
+    case Stmt::Kind::Pick:
+      for (const PickStmt::Arm &Arm : cast<PickStmt>(&S)->arms())
+        walk(*Arm.Body);
+      return;
+    case Stmt::Kind::Call:
+    case Stmt::Kind::Branch:
+      return;
+    }
+  }
+
+  DiagnosticEngine &Diags;
+};
+
+/// Human-readable cycle description "a -> b -> a" for an SCC.
+std::string describeCycle(const Program &Prog,
+                          const std::vector<uint32_t> &Members) {
+  std::string Out;
+  for (uint32_t M : Members) {
+    Out += Prog.methods()[M]->name();
+    Out += " -> ";
+  }
+  Out += Prog.methods()[Members.front()]->name();
+  return Out;
+}
+
+} // namespace
+
+void opd::lintProgram(const Program &Prog, const LintOptions &Options,
+                      DiagnosticEngine &Diags) {
+  CallGraph Graph = CallGraph::build(Prog);
+  CostAnalysis Costs = CostAnalysis::run(Prog, Graph);
+
+  // Dead methods (the entry method is live by definition).
+  for (uint32_t M = 0; M != Prog.methods().size(); ++M) {
+    const MethodDecl &Method = *Prog.methods()[M];
+    if (M != Prog.entryIndex() && !Graph.isReachable(M))
+      Diags.report(DiagSeverity::Warning, Method.loc(), "dead-method",
+                   "method '" + Method.name() +
+                       "' is never called from 'main'");
+  }
+
+  // Unreachable arms and constant conditions.
+  for (const std::unique_ptr<MethodDecl> &M : Prog.methods())
+    ArmChecker(Diags).walk(*M->body());
+
+  // Recursion: unconditional cycles are fatal; intentional recursion is
+  // worth a note (one per cycle, anchored at its first member).
+  std::vector<bool> CycleReported(Graph.sccs().size(), false);
+  for (uint32_t M = 0; M != Prog.methods().size(); ++M) {
+    if (!Graph.isRecursive(M))
+      continue;
+    const MethodDecl &Method = *Prog.methods()[M];
+    if (Graph.isUnconditionallyRecursive(M)) {
+      Diags.report(DiagSeverity::Error, Method.loc(), "infinite-recursion",
+                   "method '" + Method.name() +
+                       "' recurses unconditionally and can never return");
+      continue;
+    }
+    uint32_t Scc = Graph.sccId(M);
+    if (CycleReported[Scc])
+      continue;
+    CycleReported[Scc] = true;
+    const std::vector<uint32_t> &Members = Graph.sccs()[Scc];
+    std::string Cycle = Members.size() > 1
+                            ? describeCycle(Prog, Members)
+                            : Method.name() + " -> " + Method.name();
+    Diags.report(DiagSeverity::Note, Method.loc(), "recursion-cycle",
+                 "recursion cycle: " + Cycle +
+                     " (deep recursion inflates the call-loop trace)");
+  }
+
+  // Loop budgets and short phases.
+  for (const LoopCost &L : Costs.loops()) {
+    if (!Graph.isReachable(L.Method))
+      continue;
+    if (L.Total.min() >= Options.ElementBudget) {
+      Diags.report(
+          DiagSeverity::Error, L.Loop->loc(), "unbounded-loop",
+          "loop statically emits at least " + formatCount(L.Total.min()) +
+              " elements, exceeding the trace budget of " +
+              formatCount(Options.ElementBudget));
+      continue;
+    }
+    // A top-level loop of the entry method executes exactly once, so it
+    // cannot chain with a sibling instance of itself; if its whole
+    // execution is shorter than the MPL it can never become a phase.
+    if (Options.MPL > 0 && L.Method == Prog.entryIndex() &&
+        L.Depth == 0 && L.Total.bounded() && L.Total.max() > 0 &&
+        L.Total.max() < Options.MPL)
+      Diags.report(
+          DiagSeverity::Warning, L.Loop->loc(), "short-phase",
+          "loop emits at most " + formatCount(L.Total.max()) +
+              " elements, shorter than the minimum phase length " +
+              formatCount(Options.MPL) +
+              "; the oracle can never select it as a phase");
+  }
+}
+
+std::string opd::renderDiagnosticsJSON(const DiagnosticEngine &Diags,
+                                       const std::string &FileName) {
+  auto Escape = [](const std::string &Text) {
+    std::string Out;
+    Out.reserve(Text.size());
+    for (char C : Text) {
+      switch (C) {
+      case '"':
+        Out += "\\\"";
+        break;
+      case '\\':
+        Out += "\\\\";
+        break;
+      case '\n':
+        Out += "\\n";
+        break;
+      case '\t':
+        Out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(C) < 0x20) {
+          char Buf[8];
+          std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+          Out += Buf;
+        } else {
+          Out += C;
+        }
+      }
+    }
+    return Out;
+  };
+
+  uint64_t Errors = 0, Warnings = 0, Notes = 0;
+  std::string Out = "{\n  \"file\": \"" + Escape(FileName) +
+                    "\",\n  \"diagnostics\": [";
+  bool First = true;
+  for (const Diagnostic &D : Diags.diagnostics()) {
+    switch (D.Severity) {
+    case DiagSeverity::Error:
+      ++Errors;
+      break;
+    case DiagSeverity::Warning:
+      ++Warnings;
+      break;
+    case DiagSeverity::Note:
+      ++Notes;
+      break;
+    }
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    {\"line\": " + std::to_string(D.Loc.Line) +
+           ", \"col\": " + std::to_string(D.Loc.Col) + ", \"severity\": \"" +
+           severityName(D.Severity) + "\", \"code\": \"" + Escape(D.Code) +
+           "\", \"message\": \"" + Escape(D.Message) + "\"}";
+  }
+  Out += First ? "],\n" : "\n  ],\n";
+  Out += "  \"errors\": " + std::to_string(Errors) +
+         ",\n  \"warnings\": " + std::to_string(Warnings) +
+         ",\n  \"notes\": " + std::to_string(Notes) + "\n}\n";
+  return Out;
+}
+
+int opd::exitCodeForSeverity(DiagSeverity Severity, bool AnyDiagnostics) {
+  if (!AnyDiagnostics)
+    return 0;
+  switch (Severity) {
+  case DiagSeverity::Error:
+    return 2;
+  case DiagSeverity::Warning:
+    return 1;
+  case DiagSeverity::Note:
+    return 0;
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+//===- analysis/Lint.h - Static defect checks for JP workloads --*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `jp_lint` diagnostic catalogue: static checks that catch
+/// silently-degenerate workloads before a benchmark run wastes a trace.
+/// Each diagnostic carries a stable code (Diagnostic::Code) and a
+/// severity; docs/ANALYSIS.md documents the full catalogue.
+///
+///   code                severity  meaning
+///   ------------------- --------  -----------------------------------
+///   dead-method         warning   method unreachable from `main`
+///   unreachable-arm     warning   `when`/`if` arm can never execute
+///   constant-condition  note      `when` condition always same value
+///   unbounded-loop      error     loop statically exceeds the element
+///                                 budget
+///   infinite-recursion  error     unconditional recursion cycle
+///   recursion-cycle     note      method participates in recursion
+///   short-phase         warning   top-level loop shorter than the MPL
+///                                 (can never become an oracle phase)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_ANALYSIS_LINT_H
+#define OPD_ANALYSIS_LINT_H
+
+#include "lang/AST.h"
+#include "lang/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+
+namespace opd {
+
+/// Knobs for the lint checks.
+struct LintOptions {
+  /// Trace budget for `unbounded-loop`: a loop whose statically proven
+  /// minimum element count meets this threshold is an error. Mirrors the
+  /// scale at which interpreted runs become impractical.
+  uint64_t ElementBudget = 100u * 1000 * 1000;
+  /// Minimum phase length for `short-phase`; 0 disables the check.
+  uint64_t MPL = 0;
+};
+
+/// Runs all static checks over \p Prog (must have passed Sema),
+/// recording findings in \p Diags in a deterministic order.
+void lintProgram(const Program &Prog, const LintOptions &Options,
+                 DiagnosticEngine &Diags);
+
+/// Renders \p Diags as a JSON object (`{"file": ..., "diagnostics":
+/// [...], "errors": N, "warnings": N, "notes": N}`) for `jp_lint --json`.
+std::string renderDiagnosticsJSON(const DiagnosticEngine &Diags,
+                                  const std::string &FileName);
+
+/// Maps a severity to the `jp_lint` process exit code: 0 for notes and
+/// clean runs, 1 when warnings are the worst finding, 2 for errors.
+int exitCodeForSeverity(DiagSeverity Severity, bool AnyDiagnostics);
+
+} // namespace opd
+
+#endif // OPD_ANALYSIS_LINT_H

@@ -1,0 +1,202 @@
+//===- analysis/StaticPhasePredictor.cpp - Static phase prediction -----------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticPhasePredictor.h"
+
+#include "baseline/InstanceTree.h"
+#include "lang/ConstEval.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+
+using namespace opd;
+
+namespace {
+
+/// Deterministic mirror of vm/Interpreter over partial (optional-valued)
+/// frames. Structure intentionally parallels Interpreter::execStmt so the
+/// two stay easy to diff.
+class StaticSimulator {
+public:
+  StaticSimulator(const Program &Prog, const PredictorOptions &Options)
+      : Prog(Prog), Options(Options) {}
+
+  StaticPrediction run() {
+    assert(Prog.entryIndex() != ~0u && "program has not been through Sema");
+    invoke(Prog.entryIndex(), {});
+    if (Result.Truncated || Result.ApproxDecisions > 0)
+      Result.Exact = false;
+    return std::move(Result);
+  }
+
+private:
+  /// One simulated activation record; unknown slots hold nullopt.
+  struct Frame {
+    ConstEnv Slots;
+  };
+
+  bool halted() const { return Result.Truncated; }
+
+  void approximate() {
+    ++Result.ApproxDecisions;
+  }
+
+  void emitElement() {
+    ++Result.PredictedElements;
+    if (Result.PredictedElements >= Options.MaxElements)
+      Result.Truncated = true;
+  }
+
+  std::optional<int64_t> eval(const Expr &E) {
+    return evaluateConstant(E, &Stack.back().Slots);
+  }
+
+  void invoke(uint32_t MethodIndex, ConstEnv Args) {
+    const MethodDecl &M = *Prog.methods()[MethodIndex];
+    if (Stack.size() >= Options.MaxCallDepth) {
+      Result.Truncated = true;
+      return;
+    }
+    Result.Trace.append(CallLoopEventKind::MethodEnter, MethodIndex,
+                        Result.PredictedElements);
+    Args.resize(M.numSlots()); // loop-variable slots start unknown
+    Stack.push_back({std::move(Args)});
+    execBlock(*M.body());
+    Stack.pop_back();
+    Result.Trace.append(CallLoopEventKind::MethodExit, MethodIndex,
+                        Result.PredictedElements);
+  }
+
+  void execBlock(const BlockStmt &B) {
+    for (const std::unique_ptr<Stmt> &S : B.stmts()) {
+      if (halted())
+        return;
+      execStmt(*S);
+    }
+  }
+
+  void execStmt(const Stmt &S) {
+    switch (S.kind()) {
+    case Stmt::Kind::Block:
+      execBlock(*cast<BlockStmt>(&S));
+      return;
+
+    case Stmt::Kind::Loop: {
+      const auto *Loop = cast<LoopStmt>(&S);
+      std::optional<int64_t> Count = eval(*Loop->count());
+      if (!Count)
+        approximate(); // unknown trip count: simulate zero iterations
+      int64_t Trips = Count && *Count > 0 ? *Count : 0;
+      Result.Trace.append(CallLoopEventKind::LoopEnter, Loop->loopId(),
+                          Result.PredictedElements);
+      for (int64_t I = 0; I != Trips && !halted(); ++I) {
+        if (Loop->hasVar())
+          Stack.back().Slots[Loop->varSlot()] = I;
+        execBlock(*Loop->body());
+      }
+      Result.Trace.append(CallLoopEventKind::LoopExit, Loop->loopId(),
+                          Result.PredictedElements);
+      return;
+    }
+
+    case Stmt::Kind::Branch:
+      // `flip` randomizes the taken bit only; one element either way.
+      emitElement();
+      return;
+
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(&S);
+      emitElement();
+      if (halted())
+        return;
+      bool TakeThen = If->probability() >= 0.5;
+      if (If->probability() > 0.0 && If->probability() < 1.0)
+        approximate(); // follow the more probable arm
+      if (TakeThen)
+        execBlock(*If->thenBlock());
+      else if (If->elseBlock())
+        execBlock(*If->elseBlock());
+      return;
+    }
+
+    case Stmt::Kind::When: {
+      const auto *When = cast<WhenStmt>(&S);
+      std::optional<int64_t> Cond = eval(*When->cond());
+      emitElement();
+      if (halted())
+        return;
+      if (!Cond)
+        approximate(); // unknown condition: follow the then arm
+      bool TakeThen = !Cond || *Cond != 0;
+      if (TakeThen)
+        execBlock(*When->thenBlock());
+      else if (When->elseBlock())
+        execBlock(*When->elseBlock());
+      return;
+    }
+
+    case Stmt::Kind::Call: {
+      const auto *Call = cast<CallStmt>(&S);
+      ConstEnv Args;
+      Args.reserve(Call->args().size());
+      for (const std::unique_ptr<Expr> &Arg : Call->args())
+        Args.push_back(eval(*Arg));
+      invoke(Call->calleeIndex(), std::move(Args));
+      return;
+    }
+
+    case Stmt::Kind::Pick: {
+      const auto *Pick = cast<PickStmt>(&S);
+      // Follow the heaviest arm (first among ties).
+      const PickStmt::Arm *Best = nullptr;
+      for (const PickStmt::Arm &Arm : Pick->arms())
+        if (!Best || Arm.Weight > Best->Weight)
+          Best = &Arm;
+      if (Pick->arms().size() > 1)
+        approximate();
+      if (Best)
+        execBlock(*Best->Body);
+      return;
+    }
+    }
+  }
+
+  const Program &Prog;
+  const PredictorOptions &Options;
+  StaticPrediction Result;
+  std::vector<Frame> Stack;
+};
+
+} // namespace
+
+StaticPrediction opd::simulateProgram(const Program &Prog,
+                                      const PredictorOptions &Options) {
+  return StaticSimulator(Prog, Options).run();
+}
+
+std::vector<PhaseInterval> opd::predictPhases(
+    const StaticPrediction &Prediction, uint64_t MPL) {
+  InstanceTree Tree =
+      InstanceTree::build(Prediction.Trace, Prediction.PredictedElements);
+  return computeBaseline(Tree, MPL).phases();
+}
+
+AccuracyScore opd::scorePrediction(
+    const std::vector<PhaseInterval> &Predicted,
+    const BaselineSolution &Oracle) {
+  uint64_t Total = Oracle.totalElements();
+  std::vector<PhaseInterval> Clamped;
+  Clamped.reserve(Predicted.size());
+  for (PhaseInterval P : Predicted) {
+    P.End = std::min(P.End, Total);
+    if (P.Begin < P.End)
+      Clamped.push_back(P);
+  }
+  StateSequence PredictedStates =
+      StateSequence::fromPhases(Clamped, Total);
+  return scoreDetection(PredictedStates, Oracle.states());
+}

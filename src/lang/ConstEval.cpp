@@ -1,0 +1,77 @@
+//===- lang/ConstEval.cpp - Compile-time expression evaluation ---------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ConstEval.h"
+
+#include "support/Casting.h"
+
+using namespace opd;
+
+std::optional<int64_t> opd::evaluateConstant(const Expr &E,
+                                             const ConstEnv *Env) {
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+    return cast<IntLitExpr>(&E)->value();
+
+  case Expr::Kind::ParamRef: {
+    if (!Env)
+      return std::nullopt;
+    uint32_t Slot = cast<ParamRefExpr>(&E)->slot();
+    if (Slot >= Env->size())
+      return std::nullopt;
+    return (*Env)[Slot];
+  }
+
+  case Expr::Kind::Unary: {
+    std::optional<int64_t> V =
+        evaluateConstant(*cast<UnaryExpr>(&E)->operand(), Env);
+    if (!V)
+      return std::nullopt;
+    return -*V;
+  }
+
+  case Expr::Kind::Binary: {
+    const auto *Bin = cast<BinaryExpr>(&E);
+    std::optional<int64_t> L = evaluateConstant(*Bin->lhs(), Env);
+    std::optional<int64_t> R = evaluateConstant(*Bin->rhs(), Env);
+    if (!L || !R)
+      return std::nullopt;
+    int64_t A = *L, B = *R;
+    switch (Bin->op()) {
+    case BinaryOp::Add:
+      return A + B;
+    case BinaryOp::Sub:
+      return A - B;
+    case BinaryOp::Mul:
+      return A * B;
+    case BinaryOp::Div:
+      // Keep /0 for the interpreter's DivByZero counter.
+      if (B == 0)
+        return std::nullopt;
+      return A / B;
+    case BinaryOp::Rem:
+      if (B == 0)
+        return std::nullopt;
+      return A % B;
+    case BinaryOp::Lt:
+      return A < B;
+    case BinaryOp::Le:
+      return A <= B;
+    case BinaryOp::Gt:
+      return A > B;
+    case BinaryOp::Ge:
+      return A >= B;
+    case BinaryOp::Eq:
+      return A == B;
+    case BinaryOp::Ne:
+      return A != B;
+    }
+    return std::nullopt;
+  }
+  }
+  return std::nullopt;
+}

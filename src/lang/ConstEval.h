@@ -1,0 +1,46 @@
+//===- lang/ConstEval.h - Compile-time expression evaluation ----*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compile-time evaluation of JP expressions, shared between the constant
+/// folder (lang/Transforms.h) and the static analyses (src/analysis).
+///
+/// Evaluation mirrors the interpreter exactly, with one deliberate
+/// exception: division/remainder by a constant zero does NOT evaluate
+/// (the interpreter defines it as 0 but also bumps its DivByZero counter,
+/// so folding it away would change observable run statistics).
+///
+/// Callers may supply a partial environment mapping value slots to known
+/// constants; a ParamRefExpr whose slot has no known value makes the
+/// whole expression non-constant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_LANG_CONSTEVAL_H
+#define OPD_LANG_CONSTEVAL_H
+
+#include "lang/AST.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace opd {
+
+/// A partial compile-time environment: the value of slot I is Slots[I],
+/// and slots beyond the vector (or holding nullopt) are unknown.
+using ConstEnv = std::vector<std::optional<int64_t>>;
+
+/// Evaluates \p E at compile time under the (possibly empty) environment
+/// \p Env. Returns nullopt if the expression references an unknown slot
+/// or divides/takes remainder by a constant zero.
+std::optional<int64_t> evaluateConstant(const Expr &E,
+                                        const ConstEnv *Env = nullptr);
+
+} // namespace opd
+
+#endif // OPD_LANG_CONSTEVAL_H

@@ -6,8 +6,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Diagnostic accumulation for the JP front end. The library never prints;
-/// tools render the collected diagnostics themselves.
+/// Diagnostic accumulation for the JP front end and the static analyses.
+/// The library never prints; tools render the collected diagnostics
+/// themselves.
+///
+/// The front end (Parser/Sema) only emits errors. The static analyzer
+/// (analysis/Lint.h) additionally emits warnings and notes, each tagged
+/// with a stable diagnostic code ("dead-method", "unbounded-loop", ...)
+/// that tools key structured output and exit codes off.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,29 +27,81 @@
 
 namespace opd {
 
-/// One error message anchored at a source location.
+/// Diagnostic severity, ordered least to most severe.
+enum class DiagSeverity : uint8_t {
+  Note,    ///< Informational; never affects exit status.
+  Warning, ///< Suspicious but not fatal.
+  Error,   ///< The program is wrong (or the analysis proved a defect).
+};
+
+/// Severity name as rendered in diagnostics ("note", "warning", "error").
+inline const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "error";
+}
+
+/// One message anchored at a source location. Code is empty for front-end
+/// diagnostics and a stable kebab-case identifier for analysis ones.
 struct Diagnostic {
   SourceLoc Loc;
   std::string Message;
+  DiagSeverity Severity = DiagSeverity::Error;
+  std::string Code;
 
-  /// Renders "line:col: error: message" (the conventional tool style).
+  /// Renders "line:col: severity: message [code]" (the conventional tool
+  /// style; the [code] suffix only when a code is present).
   std::string render() const {
-    return std::to_string(Loc.Line) + ":" + std::to_string(Loc.Col) +
-           ": error: " + Message;
+    std::string Out = std::to_string(Loc.Line) + ":" +
+                      std::to_string(Loc.Col) + ": " +
+                      severityName(Severity) + ": " + Message;
+    if (!Code.empty())
+      Out += " [" + Code + "]";
+    return Out;
   }
 };
 
-/// Accumulates diagnostics across the front-end passes.
+/// Accumulates diagnostics across the front-end and analysis passes.
 class DiagnosticEngine {
   std::vector<Diagnostic> Diags;
 
 public:
   /// Records an error at \p Loc.
   void error(SourceLoc Loc, std::string Message) {
-    Diags.push_back({Loc, std::move(Message)});
+    Diags.push_back({Loc, std::move(Message), DiagSeverity::Error, {}});
   }
 
-  bool hasErrors() const { return !Diags.empty(); }
+  /// Records a diagnostic of arbitrary severity with a stable code.
+  void report(DiagSeverity Severity, SourceLoc Loc, std::string Code,
+              std::string Message) {
+    Diags.push_back(
+        {Loc, std::move(Message), Severity, std::move(Code)});
+  }
+
+  /// True if any Error-severity diagnostic was recorded.
+  bool hasErrors() const {
+    for (const Diagnostic &D : Diags)
+      if (D.Severity == DiagSeverity::Error)
+        return true;
+    return false;
+  }
+
+  /// The most severe diagnostic recorded, or nullopt-like Note when empty.
+  DiagSeverity maxSeverity() const {
+    DiagSeverity Max = DiagSeverity::Note;
+    for (const Diagnostic &D : Diags)
+      if (D.Severity > Max)
+        Max = D.Severity;
+    return Max;
+  }
+
+  bool empty() const { return Diags.empty(); }
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
 
   /// Renders all diagnostics, one per line.

@@ -7,13 +7,16 @@
 
 #include "lang/Transforms.h"
 
+#include "lang/ConstEval.h"
 #include "support/Casting.h"
 
 using namespace opd;
 
 namespace {
 
-/// Bottom-up constant folder.
+/// Bottom-up constant folder over the shared compile-time evaluator
+/// (lang/ConstEval.h), which encodes the fold-eligibility rules once for
+/// both this transform and the static analyses.
 class ConstantFolder {
 public:
   unsigned run(Program &Prog) {
@@ -30,67 +33,20 @@ private:
     case Expr::Kind::IntLit:
     case Expr::Kind::ParamRef:
       return;
-    case Expr::Kind::Unary: {
-      auto *Unary = cast<UnaryExpr>(Slot.get());
-      foldExpr(Unary->operandSlot());
-      if (const auto *Lit = dyn_cast<IntLitExpr>(Unary->operand()))
-        replace(Slot, -Lit->value());
-      return;
-    }
+    case Expr::Kind::Unary:
+      foldExpr(cast<UnaryExpr>(Slot.get())->operandSlot());
+      break;
     case Expr::Kind::Binary: {
       auto *Bin = cast<BinaryExpr>(Slot.get());
       foldExpr(Bin->lhsSlot());
       foldExpr(Bin->rhsSlot());
-      const auto *L = dyn_cast<IntLitExpr>(Bin->lhs());
-      const auto *R = dyn_cast<IntLitExpr>(Bin->rhs());
-      if (!L || !R)
-        return;
-      int64_t A = L->value(), B = R->value();
-      switch (Bin->op()) {
-      case BinaryOp::Add:
-        replace(Slot, A + B);
-        return;
-      case BinaryOp::Sub:
-        replace(Slot, A - B);
-        return;
-      case BinaryOp::Mul:
-        replace(Slot, A * B);
-        return;
-      case BinaryOp::Div:
-        if (B != 0) // Keep /0 for the interpreter's DivByZero counter.
-          replace(Slot, A / B);
-        return;
-      case BinaryOp::Rem:
-        if (B != 0)
-          replace(Slot, A % B);
-        return;
-      case BinaryOp::Lt:
-        replace(Slot, A < B);
-        return;
-      case BinaryOp::Le:
-        replace(Slot, A <= B);
-        return;
-      case BinaryOp::Gt:
-        replace(Slot, A > B);
-        return;
-      case BinaryOp::Ge:
-        replace(Slot, A >= B);
-        return;
-      case BinaryOp::Eq:
-        replace(Slot, A == B);
-        return;
-      case BinaryOp::Ne:
-        replace(Slot, A != B);
-        return;
-      }
-      return;
+      break;
     }
     }
-  }
-
-  void replace(std::unique_ptr<Expr> &Slot, int64_t Value) {
-    Slot = std::make_unique<IntLitExpr>(Value, Slot->loc());
-    ++NumFolds;
+    if (std::optional<int64_t> V = evaluateConstant(*Slot)) {
+      Slot = std::make_unique<IntLitExpr>(*V, Slot->loc());
+      ++NumFolds;
+    }
   }
 
   void foldStmt(Stmt &S) {

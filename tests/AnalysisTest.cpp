@@ -1,0 +1,411 @@
+//===- tests/AnalysisTest.cpp - Unit tests for src/analysis --------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "analysis/CostModel.h"
+#include "analysis/StaticPhasePredictor.h"
+#include "baseline/BaselineSolution.h"
+#include "lang/ConstEval.h"
+#include "lang/Sema.h"
+#include "lang/Transforms.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace opd;
+
+namespace {
+
+/// Parses + analyzes; expects success.
+std::unique_ptr<Program> compileOK(const std::string &Source) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = compileProgram(Source, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.renderAll();
+  return P;
+}
+
+/// Index of method \p Name in \p Prog; asserts existence.
+uint32_t methodIndex(const Program &Prog, const std::string &Name) {
+  for (uint32_t I = 0; I != Prog.methods().size(); ++I)
+    if (Prog.methods()[I]->name() == Name)
+      return I;
+  ADD_FAILURE() << "no method named " << Name;
+  return ~0u;
+}
+
+/// Reads one bundled example source; skips the test when the source tree
+/// is not available (OPD_SOURCE_DIR is baked in by tests/CMakeLists.txt).
+std::string readExample(const std::string &Name) {
+  std::string Path = std::string(OPD_SOURCE_DIR) + "/examples/" + Name;
+  std::ifstream In(Path);
+  if (!In) {
+    ADD_FAILURE() << "cannot open " << Path;
+    return "";
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CallGraph
+//===----------------------------------------------------------------------===//
+
+TEST(CallGraphTest, ReachabilityAndDeadMethods) {
+  std::unique_ptr<Program> P = compileOK(R"(
+    program t;
+    method main() { call a(); }
+    method a() { call b(); }
+    method b() { branch x; }
+    method dead() { call deader(); }
+    method deader() { branch y; }
+  )");
+  CallGraph G = CallGraph::build(*P);
+  EXPECT_TRUE(G.isReachable(methodIndex(*P, "main")));
+  EXPECT_TRUE(G.isReachable(methodIndex(*P, "a")));
+  EXPECT_TRUE(G.isReachable(methodIndex(*P, "b")));
+  EXPECT_FALSE(G.isReachable(methodIndex(*P, "dead")));
+  EXPECT_FALSE(G.isReachable(methodIndex(*P, "deader")));
+}
+
+TEST(CallGraphTest, SccGroupsMutualRecursion) {
+  std::unique_ptr<Program> P = compileOK(R"(
+    program t;
+    method main() { call even(10); }
+    method even(n) { branch e; when (n > 0) { call odd(n - 1); } }
+    method odd(n) { branch o; when (n > 0) { call even(n - 1); } }
+  )");
+  CallGraph G = CallGraph::build(*P);
+  uint32_t Even = methodIndex(*P, "even");
+  uint32_t Odd = methodIndex(*P, "odd");
+  uint32_t Main = methodIndex(*P, "main");
+  EXPECT_EQ(G.sccId(Even), G.sccId(Odd));
+  EXPECT_NE(G.sccId(Main), G.sccId(Even));
+  EXPECT_TRUE(G.isRecursive(Even));
+  EXPECT_TRUE(G.isRecursive(Odd));
+  EXPECT_FALSE(G.isRecursive(Main));
+  // Conditional recursion is not flagged as unconditional.
+  EXPECT_FALSE(G.isUnconditionallyRecursive(Even));
+  // Reverse topological order: the callee SCC completes first.
+  EXPECT_LT(G.sccId(Even), G.sccId(Main));
+}
+
+TEST(CallGraphTest, SelfRecursionAndUnconditionalCycles) {
+  std::unique_ptr<Program> P = compileOK(R"(
+    program t;
+    method main() { call safe(5); call runaway(); }
+    method safe(n) { branch s; when (n > 0) { call safe(n - 1); } }
+    method runaway() { branch r; call runaway(); }
+  )");
+  CallGraph G = CallGraph::build(*P);
+  uint32_t Safe = methodIndex(*P, "safe");
+  uint32_t Runaway = methodIndex(*P, "runaway");
+  EXPECT_TRUE(G.isRecursive(Safe));
+  EXPECT_FALSE(G.isUnconditionallyRecursive(Safe));
+  EXPECT_TRUE(G.isRecursive(Runaway));
+  EXPECT_TRUE(G.isUnconditionallyRecursive(Runaway));
+}
+
+TEST(CallGraphTest, LoopWrappedCallsStayUnconditional) {
+  // A call wrapped only in constant-positive-count loops still runs on
+  // every invocation; a pick arm never does.
+  std::unique_ptr<Program> P = compileOK(R"(
+    program t;
+    method main() { loop times 3 { call a(); } }
+    method a() { pick { weight 1 { call a(); } weight 1 { branch x; } } }
+  )");
+  CallGraph G = CallGraph::build(*P);
+  const std::vector<CallSite> &Sites = G.callSites();
+  ASSERT_EQ(Sites.size(), 2u);
+  EXPECT_TRUE(Sites[0].Unconditional);  // main -> a, under `loop times 3`
+  EXPECT_FALSE(Sites[1].Unconditional); // a -> a, under a pick arm
+  EXPECT_FALSE(G.isUnconditionallyRecursive(methodIndex(*P, "a")));
+}
+
+//===----------------------------------------------------------------------===//
+// ConstEval
+//===----------------------------------------------------------------------===//
+
+TEST(ConstEvalTest, EnvironmentLookups) {
+  std::unique_ptr<Program> P = compileOK(R"(
+    program t;
+    method main() { call f(4); }
+    method f(n) { loop times n * 3 + 1 { branch x; } }
+  )");
+  const MethodDecl &F = *P->methods()[methodIndex(*P, "f")];
+  const auto *Loop = static_cast<const LoopStmt *>(
+      F.body()->stmts().front().get());
+
+  // Without an environment the count does not fold...
+  EXPECT_FALSE(evaluateConstant(*Loop->count()).has_value());
+  // ...with slot 0 = 4 it evaluates to 13.
+  ConstEnv Env = {4};
+  std::optional<int64_t> V = evaluateConstant(*Loop->count(), &Env);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(*V, 13);
+  // An unknown slot poisons the whole expression.
+  ConstEnv Unknown = {std::nullopt};
+  EXPECT_FALSE(evaluateConstant(*Loop->count(), &Unknown).has_value());
+}
+
+TEST(ConstEvalTest, DivisionByConstantZeroDoesNotFold) {
+  std::unique_ptr<Program> P = compileOK(R"(
+    program t;
+    method main() { loop times 7 / 0 { branch x; } }
+  )");
+  const MethodDecl &Main = *P->methods()[P->entryIndex()];
+  const auto *Loop = static_cast<const LoopStmt *>(
+      Main.body()->stmts().front().get());
+  EXPECT_FALSE(evaluateConstant(*Loop->count()).has_value());
+  // The shared folder must preserve the same rule.
+  EXPECT_EQ(foldConstants(*P), 0u);
+}
+
+TEST(ConstEvalTest, FoldConstantsUsesSharedEvaluator) {
+  std::unique_ptr<Program> P = compileOK(R"(
+    program t;
+    method main() { loop times 2 * 3 + 4 { branch x; } }
+  )");
+  EXPECT_GT(foldConstants(*P), 0u);
+  const MethodDecl &Main = *P->methods()[P->entryIndex()];
+  const auto *Loop = static_cast<const LoopStmt *>(
+      Main.body()->stmts().front().get());
+  std::optional<int64_t> V = evaluateConstant(*Loop->count());
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(*V, 10);
+}
+
+//===----------------------------------------------------------------------===//
+// CostModel
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds graph + costs in one go.
+CostAnalysis costsOf(const Program &Prog) {
+  return CostAnalysis::run(Prog, CallGraph::build(Prog));
+}
+
+} // namespace
+
+TEST(CostModelTest, StraightLineCostsAreExact) {
+  std::unique_ptr<Program> P = compileOK(R"(
+    program t;
+    method main() { branch a; branch b flip 0.5; loop times 10 { branch c; } }
+  )");
+  CostAnalysis C = costsOf(*P);
+  const Cost &Total = C.programCost();
+  EXPECT_TRUE(Total.exact());
+  EXPECT_EQ(Total.min(), 12u); // 2 straight-line + 10 loop iterations
+  ASSERT_EQ(C.loops().size(), 1u);
+  EXPECT_TRUE(C.loops()[0].TripCount.has_value());
+  EXPECT_EQ(*C.loops()[0].TripCount, 10u);
+  EXPECT_EQ(C.loops()[0].Body.min(), 1u);
+  EXPECT_EQ(C.loops()[0].Total.max(), 10u);
+}
+
+TEST(CostModelTest, UnknownTripCountIsUnbounded) {
+  std::unique_ptr<Program> P = compileOK(R"(
+    program t;
+    method main() { call f(9); }
+    method f(n) { loop times n { branch x; } }
+  )");
+  CostAnalysis C = costsOf(*P);
+  ASSERT_EQ(C.loops().size(), 1u);
+  // Context-insensitive: `n` is unknown inside f.
+  EXPECT_FALSE(C.loops()[0].TripCount.has_value());
+  EXPECT_FALSE(C.loops()[0].Total.bounded());
+  EXPECT_EQ(C.loops()[0].Total.min(), 0u);
+  EXPECT_FALSE(C.programCost().bounded());
+}
+
+TEST(CostModelTest, UnknownPropagatesThroughPickArms) {
+  // Arms of different sizes make the cost a non-exact interval; an arm
+  // with an unknown-count loop makes it unbounded.
+  std::unique_ptr<Program> P = compileOK(R"(
+    program t;
+    method main() {
+      pick { weight 1 { branch a; } weight 3 { branch b; branch c; } }
+    }
+  )");
+  CostAnalysis C = costsOf(*P);
+  EXPECT_TRUE(C.programCost().bounded());
+  EXPECT_FALSE(C.programCost().exact());
+  EXPECT_EQ(C.programCost().min(), 1u);
+  EXPECT_EQ(C.programCost().max(), 2u);
+
+  std::unique_ptr<Program> P2 = compileOK(R"(
+    program t;
+    method main() { call f(3); }
+    method f(n) {
+      pick { weight 1 { branch a; } weight 1 { loop times n { branch b; } } }
+    }
+  )");
+  CostAnalysis C2 = costsOf(*P2);
+  EXPECT_FALSE(C2.programCost().bounded());
+  // Cheapest path: the loop arm with zero iterations.
+  EXPECT_EQ(C2.programCost().min(), 0u);
+}
+
+TEST(CostModelTest, BranchJoinsAndConstantWhens) {
+  std::unique_ptr<Program> P = compileOK(R"(
+    program t;
+    method main() {
+      if 0.3 { branch a; branch b; } else { branch c; }
+      when (2 > 1) { branch d; branch e; } else { branch f; }
+    }
+  )");
+  CostAnalysis C = costsOf(*P);
+  // if: 1 + [1,2]; when (constant true): 1 + exactly 2.
+  EXPECT_TRUE(C.programCost().bounded());
+  EXPECT_EQ(C.programCost().min(), 2u + 3u);
+  EXPECT_EQ(C.programCost().max(), 3u + 3u);
+}
+
+TEST(CostModelTest, RecursionIsUnboundedWithSoundMin) {
+  std::unique_ptr<Program> P = compileOK(R"(
+    program t;
+    method main() { call f(6); }
+    method f(n) { branch a; when (n > 0) { call f(n - 1); } }
+  )");
+  CostAnalysis C = costsOf(*P);
+  uint32_t F = methodIndex(*P, "f");
+  EXPECT_FALSE(C.methodCost(F).bounded());
+  // One invocation always emits the `branch a` and `when` elements.
+  EXPECT_GE(C.methodCost(F).min(), 2u);
+}
+
+TEST(CostModelTest, SaturationOnAdversarialCounts) {
+  std::unique_ptr<Program> P = compileOK(R"(
+    program t;
+    method main() {
+      loop times 2000M {
+        loop times 2000M { loop times 2000M { branch x; } }
+      }
+    }
+  )");
+  CostAnalysis C = costsOf(*P);
+  EXPECT_TRUE(C.programCost().bounded());
+  EXPECT_EQ(C.programCost().min(), Cost::Saturated);
+}
+
+//===----------------------------------------------------------------------===//
+// StaticPhasePredictor
+//===----------------------------------------------------------------------===//
+
+TEST(PredictorTest, DeterministicProgramPredictsExactly) {
+  std::string Source = R"(
+    program t;
+    method main() {
+      loop times 50 { branch a; branch b flip 0.25; }
+      branch t0;
+      call f(4);
+    }
+    method f(n) { loop times n * 10 { branch c; } when (n > 2) { branch d; } }
+  )";
+  std::unique_ptr<Program> P = compileOK(Source);
+  StaticPrediction Prediction = simulateProgram(*P);
+  EXPECT_TRUE(Prediction.Exact);
+  EXPECT_EQ(Prediction.ApproxDecisions, 0u);
+
+  ExecutionResult Real = runProgram(*P);
+  EXPECT_EQ(Prediction.PredictedElements, Real.Stats.DynamicBranches);
+  EXPECT_EQ(Prediction.Trace.size(), Real.CallLoop.size());
+  for (size_t I = 0; I != Prediction.Trace.size(); ++I) {
+    EXPECT_EQ(Prediction.Trace[I].Kind, Real.CallLoop[I].Kind);
+    EXPECT_EQ(Prediction.Trace[I].Id, Real.CallLoop[I].Id);
+    EXPECT_EQ(Prediction.Trace[I].Offset, Real.CallLoop[I].Offset);
+  }
+}
+
+TEST(PredictorTest, ApproximationsAreCounted) {
+  std::unique_ptr<Program> P = compileOK(R"(
+    program t;
+    method main() {
+      if 0.5 { branch a; } else { branch b; branch c; }
+      pick { weight 2 { branch d; } weight 1 { branch e; } }
+      call f(3);
+    }
+    method f(n) { loop times n { branch x; } }
+  )");
+  StaticPrediction Prediction = simulateProgram(*P);
+  EXPECT_FALSE(Prediction.Exact);
+  EXPECT_EQ(Prediction.ApproxDecisions, 2u); // the if and the pick
+}
+
+TEST(PredictorTest, BudgetsTruncateGracefully) {
+  std::unique_ptr<Program> P = compileOK(R"(
+    program t;
+    method main() { loop times 1000 { branch a; } }
+  )");
+  PredictorOptions Options;
+  Options.MaxElements = 100;
+  StaticPrediction Prediction = simulateProgram(*P, Options);
+  EXPECT_TRUE(Prediction.Truncated);
+  EXPECT_FALSE(Prediction.Exact);
+  EXPECT_EQ(Prediction.PredictedElements, 100u);
+  // Exits are still emitted: the trace stays properly nested.
+  ASSERT_GE(Prediction.Trace.size(), 2u);
+  EXPECT_EQ(Prediction.Trace[Prediction.Trace.size() - 1].Kind,
+            CallLoopEventKind::MethodExit);
+}
+
+namespace {
+
+/// Runs the full static-vs-dynamic pipeline on one example source and
+/// returns the accuracy score of the predicted phases.
+AccuracyScore scoreExample(const std::string &FileName, uint64_t MPL,
+                           uint64_t *ApproxOut = nullptr) {
+  std::string Source = readExample(FileName);
+  if (Source.empty())
+    return {};
+  std::unique_ptr<Program> P = compileOK(Source);
+  ExecutionResult Real = runProgram(*P);
+  std::vector<BaselineSolution> Oracles =
+      computeBaselines(Real.CallLoop, Real.Stats.DynamicBranches, {MPL});
+
+  StaticPrediction Prediction = simulateProgram(*P);
+  if (ApproxOut)
+    *ApproxOut = Prediction.ApproxDecisions;
+  std::vector<PhaseInterval> Phases = predictPhases(Prediction, MPL);
+  return scorePrediction(Phases, Oracles.front());
+}
+
+} // namespace
+
+TEST(PredictorTest, SampleWorkloadScoresAgainstOracle) {
+  // sample.jp is cost-deterministic (flips never change element counts),
+  // so the static prediction should land essentially on the oracle.
+  AccuracyScore Score = scoreExample("sample.jp", 1000);
+  RecordProperty("score", std::to_string(Score.Score));
+  std::printf("static predictor score on sample.jp (MPL 1K): %.3f "
+              "(correlation %.3f, sensitivity %.3f, fp %.3f)\n",
+              Score.Score, Score.Correlation, Score.Sensitivity,
+              Score.FalsePositives);
+  EXPECT_GE(Score.Score, 0.5);
+  EXPECT_GE(Score.Correlation, 0.9);
+}
+
+TEST(PredictorTest, RecursiveWorkloadScoresAgainstOracle) {
+  // recursive.jp prunes probabilistically (`if 0.6`), so the prediction
+  // is approximate; the score should still beat a no-phase strawman.
+  uint64_t Approx = 0;
+  AccuracyScore Score = scoreExample("recursive.jp", 1000, &Approx);
+  RecordProperty("score", std::to_string(Score.Score));
+  std::printf("static predictor score on recursive.jp (MPL 1K): %.3f "
+              "(correlation %.3f, sensitivity %.3f, fp %.3f, "
+              "%llu approximations)\n",
+              Score.Score, Score.Correlation, Score.Sensitivity,
+              Score.FalsePositives, static_cast<unsigned long long>(Approx));
+  EXPECT_GT(Approx, 0u);
+  EXPECT_GE(Score.Score, 0.5);
+}

@@ -98,9 +98,11 @@ TEST(InstanceTreeTest, MarksRecursionRoots) {
     Roots += Node.IsRecursionRoot ? 1 : 0;
   EXPECT_EQ(Roots, 1u);
   // The root is the outer f instance (span 6), not the inner (span 2).
-  for (const RepetitionInstance &Node : Tree.nodes())
-    if (Node.IsRecursionRoot)
+  for (const RepetitionInstance &Node : Tree.nodes()) {
+    if (Node.IsRecursionRoot) {
       EXPECT_EQ(Node.span(), 6u);
+    }
+  }
 }
 
 TEST(InstanceTreeTest, ClosesUnbalancedTraceAtEnd) {

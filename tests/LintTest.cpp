@@ -1,0 +1,202 @@
+//===- tests/LintTest.cpp - Unit tests for analysis/Lint -----------------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+using namespace opd;
+
+namespace {
+
+/// Compiles \p Source and runs the linter over it.
+DiagnosticEngine lint(const std::string &Source, LintOptions Options = {}) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = compileProgram(Source, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.renderAll();
+  if (P)
+    lintProgram(*P, Options, Diags);
+  return Diags;
+}
+
+/// Diagnostics with code \p Code.
+std::vector<Diagnostic> withCode(const DiagnosticEngine &Diags,
+                                 const std::string &Code) {
+  std::vector<Diagnostic> Out;
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Code == Code)
+      Out.push_back(D);
+  return Out;
+}
+
+} // namespace
+
+TEST(LintTest, CleanProgramHasNoFindings) {
+  DiagnosticEngine Diags = lint(R"(
+    program t;
+    method main() { loop times 10 { branch a; } call f(2); }
+    method f(n) { when (n > 0) { branch b; } else { branch c; } }
+  )");
+  EXPECT_TRUE(Diags.empty()) << Diags.renderAll();
+}
+
+TEST(LintTest, DetectsDeadMethod) {
+  DiagnosticEngine Diags = lint(R"(
+    program t;
+    method main() { branch a; }
+    method orphan() { branch b; }
+  )");
+  std::vector<Diagnostic> Dead = withCode(Diags, "dead-method");
+  ASSERT_EQ(Dead.size(), 1u);
+  EXPECT_EQ(Dead[0].Severity, DiagSeverity::Warning);
+  EXPECT_NE(Dead[0].Message.find("orphan"), std::string::npos);
+}
+
+TEST(LintTest, DetectsConstantFalseArm) {
+  DiagnosticEngine Diags = lint(R"(
+    program t;
+    method main() { when (1 > 2) { branch a; } else { branch b; } }
+  )");
+  std::vector<Diagnostic> Arms = withCode(Diags, "unreachable-arm");
+  ASSERT_EQ(Arms.size(), 1u);
+  EXPECT_EQ(Arms[0].Severity, DiagSeverity::Warning);
+  EXPECT_NE(Arms[0].Message.find("always false"), std::string::npos);
+}
+
+TEST(LintTest, DetectsDegenerateIfArms) {
+  DiagnosticEngine Diags = lint(R"(
+    program t;
+    method main() {
+      if 0 { branch a; }
+      if 1 { branch b; } else { branch c; }
+    }
+  )");
+  EXPECT_EQ(withCode(Diags, "unreachable-arm").size(), 2u);
+}
+
+TEST(LintTest, NonConstantConditionsStayQuiet) {
+  // Loop variables and parameters are runtime values: `when (i % 2 == 0)`
+  // must not be flagged.
+  DiagnosticEngine Diags = lint(R"(
+    program t;
+    method main() { loop i times 6 { when (i % 2 == 0) { branch a; } else { branch b; } } }
+  )");
+  EXPECT_TRUE(Diags.empty()) << Diags.renderAll();
+}
+
+TEST(LintTest, DetectsUnboundedLoop) {
+  DiagnosticEngine Diags = lint(R"(
+    program t;
+    method main() { loop times 200M { branch a; branch b; } }
+  )");
+  std::vector<Diagnostic> Loops = withCode(Diags, "unbounded-loop");
+  ASSERT_EQ(Loops.size(), 1u);
+  EXPECT_EQ(Loops[0].Severity, DiagSeverity::Error);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LintTest, BudgetIsConfigurable) {
+  LintOptions Tight;
+  Tight.ElementBudget = 100;
+  DiagnosticEngine Diags = lint(R"(
+    program t;
+    method main() { loop times 200 { branch a; } }
+  )",
+                                Tight);
+  EXPECT_EQ(withCode(Diags, "unbounded-loop").size(), 1u);
+}
+
+TEST(LintTest, DetectsRecursionCycle) {
+  DiagnosticEngine Diags = lint(R"(
+    program t;
+    method main() { call ping(8); }
+    method ping(n) { branch p; when (n > 0) { call pong(n - 1); } }
+    method pong(n) { branch q; when (n > 0) { call ping(n - 1); } }
+  )");
+  std::vector<Diagnostic> Cycles = withCode(Diags, "recursion-cycle");
+  ASSERT_EQ(Cycles.size(), 1u); // one note per cycle, not per member
+  EXPECT_EQ(Cycles[0].Severity, DiagSeverity::Note);
+  EXPECT_NE(Cycles[0].Message.find("ping"), std::string::npos);
+  EXPECT_NE(Cycles[0].Message.find("pong"), std::string::npos);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(LintTest, DetectsInfiniteRecursion) {
+  DiagnosticEngine Diags = lint(R"(
+    program t;
+    method main() { call runaway(); }
+    method runaway() { branch r; call runaway(); }
+  )");
+  std::vector<Diagnostic> Infinite = withCode(Diags, "infinite-recursion");
+  ASSERT_EQ(Infinite.size(), 1u);
+  EXPECT_EQ(Infinite[0].Severity, DiagSeverity::Error);
+  EXPECT_NE(Infinite[0].Message.find("runaway"), std::string::npos);
+}
+
+TEST(LintTest, DetectsShortPhaseUnderMPL) {
+  LintOptions Options;
+  Options.MPL = 1000;
+  DiagnosticEngine Diags = lint(R"(
+    program t;
+    method main() {
+      loop times 10 { branch a; }
+      loop times 5000 { branch b; }
+    }
+  )",
+                                Options);
+  std::vector<Diagnostic> Short = withCode(Diags, "short-phase");
+  ASSERT_EQ(Short.size(), 1u); // only the 10-element loop
+  EXPECT_EQ(Short[0].Severity, DiagSeverity::Warning);
+  // Disabled by default.
+  EXPECT_TRUE(lint(R"(
+    program t;
+    method main() { loop times 10 { branch a; } }
+  )")
+                  .empty());
+}
+
+TEST(LintTest, BundledExamplesAreClean) {
+  for (const char *Name : {"sample.jp", "recursive.jp"}) {
+    std::string Path =
+        std::string(OPD_SOURCE_DIR) + "/examples/" + Name;
+    std::ifstream In(Path);
+    ASSERT_TRUE(In.good()) << Path;
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    DiagnosticEngine Diags = lint(Buffer.str());
+    EXPECT_LT(Diags.maxSeverity(), DiagSeverity::Warning)
+        << Name << ":\n"
+        << Diags.renderAll();
+  }
+}
+
+TEST(LintTest, JsonOutputCarriesCodesAndCounts) {
+  DiagnosticEngine Diags = lint(R"(
+    program t;
+    method main() { when (0) { branch a; } }
+    method orphan() { branch b; }
+  )");
+  std::string Json = renderDiagnosticsJSON(Diags, "fixture.jp");
+  EXPECT_NE(Json.find("\"file\": \"fixture.jp\""), std::string::npos);
+  EXPECT_NE(Json.find("\"code\": \"dead-method\""), std::string::npos);
+  EXPECT_NE(Json.find("\"code\": \"unreachable-arm\""), std::string::npos);
+  EXPECT_NE(Json.find("\"severity\": \"warning\""), std::string::npos);
+  EXPECT_NE(Json.find("\"errors\": 0"), std::string::npos);
+  EXPECT_NE(Json.find("\"warnings\": 2"), std::string::npos);
+}
+
+TEST(LintTest, ExitCodesFollowSeverity) {
+  EXPECT_EQ(exitCodeForSeverity(DiagSeverity::Error, true), 2);
+  EXPECT_EQ(exitCodeForSeverity(DiagSeverity::Warning, true), 1);
+  EXPECT_EQ(exitCodeForSeverity(DiagSeverity::Note, true), 0);
+  EXPECT_EQ(exitCodeForSeverity(DiagSeverity::Note, false), 0);
+}

@@ -92,10 +92,11 @@ TEST(WorkloadsTest, RecursionPresentWhereExpected) {
     ExecutionResult R = executeWorkload(W, 0.5);
     bool ExpectRecursion =
         W.Name == "jess" || W.Name == "raytrace" || W.Name == "javac";
-    if (ExpectRecursion)
+    if (ExpectRecursion) {
       EXPECT_GT(R.Stats.RecursionRoots, 0u) << W.Name;
-    else
+    } else {
       EXPECT_EQ(R.Stats.RecursionRoots, 0u) << W.Name;
+    }
   }
 }
 
