@@ -540,10 +540,7 @@ int main(int Argc, char **Argv) {
     Table T("Ablation 13: best configuration per benchmark (sweep over "
             "CW/policy/model/analyzer; MPL 10K)");
     T.setHeader({"Benchmark", "best score", "configuration"});
-    SweepSpec Spec;
-    Spec.CWSizes = {500, 1000, 2500, 5000};
-    Spec.Analyzers = analyzersFor(Options);
-    Spec.IncludeFixedInterval = true;
+    SweepSpec Spec = benchSweepSpec("ablation13", analyzersFor(Options));
     std::vector<DetectorConfig> Configs = enumerateConfigs(Spec);
     for (const BenchmarkData &B : Benchmarks) {
       std::vector<RunScores> Runs =

@@ -30,10 +30,7 @@ int main(int Argc, char **Argv) {
                       Options, ExitCode))
     return ExitCode;
 
-  SweepSpec Spec;
-  Spec.CWSizes = {500, 1000, 5000, 10000, 25000, 50000, 100000};
-  Spec.Analyzers = analyzersFor(Options);
-  Spec.IncludeFixedInterval = true;
+  SweepSpec Spec = benchSweepSpec("fig4", analyzersFor(Options));
 
   std::vector<BenchmarkData> Benchmarks =
       prepareBenchmarks(ExtendedMPLs, Options.Scale);

@@ -30,15 +30,7 @@ int main(int Argc, char **Argv) {
     return ExitCode;
 
   const std::vector<uint64_t> MPLs = {1000, 10000, 50000, 100000};
-  SweepSpec Spec;
-  // CW = 1/2 MPL for each MPL of interest.
-  Spec.CWSizes = {500, 5000, 25000, 50000};
-  Spec.Analyzers =
-      Options.Full ? paperAnalyzers() : std::vector<AnalyzerSpec>{
-                                            {AnalyzerKind::Threshold, 0.6},
-                                            {AnalyzerKind::Threshold, 0.8},
-                                            {AnalyzerKind::Average, 0.05},
-                                            {AnalyzerKind::Average, 0.2}};
+  SweepSpec Spec = benchSweepSpec("fig5", analyzersFor(Options));
 
   std::vector<BenchmarkData> Benchmarks =
       prepareBenchmarks(MPLs, Options.Scale);

@@ -27,10 +27,8 @@ int main(int Argc, char **Argv) {
     return ExitCode;
 
   const std::vector<uint64_t> MPLs = {1000, 10000, 50000, 100000};
-  SweepSpec Spec;
-  Spec.CWSizes = {500, 5000, 25000, 50000};
-  Spec.Models = {ModelKind::UnweightedSet};
-  Spec.Analyzers = paperAnalyzers(); // the full set IS the figure
+  // The full analyzer set IS the figure.
+  SweepSpec Spec = benchSweepSpec("fig6", paperAnalyzers());
 
   std::vector<BenchmarkData> Benchmarks =
       prepareBenchmarks(MPLs, Options.Scale);

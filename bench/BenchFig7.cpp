@@ -29,13 +29,7 @@ int main(int Argc, char **Argv) {
                       Options, ExitCode))
     return ExitCode;
 
-  SweepSpec Spec;
-  // CW = 1/2 MPL for each standard MPL.
-  Spec.CWSizes = {500, 2500, 5000, 12500, 25000, 50000};
-  Spec.TWPolicies = {TWPolicyKind::Adaptive};
-  Spec.Analyzers = analyzersFor(Options);
-  Spec.Anchors = {AnchorKind::RightmostNoisy, AnchorKind::LeftmostNonNoisy};
-  Spec.Resizes = {ResizeKind::Slide, ResizeKind::Move};
+  SweepSpec Spec = benchSweepSpec("fig7", analyzersFor(Options));
 
   std::vector<BenchmarkData> Benchmarks =
       prepareBenchmarks(StandardMPLs, Options.Scale);

@@ -33,9 +33,7 @@ int main(int Argc, char **Argv) {
     return ExitCode;
 
   const std::vector<uint64_t> MPLs = {1000, 10000, 50000, 100000, 200000};
-  SweepSpec Spec;
-  Spec.CWSizes = {500, 5000, 25000, 50000, 100000};
-  Spec.Analyzers = analyzersFor(Options);
+  SweepSpec Spec = benchSweepSpec("fig8", analyzersFor(Options));
 
   std::vector<BenchmarkData> Benchmarks =
       prepareBenchmarks(MPLs, Options.Scale);

@@ -50,12 +50,7 @@ int main(int Argc, char **Argv) {
                       Options, ExitCode))
     return ExitCode;
 
-  const std::vector<uint32_t> CWSizes = {500,   1000,  5000, 10000,
-                                         25000, 50000, 100000};
-  SweepSpec Spec;
-  Spec.CWSizes = CWSizes;
-  Spec.Analyzers = analyzersFor(Options);
-  Spec.IncludeFixedInterval = true;
+  SweepSpec Spec = benchSweepSpec("table2", analyzersFor(Options));
 
   std::vector<BenchmarkData> Benchmarks =
       prepareBenchmarks(StandardMPLs, Options.Scale);

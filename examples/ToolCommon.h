@@ -1,0 +1,198 @@
+//===- examples/ToolCommon.h - Shared sweep-tool plumbing -------*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flag parsing shared by sweep_tool and config_check: both build a
+/// SweepSpec from the same --cw/--models/--analyzers/... vocabulary or
+/// from a --preset name, so a spec linted by config_check is exactly the
+/// spec sweep_tool runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_EXAMPLES_TOOLCOMMON_H
+#define OPD_EXAMPLES_TOOLCOMMON_H
+
+#include "core/SweepSpec.h"
+#include "support/ArgParser.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace opd {
+
+/// Splits a comma-separated list.
+inline std::vector<std::string> splitList(const std::string &Text) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (Start <= Text.size()) {
+    size_t Comma = Text.find(',', Start);
+    if (Comma == std::string::npos) {
+      if (Start < Text.size())
+        Out.push_back(Text.substr(Start));
+      break;
+    }
+    if (Comma > Start)
+      Out.push_back(Text.substr(Start, Comma - Start));
+    Start = Comma + 1;
+  }
+  return Out;
+}
+
+/// Parses "10K" / "2500" style sizes.
+inline uint64_t parseSize(const std::string &Text) {
+  char *End = nullptr;
+  uint64_t Value = std::strtoull(Text.c_str(), &End, 10);
+  if (End && (*End == 'K' || *End == 'k'))
+    Value *= 1000;
+  if (End && (*End == 'M' || *End == 'm'))
+    Value *= 1000000;
+  return Value;
+}
+
+/// Registers the sweep-dimension options shared by sweep_tool and
+/// config_check.
+inline void addSweepSpecOptions(ArgParser &Args) {
+  Args.addOption("preset",
+                 "named spec: paper (full cross product), table2, fig4, "
+                 "fig5, fig6, fig7, fig8, ablation13; overrides the "
+                 "dimension flags",
+                 "");
+  Args.addOption("cw", "comma-separated CW sizes", "500,5000,50000");
+  Args.addOption("tw-factors", "comma-separated TW-size factors (TW = CW "
+                               "* factor)",
+                 "1");
+  Args.addOption("skips", "comma-separated skip factors", "1");
+  Args.addOption("models",
+                 "models: unweighted,weighted,manhattan", "unweighted");
+  Args.addOption("analyzers",
+                 "analyzers: t<threshold>, a<delta>, h<enter>",
+                 "t0.6,a0.05");
+  Args.addOption("policies", "policies: constant,adaptive,fixed",
+                 "constant,adaptive");
+  Args.addOption("anchors", "anchor policies: rn,lnn", "rn");
+  Args.addOption("resizes", "TW resize policies: slide,move", "slide");
+}
+
+/// Builds the SweepSpec the parsed options describe. \p RawCrossProduct
+/// is set when the spec is meant for enumerateCrossProduct() (the
+/// "paper" preset). Returns false after printing an error to stderr.
+inline bool buildSweepSpec(const ArgParser &Args, SweepSpec &Spec,
+                           bool &RawCrossProduct) {
+  RawCrossProduct = false;
+
+  std::string Preset = Args.getOption("preset");
+  if (!Preset.empty()) {
+    if (Preset == "paper") {
+      Spec = paperCrossSpec();
+      RawCrossProduct = true;
+      return true;
+    }
+    const std::vector<std::string> &Names = benchSweepNames();
+    if (std::find(Names.begin(), Names.end(), Preset) == Names.end()) {
+      std::fprintf(stderr, "error: unknown preset '%s'\n", Preset.c_str());
+      return false;
+    }
+    Spec = benchSweepSpec(Preset, paperAnalyzers());
+    return true;
+  }
+
+  Spec = SweepSpec();
+  Spec.CWSizes.clear();
+  for (const std::string &CW : splitList(Args.getOption("cw")))
+    Spec.CWSizes.push_back(static_cast<uint32_t>(parseSize(CW)));
+  Spec.TWFactors.clear();
+  for (const std::string &F : splitList(Args.getOption("tw-factors")))
+    Spec.TWFactors.push_back(static_cast<uint32_t>(parseSize(F)));
+  Spec.SkipFactors.clear();
+  for (const std::string &S : splitList(Args.getOption("skips")))
+    Spec.SkipFactors.push_back(static_cast<uint32_t>(parseSize(S)));
+
+  Spec.Models.clear();
+  for (const std::string &M : splitList(Args.getOption("models"))) {
+    if (M == "unweighted")
+      Spec.Models.push_back(ModelKind::UnweightedSet);
+    else if (M == "weighted")
+      Spec.Models.push_back(ModelKind::WeightedSet);
+    else if (M == "manhattan")
+      Spec.Models.push_back(ModelKind::ManhattanBBV);
+    else {
+      std::fprintf(stderr, "error: unknown model '%s'\n", M.c_str());
+      return false;
+    }
+  }
+
+  Spec.Analyzers.clear();
+  for (const std::string &A : splitList(Args.getOption("analyzers"))) {
+    if (A.size() < 2) {
+      std::fprintf(stderr, "error: bad analyzer spec '%s'\n", A.c_str());
+      return false;
+    }
+    double Param = std::strtod(A.c_str() + 1, nullptr);
+    switch (A[0]) {
+    case 't':
+      Spec.Analyzers.push_back({AnalyzerKind::Threshold, Param});
+      break;
+    case 'a':
+      Spec.Analyzers.push_back({AnalyzerKind::Average, Param});
+      break;
+    case 'h':
+      Spec.Analyzers.push_back({AnalyzerKind::Hysteresis, Param});
+      break;
+    default:
+      std::fprintf(stderr, "error: bad analyzer spec '%s'\n", A.c_str());
+      return false;
+    }
+  }
+
+  Spec.TWPolicies.clear();
+  Spec.IncludeFixedInterval = false;
+  for (const std::string &P : splitList(Args.getOption("policies"))) {
+    if (P == "constant")
+      Spec.TWPolicies.push_back(TWPolicyKind::Constant);
+    else if (P == "adaptive")
+      Spec.TWPolicies.push_back(TWPolicyKind::Adaptive);
+    else if (P == "fixed")
+      Spec.IncludeFixedInterval = true;
+    else {
+      std::fprintf(stderr, "error: unknown policy '%s'\n", P.c_str());
+      return false;
+    }
+  }
+
+  Spec.Anchors.clear();
+  for (const std::string &A : splitList(Args.getOption("anchors"))) {
+    if (A == "rn")
+      Spec.Anchors.push_back(AnchorKind::RightmostNoisy);
+    else if (A == "lnn")
+      Spec.Anchors.push_back(AnchorKind::LeftmostNonNoisy);
+    else {
+      std::fprintf(stderr, "error: unknown anchor '%s'\n", A.c_str());
+      return false;
+    }
+  }
+
+  Spec.Resizes.clear();
+  for (const std::string &R : splitList(Args.getOption("resizes"))) {
+    if (R == "slide")
+      Spec.Resizes.push_back(ResizeKind::Slide);
+    else if (R == "move")
+      Spec.Resizes.push_back(ResizeKind::Move);
+    else {
+      std::fprintf(stderr, "error: unknown resize '%s'\n", R.c_str());
+      return false;
+    }
+  }
+
+  return true;
+}
+
+} // namespace opd
+
+#endif // OPD_EXAMPLES_TOOLCOMMON_H

@@ -15,8 +15,19 @@
 ///              --models unweighted,weighted --analyzers t0.6,a0.05
 ///              --policies constant,adaptive,fixed > scores.csv
 ///
+/// The config-space static analyzer (analysis/ConfigAnalysis.h) is
+/// surfaced two ways:
+///
+///   sweep_tool --preset paper --plan      # pruning plan, no sweep
+///   sweep_tool --prune ...                # run one config per provable
+///                                         # equivalence class; scores
+///                                         # are bit-identical, --stats
+///                                         # shows the runs saved
+///
 //===----------------------------------------------------------------------===//
 
+#include "ToolCommon.h"
+#include "analysis/ConfigAnalysis.h"
 #include "harness/Experiment.h"
 #include "harness/Sweep.h"
 #include "support/ArgParser.h"
@@ -28,115 +39,46 @@
 
 using namespace opd;
 
-namespace {
-
-/// Splits a comma-separated list.
-std::vector<std::string> splitList(const std::string &Text) {
-  std::vector<std::string> Out;
-  size_t Start = 0;
-  while (Start <= Text.size()) {
-    size_t Comma = Text.find(',', Start);
-    if (Comma == std::string::npos) {
-      if (Start < Text.size())
-        Out.push_back(Text.substr(Start));
-      break;
-    }
-    if (Comma > Start)
-      Out.push_back(Text.substr(Start, Comma - Start));
-    Start = Comma + 1;
-  }
-  return Out;
-}
-
-/// Parses "10K" / "2500" style sizes.
-uint64_t parseSize(const std::string &Text) {
-  char *End = nullptr;
-  uint64_t Value = std::strtoull(Text.c_str(), &End, 10);
-  if (End && (*End == 'K' || *End == 'k'))
-    Value *= 1000;
-  if (End && (*End == 'M' || *End == 'm'))
-    Value *= 1000000;
-  return Value;
-}
-
-} // namespace
-
 int main(int Argc, char **Argv) {
   ArgParser Args("sweep_tool",
                  "Run a custom detector sweep; emits CSV on stdout.");
   Args.addOption("workloads", "comma-separated workload names",
                  "jess,db,jlex");
   Args.addOption("mpls", "comma-separated MPL values", "1K,10K,100K");
-  Args.addOption("cw", "comma-separated CW sizes", "500,5000,50000");
-  Args.addOption("models",
-                 "models: unweighted,weighted,manhattan", "unweighted");
-  Args.addOption("analyzers",
-                 "analyzers: t<threshold>, a<delta>, h<enter>",
-                 "t0.6,a0.05");
-  Args.addOption("policies", "policies: constant,adaptive,fixed",
-                 "constant,adaptive");
+  addSweepSpecOptions(Args);
   Args.addOption("scale", "workload scale factor", "1.0");
   Args.addFlag("anchored", "also score anchor-corrected starts");
   Args.addFlag("stats", "print per-configuration observability counters "
                         "and stage timings to stderr");
+  Args.addFlag("plan", "print the equivalence-class pruning plan and "
+                       "exit without sweeping");
+  Args.addFlag("prune", "run one configuration per provable equivalence "
+                        "class and fan scores out to the class");
+  Args.addFlag("json", "with --plan, emit the plan as JSON");
   if (!Args.parse(Argc, Argv))
     return Args.helpRequested() ? 0 : 1;
 
-  // Assemble the sweep.
   SweepSpec Spec;
-  for (const std::string &CW : splitList(Args.getOption("cw")))
-    Spec.CWSizes.push_back(static_cast<uint32_t>(parseSize(CW)));
+  bool RawCrossProduct = false;
+  if (!buildSweepSpec(Args, Spec, RawCrossProduct))
+    return 1;
 
-  Spec.Models.clear();
-  for (const std::string &M : splitList(Args.getOption("models"))) {
-    if (M == "unweighted")
-      Spec.Models.push_back(ModelKind::UnweightedSet);
-    else if (M == "weighted")
-      Spec.Models.push_back(ModelKind::WeightedSet);
-    else if (M == "manhattan")
-      Spec.Models.push_back(ModelKind::ManhattanBBV);
-    else {
-      std::fprintf(stderr, "error: unknown model '%s'\n", M.c_str());
-      return 1;
-    }
-  }
+  bool Anchored = Args.getFlag("anchored");
 
-  Spec.Analyzers.clear();
-  for (const std::string &A : splitList(Args.getOption("analyzers"))) {
-    if (A.size() < 2) {
-      std::fprintf(stderr, "error: bad analyzer spec '%s'\n", A.c_str());
-      return 1;
-    }
-    double Param = std::strtod(A.c_str() + 1, nullptr);
-    switch (A[0]) {
-    case 't':
-      Spec.Analyzers.push_back({AnalyzerKind::Threshold, Param});
-      break;
-    case 'a':
-      Spec.Analyzers.push_back({AnalyzerKind::Average, Param});
-      break;
-    case 'h':
-      Spec.Analyzers.push_back({AnalyzerKind::Hysteresis, Param});
-      break;
-    default:
-      std::fprintf(stderr, "error: bad analyzer spec '%s'\n", A.c_str());
-      return 1;
-    }
-  }
-
-  Spec.TWPolicies.clear();
-  Spec.IncludeFixedInterval = false;
-  for (const std::string &P : splitList(Args.getOption("policies"))) {
-    if (P == "constant")
-      Spec.TWPolicies.push_back(TWPolicyKind::Constant);
-    else if (P == "adaptive")
-      Spec.TWPolicies.push_back(TWPolicyKind::Adaptive);
-    else if (P == "fixed")
-      Spec.IncludeFixedInterval = true;
-    else {
-      std::fprintf(stderr, "error: unknown policy '%s'\n", P.c_str());
-      return 1;
-    }
+  if (Args.getFlag("plan")) {
+    SweepAnalysisOptions PlanOptions;
+    PlanOptions.Canon.AnchoredScoring = Anchored;
+    PlanOptions.RawCrossProduct = RawCrossProduct;
+    SweepAnalysis Analysis = analyzeSweep(Spec, PlanOptions);
+    std::string Preset = Args.getOption("preset");
+    if (Args.getFlag("json"))
+      std::fputs(renderSweepAnalysisJSON(
+                     Analysis, Preset.empty() ? "custom" : Preset)
+                     .c_str(),
+                 stdout);
+    else
+      std::fputs(sweepPlanTable(Analysis).render().c_str(), stdout);
+    return 0;
   }
 
   std::vector<uint64_t> MPLs;
@@ -147,27 +89,37 @@ int main(int Argc, char **Argv) {
   std::vector<BenchmarkData> Benchmarks =
       prepareBenchmarks(Names, MPLs, Args.getDouble("scale", 1.0));
 
-  std::vector<DetectorConfig> Configs = enumerateConfigs(Spec);
+  std::vector<DetectorConfig> Configs = RawCrossProduct
+                                            ? enumerateCrossProduct(Spec)
+                                            : enumerateConfigs(Spec);
   std::fprintf(stderr, "sweep_tool: %zu configs x %zu workloads x %zu "
                        "MPLs\n",
                Configs.size(), Benchmarks.size(), MPLs.size());
 
   SweepOptions RunOptions;
-  RunOptions.ScoreAnchored = Args.getFlag("anchored");
+  RunOptions.ScoreAnchored = Anchored;
   RunOptions.CollectStats = Args.getFlag("stats");
+  RunOptions.Prune = Args.getFlag("prune");
 
   std::printf("workload,mpl,model,policy,cw,tw,skip,anchor,resize,"
               "analyzer,param,correlation,sensitivity,falsePositives,"
               "score%s\n",
               RunOptions.ScoreAnchored ? ",anchoredScore" : "");
   for (const BenchmarkData &B : Benchmarks) {
+    SweepStats Stats;
     std::vector<RunScores> Runs =
-        runSweep(B.Trace, B.Baselines, Configs, RunOptions);
+        runSweep(B.Trace, B.Baselines, Configs, RunOptions, &Stats);
     if (RunOptions.CollectStats)
       std::fputs(
           sweepStatsTable(Runs, "Sweep statistics: " + B.Name).render()
               .c_str(),
           stderr);
+    if (RunOptions.CollectStats || RunOptions.Prune)
+      std::fprintf(stderr,
+                   "sweep_tool: %s: %zu configs, %zu detector runs "
+                   "executed, %zu pruned\n",
+                   B.Name.c_str(), Stats.NumConfigs, Stats.RunsExecuted,
+                   Stats.RunsPruned);
     for (const RunScores &R : Runs) {
       for (size_t I = 0; I != MPLs.size(); ++I) {
         const DetectorConfig &C = R.Config;

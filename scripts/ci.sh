@@ -8,10 +8,17 @@
 #
 #   1. plain:     configure + build (warnings-as-errors) + ctest
 #   2. sanitized: the same under AddressSanitizer + UndefinedBehaviorSanitizer
+#   3. tsan:      ThreadSanitizer over the concurrency-exercising tests
+#                 (sweep harness, parallel helpers, observers, config
+#                 analysis), with OPD_THREADS=4 so single-core runners
+#                 still run real threads
 #
-# Both configurations include the jp_lint_* ctests, which lint every .jp
-# workload bundled under examples/. When clang-tidy is on PATH, the plain
-# configuration also runs it over src/ with the repo .clang-tidy profile.
+# All configurations include the jp_lint_* / config_check_* ctests, which
+# lint the bundled .jp workloads and the shipped sweep specs. When
+# clang-tidy is on PATH, the plain configuration also runs it over src/
+# with the repo .clang-tidy profile (including the concurrency-* checks).
+# When clang++ is on PATH, an additional configuration builds under it so
+# -Wthread-safety verifies the locking annotations in support/Parallel.h.
 #
 # Usage: scripts/ci.sh [build-dir-prefix]
 #
@@ -25,13 +32,21 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 run_config() {
   local name="$1"; shift
+  local tests=""
+  if [ "${1:-}" = "--tests" ]; then
+    tests="$2"; shift 2
+  fi
   local dir="${PREFIX}-${name}"
   echo "=== [$name] configure ($*) ==="
   cmake -B "$dir" -S . -DOPD_WERROR=ON "$@"
   echo "=== [$name] build ==="
   cmake --build "$dir" -j "$JOBS"
   echo "=== [$name] ctest ==="
-  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  if [ -n "$tests" ]; then
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -R "$tests"
+  else
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  fi
 }
 
 run_config plain
@@ -45,6 +60,15 @@ else
   echo "=== clang-tidy not found; skipping (config: .clang-tidy) ==="
 fi
 
+if command -v clang++ >/dev/null 2>&1; then
+  run_config clang -DCMAKE_CXX_COMPILER=clang++
+else
+  echo "=== clang++ not found; skipping -Wthread-safety configuration ==="
+fi
+
 run_config asan-ubsan -DOPD_SANITIZE="address;undefined"
+
+OPD_THREADS=4 run_config tsan --tests 'Parallel|Sweep|Observ|Config' \
+  -DOPD_SANITIZE=thread
 
 echo "=== CI passed ==="

@@ -1,0 +1,135 @@
+//===- analysis/ConfigCanon.h - Detector-config canonicalizer ---*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonicalization of DetectorConfig: rewriting a configuration into a
+/// normal form such that two configurations with equal normal forms are
+/// *guaranteed to produce identical detector output on every trace* —
+/// byte-identical StateSequences, identical detected phases, and (when
+/// the canonicalizer is told anchored scoring is in play) identical
+/// anchor-corrected phases.
+///
+/// Every rewrite carries a MergeRule justification that names the
+/// machine-checkable argument for why the rewritten field cannot affect
+/// the output; tests/ConfigAnalysisTest.cpp validates each rule by
+/// brute-force comparison of full state sequences over the bundled
+/// workload traces. Rules the checker cannot prove are NOT applied — in
+/// particular WeightedSet and ManhattanBBV compute the same similarity
+/// mathematically but round differently in floating point, so they stay
+/// unmerged.
+///
+/// The rule catalogue (docs/ANALYSIS.md documents the full argument for
+/// each):
+///
+///  * DeadResizeConstantTW — WindowedModel reads Resize only inside
+///    startPhase() under the Adaptive policy; a Constant TW never
+///    resizes, so the field is dead.
+///  * DeadAnchorUnanchored — under a Constant TW the anchor policy only
+///    influences lastPhaseStartEstimate(), which only anchored scoring
+///    consumes; with anchored scoring off the field is dead. (Under the
+///    Adaptive policy the anchor also moves the TW, so it stays live.)
+///  * SaturatedAnalyzerAlwaysP — an analyzer that provably returns P for
+///    every similarity value in [0, 1] (threshold <= 0, average delta
+///    >= 1, hysteresis enter == 0) is interchangeable with any other
+///    such analyzer: the output is T until the windows first fill, then
+///    P forever.
+///  * DeadModelSaturated — under an always-P analyzer the similarity
+///    value is computed but never compared, and anchoring reads only the
+///    kernel's occupancy counts, which every model maintains
+///    identically; the model policy is dead.
+///  * DeadPolicySaturated — under an always-P analyzer exactly one T->P
+///    transition occurs and no P->T ever does, so startPhase() runs once
+///    *after* the anchor estimate is taken and endPhase() never runs;
+///    the TW policy and resize policy cannot affect any output.
+///  * DeadWindowSplitSaturated — under an always-P analyzer (and no
+///    anchored scoring) the flip happens at the first batch boundary
+///    with >= CW+TW elements consumed; only the sum CW+TW matters, not
+///    the split.
+///  * UnsatisfiableAnalyzerAlwaysT — an analyzer that provably returns T
+///    for every value in [0, 1] (threshold > 1, hysteresis enter > 1)
+///    never starts a phase; the output is all-T of trace length.
+///  * DeadConfigUnsatisfiable — under an always-T analyzer no other
+///    parameter can affect the (all-T, phase-free) output; the whole
+///    configuration collapses to one canonical point.
+///  * IdenticalConfig — not a rewrite: the justification recorded when
+///    two enumerated points were equal before any rule fired (duplicate
+///    dimension values, the Fixed-Interval point coinciding with an
+///    enumerated Constant/skip==CW point).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_ANALYSIS_CONFIGCANON_H
+#define OPD_ANALYSIS_CONFIGCANON_H
+
+#include "core/DetectorConfig.h"
+
+#include <string>
+#include <vector>
+
+namespace opd {
+
+/// Justification tags for canonicalization rewrites (see file comment).
+enum class MergeRule : uint8_t {
+  IdenticalConfig,
+  DeadResizeConstantTW,
+  DeadAnchorUnanchored,
+  SaturatedAnalyzerAlwaysP,
+  DeadModelSaturated,
+  DeadPolicySaturated,
+  DeadWindowSplitSaturated,
+  UnsatisfiableAnalyzerAlwaysT,
+  DeadConfigUnsatisfiable,
+};
+
+/// Stable kebab-case rule name ("dead-resize-constant-tw", ...).
+const char *mergeRuleName(MergeRule Rule);
+
+/// One-sentence justification of why the rule preserves detector output.
+const char *mergeRuleJustification(MergeRule Rule);
+
+/// Static classification of an analyzer's reachable decisions over the
+/// similarity domain [0, 1].
+enum class AnalyzerRange : uint8_t {
+  Normal,           ///< Both P and T are reachable.
+  AlwaysInPhase,    ///< Provably P for every value once evaluating.
+  AlwaysTransition, ///< Provably T for every value.
+};
+
+/// Classifies the analyzer makeAnalyzer(\p Kind, \p Param) builds.
+AnalyzerRange classifyAnalyzer(AnalyzerKind Kind, double Param);
+
+/// Canonicalizer knobs.
+struct ConfigCanonOptions {
+  /// Whether anchor-corrected phase starts are part of the output being
+  /// preserved (SweepOptions::ScoreAnchored). When true the anchor
+  /// policy stays live under a Constant TW and the window split stays
+  /// live under a saturated analyzer; the default is the conservative
+  /// setting.
+  bool AnchoredScoring = true;
+};
+
+/// A canonicalized configuration plus the rules that rewrote it.
+struct CanonResult {
+  DetectorConfig Canonical;
+  /// Rules applied, in application order; empty when the config was
+  /// already in normal form.
+  std::vector<MergeRule> Applied;
+};
+
+/// Rewrites \p Config into its normal form. Idempotent: canonicalizing
+/// a canonical form applies no further rules.
+CanonResult canonicalizeConfig(const DetectorConfig &Config,
+                               const ConfigCanonOptions &Options = {});
+
+/// A total-order key for a configuration: equal keys iff field-wise
+/// equal configs (the double parameter is compared by bit pattern).
+/// Partitioning keys on canonicalizeConfig().Canonical.
+std::string configKey(const DetectorConfig &Config);
+
+} // namespace opd
+
+#endif // OPD_ANALYSIS_CONFIGCANON_H

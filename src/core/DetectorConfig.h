@@ -40,6 +40,17 @@ struct DetectorConfig {
     return Window.TWPolicy == TWPolicyKind::Constant &&
            Window.SkipFactor == Window.CWSize;
   }
+
+  /// Field-wise equality (exact on AnalyzerParam; sweep dimensions are
+  /// enumerated, not computed, so exact comparison is meaningful).
+  friend bool operator==(const DetectorConfig &A, const DetectorConfig &B) {
+    return A.Window == B.Window && A.Model == B.Model &&
+           A.TheAnalyzer == B.TheAnalyzer &&
+           A.AnalyzerParam == B.AnalyzerParam;
+  }
+  friend bool operator!=(const DetectorConfig &A, const DetectorConfig &B) {
+    return !(A == B);
+  }
 };
 
 /// Builds the detector \p Config describes, sized for \p NumSites

@@ -75,6 +75,17 @@ struct WindowConfig {
   TWPolicyKind TWPolicy = TWPolicyKind::Constant;
   AnchorKind Anchor = AnchorKind::RightmostNoisy;
   ResizeKind Resize = ResizeKind::Slide;
+
+  /// Field-wise equality, including fields a given policy never reads
+  /// (analysis/ConfigCanon.h normalizes those before comparing).
+  friend bool operator==(const WindowConfig &A, const WindowConfig &B) {
+    return A.CWSize == B.CWSize && A.TWSize == B.TWSize &&
+           A.SkipFactor == B.SkipFactor && A.TWPolicy == B.TWPolicy &&
+           A.Anchor == B.Anchor && A.Resize == B.Resize;
+  }
+  friend bool operator!=(const WindowConfig &A, const WindowConfig &B) {
+    return !(A == B);
+  }
 };
 
 /// Window state machine + similarity kernel. The PhaseDetector drives it

@@ -7,94 +7,51 @@
 
 #include "harness/Sweep.h"
 
+#include "analysis/ConfigAnalysis.h"
 #include "core/DetectorRunner.h"
 #include "support/Format.h"
 #include "support/Parallel.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace opd;
 
-std::vector<AnalyzerSpec> opd::paperAnalyzers() {
-  return {
-      {AnalyzerKind::Threshold, 0.5}, {AnalyzerKind::Threshold, 0.6},
-      {AnalyzerKind::Threshold, 0.7}, {AnalyzerKind::Threshold, 0.8},
-      {AnalyzerKind::Average, 0.01},  {AnalyzerKind::Average, 0.05},
-      {AnalyzerKind::Average, 0.1},   {AnalyzerKind::Average, 0.2},
-      {AnalyzerKind::Average, 0.3},   {AnalyzerKind::Average, 0.4},
-  };
-}
+namespace {
 
-std::vector<AnalyzerSpec> opd::reducedAnalyzers() {
-  return {
-      {AnalyzerKind::Threshold, 0.6},
-      {AnalyzerKind::Threshold, 0.8},
-      {AnalyzerKind::Average, 0.05},
-      {AnalyzerKind::Average, 0.2},
-  };
-}
+/// Shared accumulator for the per-run stats the worker threads report.
+class SweepAccumulator {
+  Mutex M;
+  SweepStats S OPD_GUARDED_BY(M);
 
-std::vector<DetectorConfig> opd::enumerateConfigs(const SweepSpec &Spec) {
-  std::vector<DetectorConfig> Configs;
-  auto addConfig = [&](const WindowConfig &W, ModelKind M,
-                       const AnalyzerSpec &A) {
-    DetectorConfig C;
-    C.Window = W;
-    C.Model = M;
-    C.TheAnalyzer = A.Kind;
-    C.AnalyzerParam = A.Param;
-    Configs.push_back(C);
-  };
-
-  for (uint32_t CW : Spec.CWSizes) {
-    for (uint32_t TWFactor : Spec.TWFactors) {
-      for (ModelKind M : Spec.Models) {
-        for (const AnalyzerSpec &A : Spec.Analyzers) {
-          // Regular policies with the requested skip factors.
-          for (TWPolicyKind Policy : Spec.TWPolicies) {
-            for (uint32_t Skip : Spec.SkipFactors) {
-              WindowConfig W;
-              W.CWSize = CW;
-              W.TWSize = CW * TWFactor;
-              W.SkipFactor = Skip;
-              W.TWPolicy = Policy;
-              if (Policy == TWPolicyKind::Adaptive) {
-                for (AnchorKind Anchor : Spec.Anchors) {
-                  for (ResizeKind Resize : Spec.Resizes) {
-                    W.Anchor = Anchor;
-                    W.Resize = Resize;
-                    addConfig(W, M, A);
-                  }
-                }
-              } else {
-                addConfig(W, M, A);
-              }
-            }
-          }
-          // The extant fixed-interval approach: Constant TW, skip == CW.
-          if (Spec.IncludeFixedInterval) {
-            WindowConfig W;
-            W.CWSize = CW;
-            W.TWSize = CW * TWFactor;
-            W.SkipFactor = CW;
-            W.TWPolicy = TWPolicyKind::Constant;
-            addConfig(W, M, A);
-          }
-        }
-      }
-    }
+public:
+  void addRun(double DetectSeconds, double ScoreSeconds) {
+    LockGuard Lock(M);
+    S.RunsExecuted += 1;
+    S.DetectSeconds += DetectSeconds;
+    S.ScoreSeconds += ScoreSeconds;
   }
-  return Configs;
-}
 
-std::vector<RunScores>
-opd::runSweep(const BranchTrace &Trace,
-              const std::vector<BaselineSolution> &Baselines,
-              const std::vector<DetectorConfig> &Configs,
-              const SweepOptions &Options) {
-  std::vector<RunScores> Results(Configs.size());
-  parallelFor(Configs.size(), [&](size_t I) {
+  SweepStats take(size_t NumConfigs) {
+    LockGuard Lock(M);
+    S.NumConfigs = NumConfigs;
+    S.RunsPruned = NumConfigs - S.RunsExecuted;
+    return S;
+  }
+};
+
+/// Executes the detector runs for the configurations at \p Indices,
+/// writing each result into Results[Indices[I]].
+void runConfigs(const BranchTrace &Trace,
+                const std::vector<BaselineSolution> &Baselines,
+                const std::vector<DetectorConfig> &Configs,
+                const std::vector<size_t> &Indices,
+                const SweepOptions &Options, SweepAccumulator &Acc,
+                std::vector<RunScores> &Results) {
+  parallelFor(Indices.size(), [&](size_t N) {
+    size_t I = Indices[N];
     const DetectorConfig &Config = Configs[I];
     std::unique_ptr<PhaseDetector> Detector =
         makeDetector(Config, Trace.numSites());
@@ -122,7 +79,65 @@ opd::runSweep(const BranchTrace &Trace,
     }
     if (Options.CollectStats)
       R.ScoreSeconds = Timer.seconds();
+    Acc.addRun(R.DetectSeconds, R.ScoreSeconds);
   });
+}
+
+} // namespace
+
+std::vector<RunScores>
+opd::runSweep(const BranchTrace &Trace,
+              const std::vector<BaselineSolution> &Baselines,
+              const std::vector<DetectorConfig> &Configs,
+              const SweepOptions &Options, SweepStats *Stats) {
+  if (Configs.empty()) {
+    std::fprintf(stderr,
+                 "runSweep: empty configuration list — an empty dimension "
+                 "vector annihilates the cross product; lint the spec with "
+                 "config_check\n");
+    std::abort();
+  }
+
+  std::vector<RunScores> Results(Configs.size());
+  SweepAccumulator Acc;
+
+  if (!Options.Prune) {
+    std::vector<size_t> All(Configs.size());
+    for (size_t I = 0; I < All.size(); ++I)
+      All[I] = I;
+    runConfigs(Trace, Baselines, Configs, All, Options, Acc, Results);
+    if (Stats)
+      *Stats = Acc.take(Configs.size());
+    return Results;
+  }
+
+  // Pruned sweep: run one representative per provable equivalence class,
+  // then fan its scores out to every member. Anchored scoring keeps the
+  // anchor-affecting merge rules disabled so the fanned-out anchored
+  // scores are as bit-identical as the plain ones.
+  ConfigCanonOptions Canon;
+  Canon.AnchoredScoring = Options.ScoreAnchored;
+  ConfigPartition Partition = partitionConfigs(Configs, Canon);
+
+  std::vector<size_t> Reps;
+  Reps.reserve(Partition.Classes.size());
+  for (const ConfigClass &Class : Partition.Classes)
+    Reps.push_back(Class.Representative);
+  runConfigs(Trace, Baselines, Configs, Reps, Options, Acc, Results);
+
+  for (const ConfigClass &Class : Partition.Classes) {
+    const RunScores &Rep = Results[Class.Representative];
+    for (size_t Member : Class.Members) {
+      if (Member == Class.Representative)
+        continue;
+      RunScores &R = Results[Member];
+      R = Rep;
+      // The scores are the class's; the identity stays the member's.
+      R.Config = Configs[Member];
+    }
+  }
+  if (Stats)
+    *Stats = Acc.take(Configs.size());
   return Results;
 }
 

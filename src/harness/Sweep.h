@@ -20,6 +20,7 @@
 
 #include "baseline/BaselineSolution.h"
 #include "core/DetectorConfig.h"
+#include "core/SweepSpec.h"
 #include "metrics/Scoring.h"
 #include "obs/RunTrace.h"
 #include "support/Table.h"
@@ -29,42 +30,6 @@
 #include <vector>
 
 namespace opd {
-
-/// One analyzer instantiation in a sweep.
-struct AnalyzerSpec {
-  AnalyzerKind Kind;
-  double Param;
-};
-
-/// A cross product of framework parameters.
-struct SweepSpec {
-  std::vector<uint32_t> CWSizes;
-  /// TW size = CW size * factor (the paper co-sizes the windows; factor 1
-  /// everywhere in the reproduction, other factors serve the ablations).
-  std::vector<uint32_t> TWFactors = {1};
-  std::vector<uint32_t> SkipFactors = {1};
-  std::vector<TWPolicyKind> TWPolicies = {TWPolicyKind::Constant,
-                                          TWPolicyKind::Adaptive};
-  /// Also enumerate the prior literature's Fixed Interval policy
-  /// (Constant TW with skipFactor == CW size == TW size).
-  bool IncludeFixedInterval = false;
-  std::vector<ModelKind> Models = {ModelKind::UnweightedSet,
-                                   ModelKind::WeightedSet};
-  std::vector<AnalyzerSpec> Analyzers;
-  std::vector<AnchorKind> Anchors = {AnchorKind::RightmostNoisy};
-  std::vector<ResizeKind> Resizes = {ResizeKind::Slide};
-};
-
-/// The paper's analyzer set: thresholds .5/.6/.7/.8 and average deltas
-/// .01/.05/.1/.2/.3/.4.
-std::vector<AnalyzerSpec> paperAnalyzers();
-
-/// A trimmed analyzer set for the slow full-cross-product benches:
-/// thresholds .6/.8 and deltas .05/.2.
-std::vector<AnalyzerSpec> reducedAnalyzers();
-
-/// Expands the cross product.
-std::vector<DetectorConfig> enumerateConfigs(const SweepSpec &Spec);
 
 /// One configuration's scores against every baseline.
 struct RunScores {
@@ -89,14 +54,41 @@ struct SweepOptions {
   /// times into RunScores. Off by default: the unobserved hot path is
   /// what the benches measure.
   bool CollectStats = false;
+  /// Partition the configurations into provable equivalence classes
+  /// (analysis/ConfigAnalysis.h) and run only one representative per
+  /// class, fanning its scores back to every member. The returned
+  /// RunScores are bit-identical to an unpruned sweep; only the number
+  /// of detector runs changes. The canonicalizer is told whether
+  /// anchored scoring is on (ScoreAnchored), so anchor-affecting fields
+  /// are only merged when the anchored output is not being observed.
+  bool Prune = false;
+};
+
+/// Work accounting of one runSweep() call.
+struct SweepStats {
+  /// Configurations requested.
+  size_t NumConfigs = 0;
+  /// Detector runs actually executed (== NumConfigs unless pruning).
+  size_t RunsExecuted = 0;
+  /// Runs avoided by equivalence-class pruning.
+  size_t RunsPruned = 0;
+  /// Aggregate wall time of the executed runs' stages; filled only when
+  /// SweepOptions::CollectStats (the unobserved hot path is untimed).
+  double DetectSeconds = 0.0;
+  double ScoreSeconds = 0.0;
 };
 
 /// Runs every configuration over \p Trace once and scores it against
-/// every baseline. Parallel across configurations.
+/// every baseline. Parallel across configurations. \p Configs must be
+/// non-empty: an empty sweep is always a spec bug (an empty dimension
+/// vector annihilates the cross product), so it aborts with a message
+/// pointing at config_check rather than silently returning no results.
+/// \p Stats, when given, receives the work accounting of this call.
 std::vector<RunScores> runSweep(const BranchTrace &Trace,
                                 const std::vector<BaselineSolution> &Baselines,
                                 const std::vector<DetectorConfig> &Configs,
-                                const SweepOptions &Options = {});
+                                const SweepOptions &Options = {},
+                                SweepStats *Stats = nullptr);
 
 /// Maximum score at baseline index \p MPLIdx over the configurations
 /// accepted by \p Filter; returns -1 when none match.

@@ -8,14 +8,25 @@
 #include "support/Parallel.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
 using namespace opd;
 
 unsigned opd::hardwareParallelism() {
-  unsigned N = std::thread::hardware_concurrency();
-  return N == 0 ? 1 : N;
+  static const unsigned Cached = [] {
+    // Environment override so single-core CI runners (and the TSan leg
+    // in particular) can still exercise real concurrency.
+    if (const char *Env = std::getenv("OPD_THREADS")) { // NOLINT(concurrency-mt-unsafe)
+      long N = std::strtol(Env, nullptr, 10);
+      if (N > 0)
+        return static_cast<unsigned>(N);
+    }
+    unsigned N = std::thread::hardware_concurrency();
+    return N == 0 ? 1u : N;
+  }();
+  return Cached;
 }
 
 void opd::parallelFor(size_t NumItems,

@@ -9,6 +9,15 @@
 /// parallelFor distributes independent work items (detector runs in the
 /// sweep harness) over hardware threads. On a single-core host it simply
 /// runs serially, so results are byte-identical regardless of parallelism.
+/// The OPD_THREADS environment variable overrides the thread count (the
+/// CI ThreadSanitizer leg sets it so single-core runners still exercise
+/// real concurrency).
+///
+/// The file also provides the project's annotated locking primitives:
+/// Mutex and LockGuard carry Clang thread-safety capability attributes
+/// (via the OPD_* macro shim below, which compiles away on other
+/// compilers), so shared state can declare its lock with OPD_GUARDED_BY
+/// and -Wthread-safety proves the locking discipline at compile time.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,10 +26,57 @@
 
 #include <cstddef>
 #include <functional>
+#include <mutex>
+
+/// Clang thread-safety-analysis attribute shim. Expands to the attribute
+/// under Clang (where -Wthread-safety checks it) and to nothing under
+/// other compilers.
+#if defined(__clang__)
+#define OPD_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define OPD_THREAD_ANNOTATION(x)
+#endif
+
+#define OPD_CAPABILITY(x) OPD_THREAD_ANNOTATION(capability(x))
+#define OPD_SCOPED_CAPABILITY OPD_THREAD_ANNOTATION(scoped_lockable)
+#define OPD_GUARDED_BY(x) OPD_THREAD_ANNOTATION(guarded_by(x))
+#define OPD_REQUIRES(...) \
+  OPD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define OPD_ACQUIRE(...) OPD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define OPD_RELEASE(...) OPD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define OPD_TRY_ACQUIRE(...) \
+  OPD_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define OPD_EXCLUDES(...) OPD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define OPD_NO_THREAD_SAFETY_ANALYSIS \
+  OPD_THREAD_ANNOTATION(no_thread_safety_analysis)
 
 namespace opd {
 
-/// Number of worker threads parallelFor will use (>= 1).
+/// std::mutex with a thread-safety capability, so members can be
+/// declared OPD_GUARDED_BY it.
+class OPD_CAPABILITY("mutex") Mutex {
+  std::mutex M;
+
+public:
+  void lock() OPD_ACQUIRE() { M.lock(); }
+  void unlock() OPD_RELEASE() { M.unlock(); }
+  bool try_lock() OPD_TRY_ACQUIRE(true) { return M.try_lock(); }
+};
+
+/// Scoped lock over Mutex, visible to the thread-safety analysis.
+class OPD_SCOPED_CAPABILITY LockGuard {
+  Mutex &M;
+
+public:
+  explicit LockGuard(Mutex &M) OPD_ACQUIRE(M) : M(M) { M.lock(); }
+  ~LockGuard() OPD_RELEASE() { M.unlock(); }
+  LockGuard(const LockGuard &) = delete;
+  LockGuard &operator=(const LockGuard &) = delete;
+};
+
+/// Number of worker threads parallelFor will use (>= 1): the OPD_THREADS
+/// environment variable when set to a positive integer, otherwise the
+/// hardware concurrency. Read once and cached.
 unsigned hardwareParallelism();
 
 /// Invokes \p Body(I) for every I in [0, NumItems). Items are claimed from
