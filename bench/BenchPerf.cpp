@@ -18,6 +18,7 @@
 #include "baseline/BaselineSolution.h"
 #include "core/DetectorConfig.h"
 #include "core/DetectorRunner.h"
+#include "core/FastDetector.h"
 #include "core/RelatedWork.h"
 #include "harness/Experiment.h"
 #include "metrics/Scoring.h"
@@ -76,6 +77,34 @@ BENCHMARK_CAPTURE(BM_Detector, weighted_constant, ModelKind::WeightedSet,
                   TWPolicyKind::Constant);
 BENCHMARK_CAPTURE(BM_Detector, weighted_adaptive, ModelKind::WeightedSet,
                   TWPolicyKind::Adaptive);
+
+// The monomorphic fast path (core/FastDetector.h) over the exact
+// configurations of BM_Detector above: kernel and analyzer inlined into
+// the consume loop, the DetectorRun reused across iterations the way the
+// sweep arenas reuse it. Output is bit-identical to the reference path;
+// the ratio of the two is the cost of per-element virtual dispatch.
+static void BM_FastDetector(benchmark::State &State, ModelKind Model,
+                            TWPolicyKind Policy) {
+  const BenchmarkData &B = sharedBenchmark();
+  std::unique_ptr<FastDetectorBase> D =
+      makeFastDetector(configFor(Model, Policy), B.Trace.numSites());
+  DetectorRun Run;
+  for (auto _ : State) {
+    runDetector(*D, B.Trace, Run);
+    benchmark::DoNotOptimize(Run.States.size());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(B.Trace.size()));
+}
+
+BENCHMARK_CAPTURE(BM_FastDetector, unweighted_constant,
+                  ModelKind::UnweightedSet, TWPolicyKind::Constant);
+BENCHMARK_CAPTURE(BM_FastDetector, unweighted_adaptive,
+                  ModelKind::UnweightedSet, TWPolicyKind::Adaptive);
+BENCHMARK_CAPTURE(BM_FastDetector, weighted_constant,
+                  ModelKind::WeightedSet, TWPolicyKind::Constant);
+BENCHMARK_CAPTURE(BM_FastDetector, weighted_adaptive,
+                  ModelKind::WeightedSet, TWPolicyKind::Adaptive);
 
 static void BM_DetectorSkipFactor(benchmark::State &State) {
   const BenchmarkData &B = sharedBenchmark();

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+#===- scripts/bench.sh - Performance baseline capture -----------------------===#
+#
+# Part of the OPD project: a reproduction of "Online Phase Detection
+# Algorithms" (CGO 2006).
+#
+# Builds the Release tree, runs the detector benchmarks, times the
+# pruned paper sweep, and assembles BENCH_PERF.json at the repo root:
+# per-element throughput for the reference and fast detector paths,
+# their ratios, and the sweep wall time. The committed BENCH_PERF.json
+# is the baseline scripts/ci.sh checks regressions against (on ratios,
+# which survive machine-speed differences; absolute M/s numbers are
+# recorded for context only).
+#
+# Usage: scripts/bench.sh [--skip-sweep] [build-dir]
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SKIP_SWEEP=0
+if [ "${1:-}" = "--skip-sweep" ]; then
+  SKIP_SWEEP=1; shift
+fi
+DIR="${1:-build-perf}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "=== [bench] configure + build (Release) ==="
+cmake -B "$DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$DIR" -j "$JOBS"
+
+echo "=== [bench] detector benchmarks ==="
+RAW="$DIR/bench_perf_raw.json"
+"$DIR/bench/bench_perf" \
+  --benchmark_filter='BM_Detector/|BM_FastDetector/' \
+  --benchmark_min_time=2 \
+  --benchmark_format=json > "$RAW"
+
+SWEEP_SECONDS=null
+if [ "$SKIP_SWEEP" = 0 ]; then
+  echo "=== [bench] pruned paper sweep (jess, MPL 10K) ==="
+  SWEEP_START=$(date +%s.%N)
+  "$DIR/examples/sweep_tool" --preset paper --prune \
+    --workloads jess --mpls 10K > /dev/null
+  SWEEP_END=$(date +%s.%N)
+  SWEEP_SECONDS=$(python3 -c "print(round($SWEEP_END - $SWEEP_START, 1))")
+fi
+
+python3 - "$RAW" "$SWEEP_SECONDS" <<'EOF'
+import json, sys
+
+raw = json.load(open(sys.argv[1]))
+sweep = None if sys.argv[2] == "null" else float(sys.argv[2])
+
+rates = {}
+for b in raw["benchmarks"]:
+    path, case = b["name"].split("/", 1)
+    rates.setdefault(case, {})[path] = round(
+        b["items_per_second"] / 1e6, 2)
+
+cases = {}
+for case, r in sorted(rates.items()):
+    ref, fast = r["BM_Detector"], r["BM_FastDetector"]
+    cases[case] = {
+        "reference_mps": ref,
+        "fast_mps": fast,
+        "ratio": round(fast / ref, 2),
+    }
+
+out = {
+    "description": "Detector per-element throughput (M elements/s) on "
+                   "jess scale 0.25 MPL 10K, CW=TW=5000, threshold 0.6, "
+                   "skip 1; see docs/PERFORMANCE.md",
+    "cases": cases,
+    "pruned_paper_sweep_seconds": sweep,
+}
+json.dump(out, open("BENCH_PERF.json", "w"), indent=2)
+print(open("BENCH_PERF.json").read())
+EOF
+
+echo "=== [bench] wrote BENCH_PERF.json ==="

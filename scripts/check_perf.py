@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Compare a bench_perf smoke run against the committed BENCH_PERF.json.
+
+Part of the OPD project: a reproduction of "Online Phase Detection
+Algorithms" (CGO 2006).
+
+The comparison is on fast-over-reference throughput ratios, not absolute
+throughput: both paths run in the same process seconds apart, so their
+ratio is stable across machines and CPU frequency states, while absolute
+M/s on a throttling host can swing far more than any real regression.
+A case fails when its ratio drops more than the tolerance (default 25%)
+below the committed baseline.
+
+Usage: check_perf.py <smoke.json> <baseline.json> [tolerance]
+"""
+
+import json
+import sys
+
+
+def main():
+    smoke_path, baseline_path = sys.argv[1], sys.argv[2]
+    tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 0.25
+
+    raw = json.load(open(smoke_path))
+    rates = {}
+    for bench in raw["benchmarks"]:
+        path, case = bench["name"].split("/", 1)
+        rates.setdefault(case, {})[path] = bench["items_per_second"]
+
+    baseline = json.load(open(baseline_path))["cases"]
+
+    failed = False
+    for case, expected in sorted(baseline.items()):
+        if case not in rates or len(rates[case]) != 2:
+            print(f"perf: {case}: MISSING from smoke run")
+            failed = True
+            continue
+        ratio = rates[case]["BM_FastDetector"] / rates[case]["BM_Detector"]
+        floor = expected["ratio"] * (1.0 - tolerance)
+        verdict = "ok" if ratio >= floor else "REGRESSION"
+        print(f"perf: {case}: fast/ref {ratio:.2f}x "
+              f"(baseline {expected['ratio']:.2f}x, floor {floor:.2f}x) "
+              f"{verdict}")
+        failed |= ratio < floor
+
+    if failed:
+        print("perf: regression against BENCH_PERF.json "
+              "(rebaseline with scripts/bench.sh if intentional)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

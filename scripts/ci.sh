@@ -71,4 +71,17 @@ run_config asan-ubsan -DOPD_SANITIZE="address;undefined"
 OPD_THREADS=4 run_config tsan --tests 'Parallel|Sweep|Observ|Config' \
   -DOPD_SANITIZE=thread
 
+# Release perf smoke: the fast detector path must stay within 25% of the
+# committed fast-over-reference throughput ratios (scripts/check_perf.py
+# compares ratios, which are stable under host frequency scaling).
+echo "=== [perf] Release perf smoke (vs BENCH_PERF.json) ==="
+PERF_DIR="${PREFIX}-perf"
+cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$PERF_DIR" -j "$JOBS" --target bench_perf
+"$PERF_DIR/bench/bench_perf" \
+  --benchmark_filter='BM_Detector/|BM_FastDetector/' \
+  --benchmark_min_time=0.5 \
+  --benchmark_format=json > "$PERF_DIR/bench_smoke.json"
+python3 scripts/check_perf.py "$PERF_DIR/bench_smoke.json" BENCH_PERF.json
+
 echo "=== CI passed ==="

@@ -13,25 +13,31 @@ using namespace opd;
 
 DetectorRun opd::runDetector(OnlineDetector &Detector,
                              const BranchTrace &Trace) {
-  Detector.reset();
   DetectorRun Run;
+  runDetector(Detector, Trace, Run);
+  return Run;
+}
+
+void opd::runDetector(OnlineDetector &Detector, const BranchTrace &Trace,
+                      DetectorRun &Run) {
+  Detector.reset();
+  Run.clear();
   const std::vector<SiteIndex> &Elements = Trace.elements();
   size_t Batch = Detector.batchSize();
   assert(Batch > 0 && "batch size must be positive");
 
-  PhaseState Prev = PhaseState::Transition;
-  std::vector<uint64_t> AnchoredStarts;
-  for (uint64_t Offset = 0; Offset < Elements.size(); Offset += Batch) {
-    size_t N = std::min<size_t>(Batch, Elements.size() - Offset);
-    PhaseState S = Detector.processBatch(&Elements[Offset], N);
-    // One state per input element (the batch shares its state).
-    Run.States.append(S, N);
-    if (Prev == PhaseState::Transition && S == PhaseState::InPhase)
-      AnchoredStarts.push_back(Detector.lastPhaseStartEstimate());
-    Prev = S;
-  }
+  // Size the output for the worst case (a state flip at every batch),
+  // capped so degenerate skip=1 runs on huge traces don't commit tens of
+  // megabytes up front — append() grows past the cap normally.
+  size_t NumBatches = Elements.empty() ? 0 : (Elements.size() - 1) / Batch + 1;
+  Run.States.reserveRuns(std::min<size_t>(NumBatches, 1 << 16));
 
-  Run.DetectedPhases = Run.States.phases();
+  std::vector<uint64_t> AnchoredStarts;
+  AnchoredStarts.reserve(std::min<size_t>(NumBatches / 2 + 1, 1 << 12));
+  Detector.consumeTrace(Elements.data(), Elements.size(), Run.States,
+                        AnchoredStarts);
+
+  Run.States.phasesInto(Run.DetectedPhases);
   assert(AnchoredStarts.size() == Run.DetectedPhases.size() &&
          "one anchored start per detected phase");
 
@@ -46,5 +52,4 @@ DetectorRun opd::runDetector(OnlineDetector &Detector,
     Run.AnchoredPhases.push_back(P);
     PrevEnd = P.End;
   }
-  return Run;
 }

@@ -34,6 +34,15 @@ struct DetectorRun {
   /// DetectedPhases with each start replaced by the detector's anchored
   /// estimate of the true phase start (clamped to stay sorted/disjoint).
   std::vector<PhaseInterval> AnchoredPhases;
+
+  /// Forgets the previous run's output but keeps all capacity, so a
+  /// reused DetectorRun (sweep arenas) stops allocating once it has seen
+  /// a worst-case run.
+  void clear() {
+    States.clear();
+    DetectedPhases.clear();
+    AnchoredPhases.clear();
+  }
 };
 
 /// Streams \p Trace through \p Detector (which is reset first). The
@@ -42,6 +51,12 @@ struct DetectorRun {
 /// This overload carries no observation code at all — it is the
 /// zero-cost path observer-free callers bind to.
 DetectorRun runDetector(OnlineDetector &Detector, const BranchTrace &Trace);
+
+/// As above, but fills a caller-owned \p Run (cleared first) instead of
+/// returning a fresh one, so tight loops over many configurations reuse
+/// the state/phase storage. The value-returning overload forwards here.
+void runDetector(OnlineDetector &Detector, const BranchTrace &Trace,
+                 DetectorRun &Run);
 
 /// As above; when \p Observer is non-null it is attached to the detector
 /// for the duration of the run (detached again before returning) and

@@ -1,0 +1,1000 @@
+//===- core/FastDetector.cpp - Monomorphic fast-path detectors ---------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+//
+// The templates here mirror core/WindowedModel.cpp and the unobserved
+// path of core/PhaseDetector.cpp statement for statement; the deltas are
+// concrete kernel/analyzer types (so every call inlines), the TW policy
+// as a compile-time constant, and two decision-identical substitutions:
+//
+//  * The fast analyzers drop the confidence bookkeeping. OnlineDetector
+//    exposes no confidence accessor, LastConfidence never feeds a P/T
+//    decision, and the Average analyzer's decisions read only the
+//    running mean — so the margin divisions and the Welford
+//    variance/min/max updates are dead work on this interface. Every
+//    decision compares the same doubles in the same order as the
+//    reference analyzer, so the emitted states are bit-identical.
+//
+//  * FastWeightedSetKernel computes the replace-operation MinSum deltas
+//    from shared products (4 multiplies instead of 8). Unsigned
+//    arithmetic is associative mod 2^64, so MinSum matches the
+//    reference kernel's bit for bit.
+//
+//  * Threshold decisions skip the similarity division when the integer
+//    numerator is outside a conservative rounding margin of
+//    threshold * denominator; inside the margin the exact reference
+//    division runs, so every decision is still bit-identical (see
+//    FastWeightedSetKernel::similarityAtLeast).
+//
+// Any behavioral change to the reference detector must be replicated
+// here — FastDetectorTest runs every sweep configuration shape through
+// both paths and requires bit-identical output, so a missed replication
+// fails loudly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FastDetector.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace opd;
+
+namespace {
+
+// The fast kernels only pay off if the per-element operations dissolve
+// into the consume loop, but the fully-inlined loop is large enough that
+// the compiler's inline-growth budget starts refusing them (measured:
+// gcc -O3 leaves twReplace/similarity as out-of-line calls). Force the
+// hot operations in.
+#if defined(__GNUC__) || defined(__clang__)
+#define OPD_FORCE_INLINE inline __attribute__((always_inline))
+#define OPD_NOINLINE __attribute__((noinline))
+#else
+#define OPD_FORCE_INLINE inline
+#define OPD_NOINLINE
+#endif
+
+//===----------------------------------------------------------------------===//
+// Non-virtual kernels
+//
+// The reference kernels are virtual classes; even though the fast models
+// hold them by concrete value (so every call site is direct), the
+// compiler emits the virtual overrides as standalone functions and — in
+// the large fully-inlined consume loop — refuses to inline them, leaving
+// two or three function calls per element. These kernels are the same
+// algorithms as plain inline members with no vtable at all, which is
+// what lets the per-element loop absorb them.
+//===----------------------------------------------------------------------===//
+
+/// The state and touched-site machinery of SimilarityKernel without the
+/// vtable.
+class FastKernelBase {
+public:
+  explicit FastKernelBase(SiteIndex NumSites)
+      : CWCounts(NumSites, 0), TWCounts(NumSites, 0),
+        SiteTouched(NumSites, 0) {}
+
+  bool inCW(SiteIndex S) const {
+    assert(S < CWCounts.size() && "site out of range");
+    return CWCounts[S] != 0;
+  }
+  uint64_t cwTotal() const { return NCW; }
+  uint64_t twTotal() const { return NTW; }
+  SiteIndex numSites() const {
+    return static_cast<SiteIndex>(CWCounts.size());
+  }
+
+protected:
+  /// Same contract as SimilarityKernel::touch().
+  OPD_FORCE_INLINE void touch(SiteIndex S) {
+    if (!SiteTouched[S]) {
+      SiteTouched[S] = 1;
+      TouchedSites.push_back(S);
+    }
+  }
+
+  /// O(distinct sites touched) count reset, as SimilarityKernel::reset().
+  void resetCounts() {
+    for (SiteIndex S : TouchedSites) {
+      CWCounts[S] = 0;
+      TWCounts[S] = 0;
+      SiteTouched[S] = 0;
+    }
+    TouchedSites.clear();
+    NCW = NTW = 0;
+  }
+
+  std::vector<uint32_t> CWCounts;
+  std::vector<uint32_t> TWCounts;
+  uint64_t NCW = 0;
+  uint64_t NTW = 0;
+  std::vector<uint8_t> SiteTouched;
+  std::vector<SiteIndex> TouchedSites;
+};
+
+/// Non-virtual mirror of UnweightedSetKernel.
+class FastUnweightedSetKernel : public FastKernelBase {
+public:
+  explicit FastUnweightedSetKernel(SiteIndex NumSites)
+      : FastKernelBase(NumSites) {}
+
+  void reset() {
+    resetCounts();
+    CWDistinct = 0;
+    BothDistinct = 0;
+  }
+
+  void cwAdd(SiteIndex S) {
+    assert(S < CWCounts.size() && "site out of range");
+    touch(S);
+    if (CWCounts[S]++ == 0) {
+      ++CWDistinct;
+      if (TWCounts[S] != 0)
+        ++BothDistinct;
+    }
+    ++NCW;
+  }
+
+  void cwRemove(SiteIndex S) {
+    assert(S < CWCounts.size() && "site out of range");
+    assert(CWCounts[S] != 0 && "removing a site not in the CW");
+    if (--CWCounts[S] == 0) {
+      --CWDistinct;
+      if (TWCounts[S] != 0)
+        --BothDistinct;
+    }
+    --NCW;
+  }
+
+  void twAdd(SiteIndex S) {
+    assert(S < TWCounts.size() && "site out of range");
+    touch(S);
+    if (TWCounts[S]++ == 0 && CWCounts[S] != 0)
+      ++BothDistinct;
+    ++NTW;
+  }
+
+  void twRemove(SiteIndex S) {
+    assert(S < TWCounts.size() && "site out of range");
+    assert(TWCounts[S] != 0 && "removing a site not in the TW");
+    if (--TWCounts[S] == 0 && CWCounts[S] != 0)
+      --BothDistinct;
+    --NTW;
+  }
+
+  OPD_FORCE_INLINE void cwReplace(SiteIndex In, SiteIndex Out) {
+    cwAdd(In);
+    cwRemove(Out);
+  }
+  OPD_FORCE_INLINE void twReplace(SiteIndex In, SiteIndex Out) {
+    twAdd(In);
+    twRemove(Out);
+  }
+  void moveCWToTW(SiteIndex S) {
+    cwRemove(S);
+    twAdd(S);
+  }
+
+  OPD_FORCE_INLINE double similarity() {
+    if (CWDistinct == 0)
+      return 0.0;
+    return static_cast<double>(BothDistinct) /
+           static_cast<double>(CWDistinct);
+  }
+
+  OPD_FORCE_INLINE bool similarityAtLeast(double T) {
+    return similarity() >= T;
+  }
+
+private:
+  uint64_t CWDistinct = 0;
+  uint64_t BothDistinct = 0;
+};
+
+/// Non-virtual weighted-set kernel with the replace-operation delta
+/// computed from shared products: min(cw*NTW, tw*NCW) before and after a
+/// count bump reuses the same two products, halving the multiplies of
+/// the reference WeightedSetKernel on the steady-state path, and
+/// similarity() divides by a cached double(NCW)*double(NTW). Both are
+/// the same arithmetic the reference kernel performs (unsigned deltas
+/// are exact mod 2^64; the cached denominator is the identical double
+/// product), so MinSum and the returned similarity are bit-identical.
+class FastWeightedSetKernel : public FastKernelBase {
+public:
+  explicit FastWeightedSetKernel(SiteIndex NumSites)
+      : FastKernelBase(NumSites) {}
+
+  void reset() {
+    resetCounts();
+    MinSum = 0;
+    Dirty = false;
+  }
+
+  void cwAdd(SiteIndex S) {
+    assert(S < CWCounts.size() && "site out of range");
+    touch(S);
+    ++CWCounts[S];
+    ++NCW;
+    Dirty = true;
+  }
+
+  void cwRemove(SiteIndex S) {
+    assert(CWCounts[S] != 0 && "removing a site not in the CW");
+    --CWCounts[S];
+    --NCW;
+    Dirty = true;
+  }
+
+  void twAdd(SiteIndex S) {
+    assert(S < TWCounts.size() && "site out of range");
+    touch(S);
+    ++TWCounts[S];
+    ++NTW;
+    Dirty = true;
+  }
+
+  void twRemove(SiteIndex S) {
+    assert(TWCounts[S] != 0 && "removing a site not in the TW");
+    --TWCounts[S];
+    --NTW;
+    Dirty = true;
+  }
+
+  OPD_FORCE_INLINE void cwReplace(SiteIndex In, SiteIndex Out) {
+    assert(In < CWCounts.size() && Out < CWCounts.size() &&
+           "site out of range");
+    assert(CWCounts[Out] != 0 && "replacing a site not in the CW");
+    if (In == Out)
+      return;
+    touch(In);
+    if (Dirty) {
+      ++CWCounts[In];
+      --CWCounts[Out];
+      return;
+    }
+    // term(S) = min(cw*NTW, tw*NCW); after ++cw[In]/--cw[Out] only the
+    // first operand moves, by +-NTW (cw[Out] >= 1, so no underflow).
+    uint64_t AIn = static_cast<uint64_t>(CWCounts[In]) * NTW;
+    uint64_t BIn = static_cast<uint64_t>(TWCounts[In]) * NCW;
+    uint64_t AOut = static_cast<uint64_t>(CWCounts[Out]) * NTW;
+    uint64_t BOut = static_cast<uint64_t>(TWCounts[Out]) * NCW;
+    ++CWCounts[In];
+    --CWCounts[Out];
+    MinSum += std::min(AIn + NTW, BIn) - std::min(AIn, BIn) +
+              std::min(AOut - NTW, BOut) - std::min(AOut, BOut);
+  }
+
+  /// Precondition (which every FastWindowedModel call site satisfies):
+  /// In has already been added to a window since the last reset() — in
+  /// the model, twReplace only moves the element leaving the CW into
+  /// the TW, and everything that entered the CW was touched on the way
+  /// in. That makes touch(In) a guaranteed no-op here, so it is elided
+  /// from this per-element path.
+  OPD_FORCE_INLINE void twReplace(SiteIndex In, SiteIndex Out) {
+    assert(In < TWCounts.size() && Out < TWCounts.size() &&
+           "site out of range");
+    assert(TWCounts[Out] != 0 && "replacing a site not in the TW");
+    assert(SiteTouched[In] && "twReplace of a never-touched site");
+    if (In == Out)
+      return;
+    if (Dirty) {
+      ++TWCounts[In];
+      --TWCounts[Out];
+      return;
+    }
+    uint64_t AIn = static_cast<uint64_t>(TWCounts[In]) * NCW;
+    uint64_t BIn = static_cast<uint64_t>(CWCounts[In]) * NTW;
+    uint64_t AOut = static_cast<uint64_t>(TWCounts[Out]) * NCW;
+    uint64_t BOut = static_cast<uint64_t>(CWCounts[Out]) * NTW;
+    ++TWCounts[In];
+    --TWCounts[Out];
+    MinSum += std::min(AIn + NCW, BIn) - std::min(AIn, BIn) +
+              std::min(AOut - NCW, BOut) - std::min(AOut, BOut);
+  }
+
+  void moveCWToTW(SiteIndex S) {
+    cwRemove(S);
+    twAdd(S);
+  }
+
+  OPD_FORCE_INLINE double similarity() {
+    if (NCW == 0 || NTW == 0)
+      return 0.0;
+    if (Dirty) {
+      MinSum = 0;
+      for (SiteIndex S : TouchedSites)
+        MinSum += std::min(static_cast<uint64_t>(CWCounts[S]) * NTW,
+                           static_cast<uint64_t>(TWCounts[S]) * NCW);
+      // The same product the reference divides by, computed once per
+      // totals change instead of per element.
+      Denom = static_cast<double>(NCW) * static_cast<double>(NTW);
+      Dirty = false;
+    }
+    return static_cast<double>(MinSum) / Denom;
+  }
+
+  /// similarity() >= T without the per-element division. Outside a
+  /// conservative relative margin (1e-12, thousands of ulps wider than
+  /// the half-ulp each of the division and the T * Denom product can
+  /// contribute) the rounded quotient provably lands on the same side
+  /// of T; inside the margin the exact reference division decides. The
+  /// result is therefore bit-identical to similarity() >= T for every
+  /// input, including T <= 0 (the comparison against a non-positive
+  /// bound is always true, as is similarity() >= T).
+  OPD_FORCE_INLINE bool similarityAtLeast(double T) {
+    if (NCW == 0 || NTW == 0 || Dirty)
+      return similarity() >= T;
+    double Num = static_cast<double>(MinSum);
+    double Bound = T * Denom;
+    if (Num >= Bound + Bound * 1e-12)
+      return true;
+    if (Num <= Bound - Bound * 1e-12)
+      return false;
+    return static_cast<double>(MinSum) / Denom >= T;
+  }
+
+private:
+  uint64_t MinSum = 0;
+  /// double(NCW) * double(NTW); valid iff !Dirty and both totals nonzero.
+  double Denom = 0.0;
+  bool Dirty = false;
+};
+
+/// Non-virtual mirror of ManhattanKernel. similarity() must keep the
+/// reference's full ascending floating-point loop: FP addition is not
+/// associative, so any reordering would break bit-identity.
+class FastManhattanKernel : public FastKernelBase {
+public:
+  explicit FastManhattanKernel(SiteIndex NumSites)
+      : FastKernelBase(NumSites) {}
+
+  void reset() { resetCounts(); }
+
+  void cwAdd(SiteIndex S) {
+    assert(S < CWCounts.size() && "site out of range");
+    touch(S);
+    ++CWCounts[S];
+    ++NCW;
+  }
+
+  void cwRemove(SiteIndex S) {
+    assert(CWCounts[S] != 0 && "removing a site not in the CW");
+    --CWCounts[S];
+    --NCW;
+  }
+
+  void twAdd(SiteIndex S) {
+    assert(S < TWCounts.size() && "site out of range");
+    touch(S);
+    ++TWCounts[S];
+    ++NTW;
+  }
+
+  void twRemove(SiteIndex S) {
+    assert(TWCounts[S] != 0 && "removing a site not in the TW");
+    --TWCounts[S];
+    --NTW;
+  }
+
+  OPD_FORCE_INLINE void cwReplace(SiteIndex In, SiteIndex Out) {
+    cwAdd(In);
+    cwRemove(Out);
+  }
+  OPD_FORCE_INLINE void twReplace(SiteIndex In, SiteIndex Out) {
+    twAdd(In);
+    twRemove(Out);
+  }
+  void moveCWToTW(SiteIndex S) {
+    cwRemove(S);
+    twAdd(S);
+  }
+
+  OPD_FORCE_INLINE double similarity() {
+    if (NCW == 0 || NTW == 0)
+      return 0.0;
+    double Distance = 0.0;
+    double InvCW = 1.0 / static_cast<double>(NCW);
+    double InvTW = 1.0 / static_cast<double>(NTW);
+    for (SiteIndex S = 0, E = numSites(); S != E; ++S) {
+      double Diff = static_cast<double>(CWCounts[S]) * InvCW -
+                    static_cast<double>(TWCounts[S]) * InvTW;
+      Distance += Diff < 0 ? -Diff : Diff;
+    }
+    return 1.0 - Distance / 2.0;
+  }
+
+  OPD_FORCE_INLINE bool similarityAtLeast(double T) {
+    return similarity() >= T;
+  }
+};
+
+template <ModelKind M> struct KernelOf;
+template <> struct KernelOf<ModelKind::UnweightedSet> {
+  using type = FastUnweightedSetKernel;
+};
+template <> struct KernelOf<ModelKind::WeightedSet> {
+  using type = FastWeightedSetKernel;
+};
+template <> struct KernelOf<ModelKind::ManhattanBBV> {
+  using type = FastManhattanKernel;
+};
+
+/// Decision-identical threshold analyzer without the confidence margin
+/// computation (see file comment).
+class FastThresholdAnalyzer {
+  double Threshold;
+
+public:
+  explicit FastThresholdAnalyzer(double Threshold) : Threshold(Threshold) {}
+
+  double threshold() const { return Threshold; }
+
+  PhaseState processValue(double Similarity) {
+    return Similarity >= Threshold ? PhaseState::InPhase
+                                   : PhaseState::Transition;
+  }
+  void resetStats() {}
+  void updateStats(double Similarity) { (void)Similarity; }
+  void reset() {}
+
+  std::string describe() const {
+    return std::string("threshold ") + formatDouble(Threshold, 2);
+  }
+};
+
+/// Mean-only Welford accumulator: the identical Mean update sequence as
+/// RunningStats::push (the M2/min/max folds it drops never feed Mean).
+class FastMeanStats {
+  uint64_t N = 0;
+  double Mean = 0.0;
+
+public:
+  void reset() { *this = FastMeanStats(); }
+  void push(double X) {
+    ++N;
+    Mean += (X - Mean) / static_cast<double>(N);
+  }
+  bool empty() const { return N == 0; }
+  double mean() const { return N == 0 ? 0.0 : Mean; }
+};
+
+/// Decision-identical average analyzer: same entry gate, same
+/// mean-minus-delta comparison on the same running mean.
+class FastAverageAnalyzer {
+  double Delta;
+  double EntryThreshold;
+  FastMeanStats Stats;
+
+public:
+  explicit FastAverageAnalyzer(double Delta, double EntryThreshold = -1.0)
+      : Delta(Delta), EntryThreshold(EntryThreshold) {}
+
+  PhaseState processValue(double Similarity) {
+    if (Stats.empty()) {
+      if (EntryThreshold >= 0.0 && Similarity < EntryThreshold)
+        return PhaseState::Transition;
+      return PhaseState::InPhase;
+    }
+    return Similarity >= Stats.mean() - Delta ? PhaseState::InPhase
+                                              : PhaseState::Transition;
+  }
+  void resetStats() { Stats.reset(); }
+  void updateStats(double Similarity) { Stats.push(Similarity); }
+  void reset() { Stats.reset(); }
+
+  std::string describe() const {
+    return std::string("average d=") + formatDouble(Delta, 2);
+  }
+};
+
+/// Decision-identical hysteresis analyzer.
+class FastHysteresisAnalyzer {
+  double EnterThreshold;
+  double ExitThreshold;
+  PhaseState State = PhaseState::Transition;
+
+public:
+  FastHysteresisAnalyzer(double EnterThreshold, double ExitThreshold)
+      : EnterThreshold(EnterThreshold), ExitThreshold(ExitThreshold) {
+    assert(ExitThreshold <= EnterThreshold &&
+           "exit threshold must not exceed the enter threshold");
+  }
+
+  PhaseState processValue(double Similarity) {
+    double Threshold = State == PhaseState::InPhase ? ExitThreshold
+                                                    : EnterThreshold;
+    State = Similarity >= Threshold ? PhaseState::InPhase
+                                    : PhaseState::Transition;
+    return State;
+  }
+  void resetStats() {}
+  void updateStats(double Similarity) { (void)Similarity; }
+  void reset() { State = PhaseState::Transition; }
+
+  std::string describe() const {
+    return std::string("hysteresis ") + formatDouble(EnterThreshold, 2) +
+           "/" + formatDouble(ExitThreshold, 2);
+  }
+};
+
+template <AnalyzerKind A> struct AnalyzerOf;
+template <> struct AnalyzerOf<AnalyzerKind::Threshold> {
+  using type = FastThresholdAnalyzer;
+};
+template <> struct AnalyzerOf<AnalyzerKind::Average> {
+  using type = FastAverageAnalyzer;
+};
+template <> struct AnalyzerOf<AnalyzerKind::Hysteresis> {
+  using type = FastHysteresisAnalyzer;
+};
+
+/// Mirrors makeAnalyzer()'s parameter mapping exactly (including the
+/// hysteresis exit-threshold derivation).
+template <AnalyzerKind A>
+typename AnalyzerOf<A>::type buildAnalyzer(double Param) {
+  if constexpr (A == AnalyzerKind::Threshold)
+    return FastThresholdAnalyzer(Param);
+  else if constexpr (A == AnalyzerKind::Average)
+    return FastAverageAnalyzer(Param);
+  else
+    return FastHysteresisAnalyzer(Param, Param >= 0.15 ? Param - 0.15 : 0.0);
+}
+
+/// Minimal growable array for the model's element buffer. Exists only
+/// because std::vector::push_back is too large for the compiler to
+/// inline into the fully-expanded consume loop (measured: gcc -O3
+/// emits it as an out-of-line call per element, and the call forces
+/// every cached kernel pointer back to memory around it). The hot push
+/// is a compare, a store, and an increment; growth stays out of line.
+class ElementBuffer {
+public:
+  ElementBuffer() = default;
+  ~ElementBuffer() { delete[] Data; }
+  ElementBuffer(const ElementBuffer &) = delete;
+  ElementBuffer &operator=(const ElementBuffer &) = delete;
+
+  OPD_FORCE_INLINE void push_back(SiteIndex S) {
+    if (Size == Cap)
+      grow();
+    Data[Size++] = S;
+  }
+  SiteIndex operator[](size_t I) const {
+    assert(I < Size && "buffer index out of range");
+    return Data[I];
+  }
+  size_t size() const { return Size; }
+  SiteIndex *begin() { return Data; }
+  const SiteIndex *begin() const { return Data; }
+  SiteIndex *end() { return Data + Size; }
+  const SiteIndex *end() const { return Data + Size; }
+  void clear() { Size = 0; }
+  /// Shrink to the first N elements (endPhase keeps only the seed).
+  void truncate(size_t N) {
+    assert(N <= Size && "truncate cannot grow the buffer");
+    Size = N;
+  }
+  /// Drop the first N elements, sliding the rest down (compaction).
+  void dropFront(size_t N) {
+    assert(N <= Size && "dropping more than the buffer holds");
+    std::memmove(Data, Data + N, (Size - N) * sizeof(SiteIndex));
+    Size -= N;
+  }
+
+private:
+  OPD_NOINLINE void grow() {
+    size_t NewCap = Cap ? Cap * 2 : 1024;
+    SiteIndex *NewData = new SiteIndex[NewCap];
+    std::copy(Data, Data + Size, NewData);
+    delete[] Data;
+    Data = NewData;
+    Cap = NewCap;
+  }
+
+  SiteIndex *Data = nullptr;
+  size_t Size = 0;
+  size_t Cap = 0;
+};
+
+/// WindowedModel with the kernel held by concrete value and the TW
+/// policy fixed at compile time. Field-for-field and statement-for-
+/// statement mirror of WindowedModel/WindowedModel.cpp.
+template <ModelKind M, TWPolicyKind Policy> class FastWindowedModel {
+  using Kernel = typename KernelOf<M>::type;
+
+public:
+  FastWindowedModel(const WindowConfig &Config, SiteIndex NumSites)
+      : Config(Config), TheKernel(NumSites) {
+    assert(Config.TWPolicy == Policy && "config does not match this shape");
+    assert(Config.CWSize > 0 && "current window must be nonempty");
+    assert(Config.TWSize > 0 && "trailing window must be nonempty");
+    assert(Config.SkipFactor > 0 && "skip factor must be positive");
+  }
+
+  OPD_FORCE_INLINE void consume(SiteIndex S) {
+    ++GlobalConsumed;
+    Buffer.push_back(S);
+
+    if (CWLen < Config.CWSize) {
+      consumeFill(S);
+      return;
+    }
+
+    SiteIndex Y = Buffer[Head + TWLen];
+    TheKernel.cwReplace(S, Y);
+    bool TWGrows = (Policy == TWPolicyKind::Adaptive && InPhaseGrowth) ||
+                   TWLen < Config.TWSize;
+    if (TWGrows) {
+      TheKernel.twAdd(Y);
+      ++TWLen;
+    } else {
+      SiteIndex Z = Buffer[Head];
+      TheKernel.twReplace(Y, Z);
+      ++Head;
+    }
+    compactBuffer();
+  }
+
+  /// The CW-fill path, kept out of the hot loop: it only runs for the
+  /// first CWSize elements after a flush, where per-element cost is
+  /// dominated by the kernel add anyway.
+  OPD_NOINLINE void consumeFill(SiteIndex S) {
+    ++CWLen;
+    TheKernel.cwAdd(S);
+    if (PartialCW && CWLen == Config.CWSize)
+      PartialCW = false;
+  }
+
+  bool windowsFull() const {
+    if (PhaseOpen)
+      return TWLen > 0 && CWLen > 0;
+    return CWLen == Config.CWSize && TWLen >= Config.TWSize;
+  }
+
+  OPD_FORCE_INLINE double similarity() { return TheKernel.similarity(); }
+
+  OPD_FORCE_INLINE bool similarityAtLeast(double T) {
+    return TheKernel.similarityAtLeast(T);
+  }
+
+  uint64_t computeAnchorOffset() const {
+    return offsetOfTWIndex(anchorPosition());
+  }
+
+  void startPhase() {
+    if constexpr (Policy == TWPolicyKind::Adaptive) {
+      uint64_t A = anchorPosition();
+      if (Config.Resize == ResizeKind::Slide) {
+        uint64_t Take = std::min(A, CWLen);
+        dropTWPrefix(A);
+        for (uint64_t I = 0; I != Take; ++I) {
+          SiteIndex X = Buffer[Head + TWLen];
+          TheKernel.moveCWToTW(X);
+          ++TWLen;
+          --CWLen;
+        }
+        if (CWLen < Config.CWSize)
+          PartialCW = true;
+      } else {
+        dropTWPrefix(A);
+      }
+      InPhaseGrowth = true;
+    }
+    PhaseOpen = true;
+  }
+
+  void endPhase() {
+    uint64_t Keep = std::min<uint64_t>(
+        std::min<uint64_t>(Config.SkipFactor, Config.CWSize),
+        TWLen + CWLen);
+    std::copy(Buffer.end() - static_cast<ptrdiff_t>(Keep), Buffer.end(),
+              Buffer.begin());
+    Buffer.truncate(Keep);
+    Head = 0;
+    TWLen = 0;
+    CWLen = Keep;
+    TheKernel.reset();
+    for (SiteIndex S : Buffer)
+      TheKernel.cwAdd(S);
+    InPhaseGrowth = false;
+    PartialCW = false;
+    PhaseOpen = false;
+  }
+
+  void reset() {
+    Buffer.clear();
+    Head = 0;
+    TWLen = CWLen = 0;
+    InPhaseGrowth = PartialCW = PhaseOpen = false;
+    GlobalConsumed = 0;
+    TheKernel.reset();
+  }
+
+  /// Swaps in a new same-policy window configuration; the kernel keeps
+  /// its per-site arrays (reset() zeroes only the touched entries).
+  void reconfigure(const WindowConfig &NewConfig) {
+    assert(NewConfig.TWPolicy == Policy &&
+           "config does not match this shape");
+    assert(NewConfig.CWSize > 0 && "current window must be nonempty");
+    assert(NewConfig.TWSize > 0 && "trailing window must be nonempty");
+    assert(NewConfig.SkipFactor > 0 && "skip factor must be positive");
+    Config = NewConfig;
+    reset();
+  }
+
+  uint64_t consumed() const { return GlobalConsumed; }
+  const WindowConfig &config() const { return Config; }
+
+private:
+  uint64_t offsetOfTWIndex(uint64_t I) const {
+    return GlobalConsumed - (TWLen + CWLen) + I;
+  }
+
+  uint64_t anchorPosition() const {
+    assert(Head + TWLen + CWLen == Buffer.size() &&
+           "window bookkeeping out of sync");
+    if (Config.Anchor == AnchorKind::RightmostNoisy) {
+      for (uint64_t I = TWLen; I != 0; --I)
+        if (!TheKernel.inCW(Buffer[Head + I - 1]))
+          return I;
+      return 0;
+    }
+    for (uint64_t I = 0; I != TWLen; ++I)
+      if (TheKernel.inCW(Buffer[Head + I]))
+        return I;
+    return TWLen;
+  }
+
+  void dropTWPrefix(uint64_t N) {
+    assert(N <= TWLen && "dropping more than the TW holds");
+    for (uint64_t I = 0; I != N; ++I)
+      TheKernel.twRemove(Buffer[Head + I]);
+    Head += N;
+    TWLen -= N;
+  }
+
+  void compactBuffer() {
+    if (Head > WindowedModel::CompactionThreshold &&
+        Head * 2 > Buffer.size()) {
+      Buffer.dropFront(Head);
+      Head = 0;
+    }
+  }
+
+  WindowConfig Config;
+  Kernel TheKernel;
+
+  ElementBuffer Buffer;
+  size_t Head = 0;
+  uint64_t TWLen = 0;
+  uint64_t CWLen = 0;
+
+  bool PhaseOpen = false;
+  bool InPhaseGrowth = false;
+  bool PartialCW = false;
+
+  uint64_t GlobalConsumed = 0;
+};
+
+/// The monomorphic detector: PhaseDetector's unobserved processBatchImpl
+/// with every model/analyzer call resolved at compile time, plus a
+/// consumeTrace() override that keeps the whole run in one stack frame.
+template <ModelKind M, TWPolicyKind Policy, AnalyzerKind A>
+class FastPhaseDetector final : public FastDetectorBase {
+  using AnalyzerT = typename AnalyzerOf<A>::type;
+
+public:
+  FastPhaseDetector(const DetectorConfig &Config, SiteIndex NumSites)
+      : Model(Config.Window, NumSites),
+        TheAnalyzer(buildAnalyzer<A>(Config.AnalyzerParam)) {
+    assert(Config.Model == M && Config.TheAnalyzer == A &&
+           "config does not match this shape");
+  }
+
+  PhaseState processBatch(const SiteIndex *Elements, size_t N) override {
+    return processBatchInline(Elements, N);
+  }
+
+  void consumeTrace(const SiteIndex *Elements, size_t NumElements,
+                    StateSequence &States,
+                    std::vector<uint64_t> &AnchoredStarts) override {
+    size_t Batch = Model.config().SkipFactor;
+    // The pending state run, accumulated in registers: States.append()
+    // merges equal-state runs anyway, so emitting whole runs on state
+    // changes produces the identical StateSequence with one call per
+    // run instead of one per batch.
+    PhaseState RunState = PhaseState::Transition;
+    uint64_t RunLen = 0;
+    if (Batch == 1) {
+      // skip == 1 is both the common sweep setting and the per-element
+      // worst case; with the batch length a compile-time constant the
+      // inner batch loop and the length clamp fold away entirely.
+      for (uint64_t Offset = 0; Offset != NumElements; ++Offset) {
+        PhaseState S = processBatchInline(Elements + Offset, 1);
+        if (S == RunState) {
+          ++RunLen;
+          continue;
+        }
+        if (RunState == PhaseState::Transition && S == PhaseState::InPhase)
+          AnchoredStarts.push_back(LastAnchor);
+        if (RunLen != 0)
+          States.append(RunState, RunLen);
+        RunState = S;
+        RunLen = 1;
+      }
+    } else {
+      for (uint64_t Offset = 0; Offset < NumElements; Offset += Batch) {
+        size_t N = std::min<size_t>(Batch, NumElements - Offset);
+        PhaseState S = processBatchInline(Elements + Offset, N);
+        if (S == RunState) {
+          RunLen += N;
+          continue;
+        }
+        // RunState is the previous batch's state (or Transition at the
+        // start), so this is exactly the reference's Prev->S edge test.
+        if (RunState == PhaseState::Transition && S == PhaseState::InPhase)
+          AnchoredStarts.push_back(LastAnchor);
+        if (RunLen != 0)
+          States.append(RunState, RunLen);
+        RunState = S;
+        RunLen = N;
+      }
+    }
+    if (RunLen != 0)
+      States.append(RunState, RunLen);
+  }
+
+  size_t batchSize() const override { return Model.config().SkipFactor; }
+
+  void reset() override {
+    Model.reset();
+    TheAnalyzer.reset();
+    State = PhaseState::Transition;
+    LastAnchor = 0;
+  }
+
+  uint64_t lastPhaseStartEstimate() const override { return LastAnchor; }
+
+  std::string describe() const override {
+    const WindowConfig &W = Model.config();
+    std::string Out = modelKindName(M);
+    Out += " ";
+    Out += twPolicyName(W.TWPolicy);
+    Out += "-tw cw=" + std::to_string(W.CWSize) +
+           " tw=" + std::to_string(W.TWSize) +
+           " skip=" + std::to_string(W.SkipFactor);
+    if (W.TWPolicy == TWPolicyKind::Adaptive) {
+      Out += std::string(" ") + anchorKindName(W.Anchor) + "/" +
+             resizeKindName(W.Resize);
+    }
+    Out += " ";
+    Out += TheAnalyzer.describe();
+    Out += " [fast]";
+    return Out;
+  }
+
+  void reconfigure(const DetectorConfig &Config) override {
+    assert(Config.Model == M && Config.Window.TWPolicy == Policy &&
+           Config.TheAnalyzer == A && "config does not match this shape");
+    Model.reconfigure(Config.Window);
+    TheAnalyzer = buildAnalyzer<A>(Config.AnalyzerParam);
+    State = PhaseState::Transition;
+    LastAnchor = 0;
+  }
+
+private:
+  /// The T->P edge: anchor, phase start, stats reset. Out of line — it
+  /// runs once per detected phase, and keeping its register demands out
+  /// of processBatchInline keeps the per-element loop unspilled.
+  OPD_NOINLINE void enterPhase() {
+    LastAnchor = Model.computeAnchorOffset();
+    Model.startPhase();
+    TheAnalyzer.resetStats();
+  }
+
+  /// The P->T edge: flush the windows, reset stats. Out of line for the
+  /// same reason as enterPhase().
+  OPD_NOINLINE void leavePhase() {
+    Model.endPhase();
+    TheAnalyzer.resetStats();
+  }
+
+  OPD_FORCE_INLINE PhaseState processBatchInline(const SiteIndex *Elements,
+                                                 size_t N) {
+    for (size_t I = 0; I != N; ++I)
+      Model.consume(Elements[I]);
+
+    PhaseState NewState;
+    if (!Model.windowsFull()) {
+      NewState = PhaseState::Transition;
+    } else if constexpr (A == AnalyzerKind::Threshold) {
+      // The threshold analyzer needs only the decision bit, never the
+      // similarity value itself (its updateStats is a no-op), so the
+      // kernel can decide without dividing (see similarityAtLeast).
+      NewState = Model.similarityAtLeast(TheAnalyzer.threshold())
+                     ? PhaseState::InPhase
+                     : PhaseState::Transition;
+      if (State == PhaseState::Transition && NewState == PhaseState::InPhase)
+        enterPhase();
+    } else {
+      double Similarity = Model.similarity();
+      NewState = TheAnalyzer.processValue(Similarity);
+      if (State == PhaseState::Transition &&
+          NewState == PhaseState::InPhase) {
+        enterPhase();
+      } else if (State == PhaseState::InPhase &&
+                 NewState == PhaseState::InPhase) {
+        TheAnalyzer.updateStats(Similarity);
+      }
+    }
+
+    if (State == PhaseState::InPhase &&
+        NewState == PhaseState::Transition) {
+      leavePhase();
+    }
+
+    State = NewState;
+    return State;
+  }
+
+  FastWindowedModel<M, Policy> Model;
+  AnalyzerT TheAnalyzer;
+  PhaseState State = PhaseState::Transition;
+  uint64_t LastAnchor = 0;
+};
+
+template <ModelKind M, TWPolicyKind Policy>
+std::unique_ptr<FastDetectorBase> makeForAnalyzer(const DetectorConfig &C,
+                                                  SiteIndex NumSites) {
+  switch (C.TheAnalyzer) {
+  case AnalyzerKind::Threshold:
+    return std::make_unique<
+        FastPhaseDetector<M, Policy, AnalyzerKind::Threshold>>(C, NumSites);
+  case AnalyzerKind::Average:
+    return std::make_unique<
+        FastPhaseDetector<M, Policy, AnalyzerKind::Average>>(C, NumSites);
+  case AnalyzerKind::Hysteresis:
+    return std::make_unique<
+        FastPhaseDetector<M, Policy, AnalyzerKind::Hysteresis>>(C, NumSites);
+  }
+  return nullptr;
+}
+
+template <ModelKind M>
+std::unique_ptr<FastDetectorBase> makeForPolicy(const DetectorConfig &C,
+                                                SiteIndex NumSites) {
+  switch (C.Window.TWPolicy) {
+  case TWPolicyKind::Constant:
+    return makeForAnalyzer<M, TWPolicyKind::Constant>(C, NumSites);
+  case TWPolicyKind::Adaptive:
+    return makeForAnalyzer<M, TWPolicyKind::Adaptive>(C, NumSites);
+  }
+  return nullptr;
+}
+
+} // namespace
+
+size_t opd::fastShapeIndex(const DetectorConfig &Config) {
+  return (static_cast<size_t>(Config.Model) * 2 +
+          static_cast<size_t>(Config.Window.TWPolicy)) *
+             3 +
+         static_cast<size_t>(Config.TheAnalyzer);
+}
+
+std::unique_ptr<FastDetectorBase>
+opd::makeFastDetector(const DetectorConfig &Config, SiteIndex NumSites) {
+  switch (Config.Model) {
+  case ModelKind::UnweightedSet:
+    return makeForPolicy<ModelKind::UnweightedSet>(Config, NumSites);
+  case ModelKind::WeightedSet:
+    return makeForPolicy<ModelKind::WeightedSet>(Config, NumSites);
+  case ModelKind::ManhattanBBV:
+    return makeForPolicy<ModelKind::ManhattanBBV>(Config, NumSites);
+  }
+  return nullptr;
+}

@@ -9,11 +9,30 @@
 
 #include "support/Format.h"
 
+#include <algorithm>
+
 using namespace opd;
 
 DetectorObserver::~DetectorObserver() = default;
 
 OnlineDetector::~OnlineDetector() = default;
+
+void OnlineDetector::consumeTrace(const SiteIndex *Elements,
+                                  size_t NumElements, StateSequence &States,
+                                  std::vector<uint64_t> &AnchoredStarts) {
+  size_t Batch = batchSize();
+  assert(Batch > 0 && "batch size must be positive");
+  PhaseState Prev = PhaseState::Transition;
+  for (uint64_t Offset = 0; Offset < NumElements; Offset += Batch) {
+    size_t N = std::min<size_t>(Batch, NumElements - Offset);
+    PhaseState S = processBatch(Elements + Offset, N);
+    // One state per input element (the batch shares its state).
+    States.append(S, N);
+    if (Prev == PhaseState::Transition && S == PhaseState::InPhase)
+      AnchoredStarts.push_back(lastPhaseStartEstimate());
+    Prev = S;
+  }
+}
 
 PhaseDetector::PhaseDetector(const WindowConfig &Window, ModelKind Model,
                              std::unique_ptr<Analyzer> TheAnalyzer,

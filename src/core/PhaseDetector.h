@@ -40,6 +40,20 @@ public:
   /// trace may be shorter) and returns the state covering them.
   virtual PhaseState processBatch(const SiteIndex *Elements, size_t N) = 0;
 
+  /// Streams \p NumElements elements through the detector in
+  /// batchSize()-sized batches (the trailing partial batch included),
+  /// appending one state per element to \p States and recording
+  /// lastPhaseStartEstimate() into \p AnchoredStarts at every T->P
+  /// transition. The default implementation loops over processBatch —
+  /// one virtual dispatch per batch; the monomorphic fast-path detectors
+  /// (core/FastDetector.h) override it with a fully inlined loop, so a
+  /// whole run costs a single virtual dispatch. Both produce
+  /// bit-identical output. Callers must reset() first; runDetector() is
+  /// the normal entry point.
+  virtual void consumeTrace(const SiteIndex *Elements, size_t NumElements,
+                            StateSequence &States,
+                            std::vector<uint64_t> &AnchoredStarts);
+
   /// Elements per batch (the skipFactor).
   virtual size_t batchSize() const = 0;
 

@@ -26,8 +26,14 @@ const char *opd::modelKindName(ModelKind Kind) {
 SimilarityKernel::~SimilarityKernel() = default;
 
 void SimilarityKernel::reset() {
-  std::fill(CWCounts.begin(), CWCounts.end(), 0);
-  std::fill(TWCounts.begin(), TWCounts.end(), 0);
+  // O(distinct sites touched): only sites on the touched list can hold a
+  // nonzero count, so zeroing exactly those is a full reset.
+  for (SiteIndex S : TouchedSites) {
+    CWCounts[S] = 0;
+    TWCounts[S] = 0;
+    SiteTouched[S] = 0;
+  }
+  TouchedSites.clear();
   NCW = NTW = 0;
 }
 
@@ -41,49 +47,6 @@ void UnweightedSetKernel::reset() {
   BothDistinct = 0;
 }
 
-void UnweightedSetKernel::cwAdd(SiteIndex S) {
-  assert(S < CWCounts.size() && "site out of range");
-  if (CWCounts[S]++ == 0) {
-    ++CWDistinct;
-    if (TWCounts[S] != 0)
-      ++BothDistinct;
-  }
-  ++NCW;
-}
-
-void UnweightedSetKernel::cwRemove(SiteIndex S) {
-  assert(S < CWCounts.size() && "site out of range");
-  assert(CWCounts[S] != 0 && "removing a site not in the CW");
-  if (--CWCounts[S] == 0) {
-    --CWDistinct;
-    if (TWCounts[S] != 0)
-      --BothDistinct;
-  }
-  --NCW;
-}
-
-void UnweightedSetKernel::twAdd(SiteIndex S) {
-  assert(S < TWCounts.size() && "site out of range");
-  if (TWCounts[S]++ == 0 && CWCounts[S] != 0)
-    ++BothDistinct;
-  ++NTW;
-}
-
-void UnweightedSetKernel::twRemove(SiteIndex S) {
-  assert(S < TWCounts.size() && "site out of range");
-  assert(TWCounts[S] != 0 && "removing a site not in the TW");
-  if (--TWCounts[S] == 0 && CWCounts[S] != 0)
-    --BothDistinct;
-  --NTW;
-}
-
-double UnweightedSetKernel::similarity() {
-  if (CWDistinct == 0)
-    return 0.0;
-  return static_cast<double>(BothDistinct) /
-         static_cast<double>(CWDistinct);
-}
-
 //===----------------------------------------------------------------------===//
 // WeightedSetKernel
 //===----------------------------------------------------------------------===//
@@ -94,111 +57,20 @@ void WeightedSetKernel::reset() {
   Dirty = false;
 }
 
-void WeightedSetKernel::cwAdd(SiteIndex S) {
-  assert(S < CWCounts.size() && "site out of range");
-  ++CWCounts[S];
-  ++NCW;
-  Dirty = true;
-}
-
-void WeightedSetKernel::cwRemove(SiteIndex S) {
-  assert(CWCounts[S] != 0 && "removing a site not in the CW");
-  --CWCounts[S];
-  --NCW;
-  Dirty = true;
-}
-
-void WeightedSetKernel::twAdd(SiteIndex S) {
-  assert(S < TWCounts.size() && "site out of range");
-  ++TWCounts[S];
-  ++NTW;
-  Dirty = true;
-}
-
-void WeightedSetKernel::twRemove(SiteIndex S) {
-  assert(TWCounts[S] != 0 && "removing a site not in the TW");
-  --TWCounts[S];
-  --NTW;
-  Dirty = true;
-}
-
-void WeightedSetKernel::cwReplace(SiteIndex In, SiteIndex Out) {
-  assert(In < CWCounts.size() && Out < CWCounts.size() &&
-         "site out of range");
-  assert(CWCounts[Out] != 0 && "replacing a site not in the CW");
-  if (In == Out)
-    return;
-  if (Dirty) {
-    ++CWCounts[In];
-    --CWCounts[Out];
-    return;
-  }
-  uint64_t Before = term(In) + term(Out);
-  ++CWCounts[In];
-  --CWCounts[Out];
-  MinSum += term(In) + term(Out) - Before;
-}
-
-void WeightedSetKernel::twReplace(SiteIndex In, SiteIndex Out) {
-  assert(In < TWCounts.size() && Out < TWCounts.size() &&
-         "site out of range");
-  assert(TWCounts[Out] != 0 && "replacing a site not in the TW");
-  if (In == Out)
-    return;
-  if (Dirty) {
-    ++TWCounts[In];
-    --TWCounts[Out];
-    return;
-  }
-  uint64_t Before = term(In) + term(Out);
-  ++TWCounts[In];
-  --TWCounts[Out];
-  MinSum += term(In) + term(Out) - Before;
-}
-
 void WeightedSetKernel::recompute() {
+  // term(S) == 0 for any untouched site (both counts zero), so summing
+  // the touched list is exact. The sum is an integer, so the list's
+  // insertion order cannot perturb the result — bit-identical to a full
+  // ascending sweep.
   MinSum = 0;
-  for (SiteIndex S = 0, E = numSites(); S != E; ++S)
+  for (SiteIndex S : TouchedSites)
     MinSum += term(S);
   Dirty = false;
-}
-
-double WeightedSetKernel::similarity() {
-  if (NCW == 0 || NTW == 0)
-    return 0.0;
-  if (Dirty)
-    recompute();
-  return static_cast<double>(MinSum) /
-         (static_cast<double>(NCW) * static_cast<double>(NTW));
 }
 
 //===----------------------------------------------------------------------===//
 // ManhattanKernel
 //===----------------------------------------------------------------------===//
-
-void ManhattanKernel::cwAdd(SiteIndex S) {
-  assert(S < CWCounts.size() && "site out of range");
-  ++CWCounts[S];
-  ++NCW;
-}
-
-void ManhattanKernel::cwRemove(SiteIndex S) {
-  assert(CWCounts[S] != 0 && "removing a site not in the CW");
-  --CWCounts[S];
-  --NCW;
-}
-
-void ManhattanKernel::twAdd(SiteIndex S) {
-  assert(S < TWCounts.size() && "site out of range");
-  ++TWCounts[S];
-  ++NTW;
-}
-
-void ManhattanKernel::twRemove(SiteIndex S) {
-  assert(TWCounts[S] != 0 && "removing a site not in the TW");
-  --TWCounts[S];
-  --NTW;
-}
 
 double ManhattanKernel::similarity() {
   if (NCW == 0 || NTW == 0)

@@ -19,10 +19,17 @@
 /// Both kernels are incremental. The weighted kernel maintains the
 /// integer sum  S = sum_s min(cw[s]*|TW|, tw[s]*|CW|)  exactly while the
 /// window totals are stable (the replace operations) and falls back to a
-/// full O(numSites) recomputation after totals change (window fill,
-/// flush, anchor, or adaptive TW growth). The online detector is thus
-/// O(1) per element in steady state with a constant TW and O(numSites)
-/// per element only while an adaptive TW is growing.
+/// recomputation over the touched sites after totals change (window
+/// fill, flush, anchor, or adaptive TW growth). The online detector is
+/// thus O(1) per element in steady state with a constant TW and
+/// O(touched sites) per element only while an adaptive TW is growing.
+///
+/// All kernels track the distinct sites touched since the last reset()
+/// (a flag array plus a touched list), so a phase flush — reset(), called
+/// on every P->T transition — costs O(distinct sites touched) instead of
+/// O(numSites), and the weighted recomputation sums over the touched
+/// list only (an integer sum, so the iteration order cannot perturb the
+/// result).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +38,7 @@
 
 #include "trace/ProfileElement.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -57,10 +65,14 @@ const char *modelKindName(ModelKind Kind);
 class SimilarityKernel {
 public:
   explicit SimilarityKernel(SiteIndex NumSites)
-      : CWCounts(NumSites, 0), TWCounts(NumSites, 0) {}
+      : CWCounts(NumSites, 0), TWCounts(NumSites, 0),
+        SiteTouched(NumSites, 0) {}
   virtual ~SimilarityKernel();
 
-  /// Zeroes all counts and derived state.
+  /// Zeroes all counts and derived state. Costs O(distinct sites touched
+  /// since the last reset), not O(numSites): endPhase() calls this on
+  /// every P->T transition, and on noisy traces with frequent flushes the
+  /// windows only ever held a small fraction of the site space.
   virtual void reset();
 
   /// Adds/removes one occurrence of \p S to/from a window. These change
@@ -109,24 +121,85 @@ public:
   }
 
 protected:
+  /// Records \p S as holding a (possibly) nonzero count until the next
+  /// reset(). Every operation that adds an occurrence must call this;
+  /// remove operations need not (a removed site was added first).
+  void touch(SiteIndex S) {
+    if (!SiteTouched[S]) {
+      SiteTouched[S] = 1;
+      TouchedSites.push_back(S);
+    }
+  }
+
   std::vector<uint32_t> CWCounts;
   std::vector<uint32_t> TWCounts;
   uint64_t NCW = 0;
   uint64_t NTW = 0;
+  /// Flag per site: S appears in TouchedSites. Kept as a byte array so
+  /// the hot-path check is one predictable load.
+  std::vector<uint8_t> SiteTouched;
+  /// The distinct sites touched since the last reset(); reset() zeroes
+  /// exactly these instead of sweeping both O(numSites) count arrays.
+  std::vector<SiteIndex> TouchedSites;
 };
 
 /// Asymmetric working-set similarity (unweighted model).
+///
+/// The per-element mutators are defined inline: the monomorphic fast-path
+/// detectors (core/FastDetector.cpp) hold kernels by concrete final type,
+/// so these inline straight into the per-element loop. Virtual callers
+/// bind the same definitions through the vtable.
 class UnweightedSetKernel final : public SimilarityKernel {
 public:
   explicit UnweightedSetKernel(SiteIndex NumSites)
       : SimilarityKernel(NumSites) {}
 
   void reset() override;
-  void cwAdd(SiteIndex S) override;
-  void cwRemove(SiteIndex S) override;
-  void twAdd(SiteIndex S) override;
-  void twRemove(SiteIndex S) override;
-  double similarity() override;
+
+  void cwAdd(SiteIndex S) override {
+    assert(S < CWCounts.size() && "site out of range");
+    touch(S);
+    if (CWCounts[S]++ == 0) {
+      ++CWDistinct;
+      if (TWCounts[S] != 0)
+        ++BothDistinct;
+    }
+    ++NCW;
+  }
+
+  void cwRemove(SiteIndex S) override {
+    assert(S < CWCounts.size() && "site out of range");
+    assert(CWCounts[S] != 0 && "removing a site not in the CW");
+    if (--CWCounts[S] == 0) {
+      --CWDistinct;
+      if (TWCounts[S] != 0)
+        --BothDistinct;
+    }
+    --NCW;
+  }
+
+  void twAdd(SiteIndex S) override {
+    assert(S < TWCounts.size() && "site out of range");
+    touch(S);
+    if (TWCounts[S]++ == 0 && CWCounts[S] != 0)
+      ++BothDistinct;
+    ++NTW;
+  }
+
+  void twRemove(SiteIndex S) override {
+    assert(S < TWCounts.size() && "site out of range");
+    assert(TWCounts[S] != 0 && "removing a site not in the TW");
+    if (--TWCounts[S] == 0 && CWCounts[S] != 0)
+      --BothDistinct;
+    --NTW;
+  }
+
+  double similarity() override {
+    if (CWDistinct == 0)
+      return 0.0;
+    return static_cast<double>(BothDistinct) /
+           static_cast<double>(CWDistinct);
+  }
 
 private:
   /// Number of distinct sites present in the CW.
@@ -142,13 +215,81 @@ public:
       : SimilarityKernel(NumSites) {}
 
   void reset() override;
-  void cwAdd(SiteIndex S) override;
-  void cwRemove(SiteIndex S) override;
-  void twAdd(SiteIndex S) override;
-  void twRemove(SiteIndex S) override;
-  void cwReplace(SiteIndex In, SiteIndex Out) override;
-  void twReplace(SiteIndex In, SiteIndex Out) override;
-  double similarity() override;
+
+  void cwAdd(SiteIndex S) override {
+    assert(S < CWCounts.size() && "site out of range");
+    touch(S);
+    ++CWCounts[S];
+    ++NCW;
+    Dirty = true;
+  }
+
+  void cwRemove(SiteIndex S) override {
+    assert(CWCounts[S] != 0 && "removing a site not in the CW");
+    --CWCounts[S];
+    --NCW;
+    Dirty = true;
+  }
+
+  void twAdd(SiteIndex S) override {
+    assert(S < TWCounts.size() && "site out of range");
+    touch(S);
+    ++TWCounts[S];
+    ++NTW;
+    Dirty = true;
+  }
+
+  void twRemove(SiteIndex S) override {
+    assert(TWCounts[S] != 0 && "removing a site not in the TW");
+    --TWCounts[S];
+    --NTW;
+    Dirty = true;
+  }
+
+  void cwReplace(SiteIndex In, SiteIndex Out) override {
+    assert(In < CWCounts.size() && Out < CWCounts.size() &&
+           "site out of range");
+    assert(CWCounts[Out] != 0 && "replacing a site not in the CW");
+    if (In == Out)
+      return;
+    touch(In);
+    if (Dirty) {
+      ++CWCounts[In];
+      --CWCounts[Out];
+      return;
+    }
+    uint64_t Before = term(In) + term(Out);
+    ++CWCounts[In];
+    --CWCounts[Out];
+    MinSum += term(In) + term(Out) - Before;
+  }
+
+  void twReplace(SiteIndex In, SiteIndex Out) override {
+    assert(In < TWCounts.size() && Out < TWCounts.size() &&
+           "site out of range");
+    assert(TWCounts[Out] != 0 && "replacing a site not in the TW");
+    if (In == Out)
+      return;
+    touch(In);
+    if (Dirty) {
+      ++TWCounts[In];
+      --TWCounts[Out];
+      return;
+    }
+    uint64_t Before = term(In) + term(Out);
+    ++TWCounts[In];
+    --TWCounts[Out];
+    MinSum += term(In) + term(Out) - Before;
+  }
+
+  double similarity() override {
+    if (NCW == 0 || NTW == 0)
+      return 0.0;
+    if (Dirty)
+      recompute();
+    return static_cast<double>(MinSum) /
+           (static_cast<double>(NCW) * static_cast<double>(NTW));
+  }
 
 private:
   /// min(cw[s]*NTW, tw[s]*NCW) under the current totals.
@@ -179,10 +320,33 @@ public:
       : SimilarityKernel(NumSites) {}
 
   void reset() override { SimilarityKernel::reset(); }
-  void cwAdd(SiteIndex S) override;
-  void cwRemove(SiteIndex S) override;
-  void twAdd(SiteIndex S) override;
-  void twRemove(SiteIndex S) override;
+
+  void cwAdd(SiteIndex S) override {
+    assert(S < CWCounts.size() && "site out of range");
+    touch(S);
+    ++CWCounts[S];
+    ++NCW;
+  }
+
+  void cwRemove(SiteIndex S) override {
+    assert(CWCounts[S] != 0 && "removing a site not in the CW");
+    --CWCounts[S];
+    --NCW;
+  }
+
+  void twAdd(SiteIndex S) override {
+    assert(S < TWCounts.size() && "site out of range");
+    touch(S);
+    ++TWCounts[S];
+    ++NTW;
+  }
+
+  void twRemove(SiteIndex S) override {
+    assert(TWCounts[S] != 0 && "removing a site not in the TW");
+    --TWCounts[S];
+    --NTW;
+  }
+
   double similarity() override;
 };
 

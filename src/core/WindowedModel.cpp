@@ -139,8 +139,11 @@ void WindowedModel::endPhase() {
   uint64_t Keep = std::min<uint64_t>(
       std::min<uint64_t>(Config.SkipFactor, Config.CWSize),
       TWLen + CWLen);
-  std::vector<SiteIndex> Seed(Buffer.end() - Keep, Buffer.end());
-  Buffer = std::move(Seed);
+  // Slide the seed to the front in place — no temporary vector, and the
+  // buffer keeps its capacity for the refill that follows.
+  std::copy(Buffer.end() - static_cast<ptrdiff_t>(Keep), Buffer.end(),
+            Buffer.begin());
+  Buffer.resize(Keep);
   Head = 0;
   TWLen = 0;
   CWLen = Keep;
@@ -170,7 +173,7 @@ void WindowedModel::dropTWPrefix(uint64_t N) {
 }
 
 void WindowedModel::compactBuffer() {
-  if (Head > 65536 && Head * 2 > Buffer.size()) {
+  if (Head > CompactionThreshold && Head * 2 > Buffer.size()) {
     Buffer.erase(Buffer.begin(),
                  Buffer.begin() + static_cast<ptrdiff_t>(Head));
     Head = 0;

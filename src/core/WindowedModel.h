@@ -137,6 +137,13 @@ public:
   /// Direct kernel access (tests compare against brute force).
   const SimilarityKernel &kernel() const { return *Kernel; }
 
+  /// The element buffer's dead prefix (elements the windows have slid
+  /// past) is erased once it exceeds this many elements and outweighs the
+  /// live suffix; below the threshold the memmove would cost more than
+  /// the slack is worth. Public so tests can exercise compaction right at
+  /// the boundary.
+  static constexpr size_t CompactionThreshold = 65536;
+
 private:
   /// Global offset of the element stored at TW-relative index \p I.
   uint64_t offsetOfTWIndex(uint64_t I) const {

@@ -7,6 +7,7 @@
 
 #include "support/Parallel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <thread>
@@ -30,31 +31,45 @@ unsigned opd::hardwareParallelism() {
 }
 
 void opd::parallelFor(size_t NumItems,
-                      const std::function<void(size_t)> &Body) {
+                      const std::function<void(size_t, unsigned)> &Body,
+                      size_t Grain) {
+  if (Grain == 0)
+    Grain = 1;
   unsigned NumThreads = hardwareParallelism();
   if (NumThreads <= 1 || NumItems <= 1) {
     for (size_t I = 0; I != NumItems; ++I)
-      Body(I);
+      Body(I, 0);
     return;
   }
 
+  // Dynamic scheduling: each worker claims the next chunk of Grain
+  // consecutive items. No static partition — a slow chunk delays only
+  // the worker that claimed it, and the others drain the remainder.
   std::atomic<size_t> Next{0};
-  auto Worker = [&] {
+  auto Worker = [&](unsigned WorkerId) {
     for (;;) {
-      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-      if (I >= NumItems)
+      size_t Begin = Next.fetch_add(Grain, std::memory_order_relaxed);
+      if (Begin >= NumItems)
         return;
-      Body(I);
+      size_t End = std::min(Begin + Grain, NumItems);
+      for (size_t I = Begin; I != End; ++I)
+        Body(I, WorkerId);
     }
   };
 
   std::vector<std::thread> Threads;
   unsigned NumWorkers = static_cast<unsigned>(
-      std::min<size_t>(NumThreads, NumItems));
+      std::min<size_t>(NumThreads, (NumItems + Grain - 1) / Grain));
   Threads.reserve(NumWorkers - 1);
   for (unsigned I = 1; I < NumWorkers; ++I)
-    Threads.emplace_back(Worker);
-  Worker();
+    Threads.emplace_back(Worker, I);
+  Worker(0);
   for (std::thread &T : Threads)
     T.join();
+}
+
+void opd::parallelFor(size_t NumItems,
+                      const std::function<void(size_t)> &Body) {
+  parallelFor(
+      NumItems, [&Body](size_t I, unsigned) { Body(I); }, /*Grain=*/1);
 }

@@ -79,9 +79,21 @@ public:
 /// hardware concurrency. Read once and cached.
 unsigned hardwareParallelism();
 
-/// Invokes \p Body(I) for every I in [0, NumItems). Items are claimed from
-/// a shared atomic counter, so \p Body must be safe to call concurrently
-/// for distinct indices. Blocks until all items are complete.
+/// Invokes \p Body(I, Worker) for every I in [0, NumItems), where Worker
+/// identifies the executing worker in [0, hardwareParallelism()) — worker
+/// 0 is the calling thread. Workers claim chunks of \p Grain consecutive
+/// items from a shared atomic counter (dynamic scheduling): cheap items
+/// amortize the counter traffic over a chunk, and a straggler item
+/// delays only its own chunk instead of a statically assigned range.
+/// \p Body must be safe to call concurrently for distinct indices; the
+/// worker id is stable within one call, so per-worker scratch state
+/// (sweep arenas) needs no locking. Blocks until all items complete.
+void parallelFor(size_t NumItems,
+                 const std::function<void(size_t, unsigned)> &Body,
+                 size_t Grain);
+
+/// Convenience overload for bodies that need no worker id, with a grain
+/// of 1 (pure dynamic scheduling).
 void parallelFor(size_t NumItems, const std::function<void(size_t)> &Body);
 
 } // namespace opd

@@ -22,10 +22,15 @@ PhaseState StateSequence::at(uint64_t I) const {
 
 std::vector<PhaseInterval> StateSequence::phases() const {
   std::vector<PhaseInterval> Result;
+  phasesInto(Result);
+  return Result;
+}
+
+void StateSequence::phasesInto(std::vector<PhaseInterval> &Out) const {
+  Out.clear();
   for (const StateRun &R : Runs)
     if (R.State == PhaseState::InPhase)
-      Result.push_back({R.Begin, R.Begin + R.Length});
-  return Result;
+      Out.push_back({R.Begin, R.Begin + R.Length});
 }
 
 uint64_t StateSequence::numInPhase() const {

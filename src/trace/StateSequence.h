@@ -18,6 +18,7 @@
 #define OPD_TRACE_STATESEQUENCE_H
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -73,6 +74,16 @@ public:
   /// True if no states were appended.
   bool empty() const { return Total == 0; }
 
+  /// Forgets all states but keeps the run storage, so a reused sequence
+  /// (sweep arenas) reaches steady state without reallocating.
+  void clear() {
+    Runs.clear();
+    Total = 0;
+  }
+
+  /// Reserves storage for \p N maximal runs.
+  void reserveRuns(size_t N) { Runs.reserve(N); }
+
   /// The maximal runs in offset order.
   const std::vector<StateRun> &runs() const { return Runs; }
 
@@ -84,6 +95,10 @@ public:
   /// Boundaries are exactly the interval endpoints: Begin is a T->P flip
   /// (or sequence start in P) and End a P->T flip (or sequence end).
   std::vector<PhaseInterval> phases() const;
+
+  /// As phases(), but clears and fills \p Out so a reused vector keeps
+  /// its capacity across runs.
+  void phasesInto(std::vector<PhaseInterval> &Out) const;
 
   /// Number of elements in state InPhase.
   uint64_t numInPhase() const;

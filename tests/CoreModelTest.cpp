@@ -293,3 +293,52 @@ TEST(WindowedModelTest, NamesAreStable) {
   EXPECT_STREQ(anchorKindName(AnchorKind::RightmostNoisy), "RN");
   EXPECT_STREQ(resizeKindName(ResizeKind::Move), "move");
 }
+
+//===----------------------------------------------------------------------===//
+// Buffer compaction
+//===----------------------------------------------------------------------===//
+
+// The dead-prefix erase in compactBuffer() fires once the prefix crosses
+// WindowedModel::CompactionThreshold; this drives a constant-TW model
+// across that boundary and cross-checks the kernel against a brute-force
+// shadow of the window contents on both sides of it, so an off-by-one in
+// the Head rebase would misalign the windows and fail loudly.
+TEST(WindowedModelTest, CompactionBoundaryPreservesWindowContents) {
+  constexpr uint32_t CW = 8, TW = 8;
+  constexpr SiteIndex NumSites = 13;
+  WindowedModel M(makeConfig(CW, TW), ModelKind::WeightedSet, NumSites);
+
+  // Steady-state sliding advances Head by one per element, so the
+  // boundary falls a fixed distance past the threshold.
+  const uint64_t Boundary = WindowedModel::CompactionThreshold + CW + TW;
+  const uint64_t Total = Boundary + 64;
+
+  std::vector<SiteIndex> History;
+  History.reserve(Total);
+  SplitMix64 Rng(7);
+  for (uint64_t I = 0; I != Total; ++I) {
+    SiteIndex S = static_cast<SiteIndex>(Rng.next() % NumSites);
+    History.push_back(S);
+    M.consume(S);
+
+    if (I + 1 < Boundary - 2 || !M.windowsFull())
+      continue;
+    // Brute-force weighted similarity over the last TW+CW elements.
+    uint64_t CWC[NumSites] = {0}, TWC[NumSites] = {0};
+    for (uint64_t J = History.size() - CW; J != History.size(); ++J)
+      ++CWC[History[J]];
+    for (uint64_t J = History.size() - CW - TW;
+         J != History.size() - CW; ++J)
+      ++TWC[History[J]];
+    uint64_t MinSum = 0;
+    for (SiteIndex S2 = 0; S2 != NumSites; ++S2)
+      MinSum += std::min(CWC[S2] * static_cast<uint64_t>(TW),
+                         TWC[S2] * static_cast<uint64_t>(CW));
+    double Expected = static_cast<double>(MinSum) /
+                      (static_cast<double>(CW) * static_cast<double>(TW));
+    ASSERT_EQ(M.similarity(), Expected) << "element " << I;
+    ASSERT_EQ(M.cwLength(), CW);
+    ASSERT_EQ(M.twLength(), TW);
+  }
+  EXPECT_EQ(M.consumed(), Total);
+}

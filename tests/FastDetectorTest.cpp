@@ -1,0 +1,222 @@
+//===- tests/FastDetectorTest.cpp - Fast-path differential tests --------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The monomorphic fast-path detectors (core/FastDetector.h) are only
+/// admissible because they are bit-identical to the reference
+/// PhaseDetector. This suite is the guard: it streams a real workload
+/// trace through both paths across the whole configuration shape space —
+/// every model, TW policy, analyzer kind, anchor, resize, and the skip-
+/// factor/window-size corner cases — and requires equal StateSequences,
+/// detected phases, and anchored phases, run by run. It also holds the
+/// sweep harness's two paths (fast arenas vs reference stats collection)
+/// to equal scores, and arena reuse via reconfigure() to fresh-detector
+/// output.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/DetectorRunner.h"
+#include "core/FastDetector.h"
+#include "harness/Experiment.h"
+#include "harness/Sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+using namespace opd;
+
+namespace {
+
+/// One small-scale workload shared by all differential tests.
+const BenchmarkData &testBenchmark() {
+  static const std::vector<BenchmarkData> Data =
+      prepareBenchmarks({"jess"}, {1000, 10000}, /*Scale=*/0.1);
+  return Data.front();
+}
+
+/// The shape-and-corner-case cross product: all three models, both TW
+/// policies, all three analyzer kinds (two parameters each), both
+/// anchors and resizes, a skip factor above the CW size (exercising the
+/// flush seed clamp), and Fixed Interval.
+std::vector<DetectorConfig> differentialConfigs() {
+  SweepSpec Spec;
+  Spec.CWSizes = {50, 400};
+  Spec.TWFactors = {1, 2};
+  Spec.SkipFactors = {1, 10, 500};
+  Spec.IncludeFixedInterval = true;
+  Spec.Models = {ModelKind::UnweightedSet, ModelKind::WeightedSet,
+                 ModelKind::ManhattanBBV};
+  Spec.Analyzers = {{AnalyzerKind::Threshold, 0.5},
+                    {AnalyzerKind::Threshold, 0.8},
+                    {AnalyzerKind::Average, 0.01},
+                    {AnalyzerKind::Average, 0.3},
+                    {AnalyzerKind::Hysteresis, 0.6},
+                    {AnalyzerKind::Hysteresis, 0.1}};
+  Spec.Anchors = {AnchorKind::RightmostNoisy, AnchorKind::LeftmostNonNoisy};
+  Spec.Resizes = {ResizeKind::Slide, ResizeKind::Move};
+  return enumerateCrossProduct(Spec);
+}
+
+void expectRunsEqual(const DetectorRun &Reference, const DetectorRun &Fast,
+                     const DetectorConfig &Config) {
+  std::string Desc = Config.describe();
+  ASSERT_EQ(Reference.States.size(), Fast.States.size()) << Desc;
+  const std::vector<StateRun> &RR = Reference.States.runs();
+  const std::vector<StateRun> &FR = Fast.States.runs();
+  ASSERT_EQ(RR.size(), FR.size()) << Desc;
+  for (size_t I = 0; I != RR.size(); ++I) {
+    ASSERT_EQ(RR[I].Begin, FR[I].Begin) << Desc << " run " << I;
+    ASSERT_EQ(RR[I].Length, FR[I].Length) << Desc << " run " << I;
+    ASSERT_EQ(RR[I].State, FR[I].State) << Desc << " run " << I;
+  }
+  ASSERT_EQ(Reference.DetectedPhases, Fast.DetectedPhases) << Desc;
+  ASSERT_EQ(Reference.AnchoredPhases, Fast.AnchoredPhases) << Desc;
+}
+
+} // namespace
+
+TEST(FastDetectorTest, ShapeIndexIsABijectionOverTheShapeSpace) {
+  std::set<size_t> Seen;
+  DetectorConfig C;
+  for (ModelKind M : {ModelKind::UnweightedSet, ModelKind::WeightedSet,
+                      ModelKind::ManhattanBBV})
+    for (TWPolicyKind P : {TWPolicyKind::Constant, TWPolicyKind::Adaptive})
+      for (AnalyzerKind A : {AnalyzerKind::Threshold, AnalyzerKind::Average,
+                             AnalyzerKind::Hysteresis}) {
+        C.Model = M;
+        C.Window.TWPolicy = P;
+        C.TheAnalyzer = A;
+        size_t Index = fastShapeIndex(C);
+        EXPECT_LT(Index, NumFastShapes);
+        EXPECT_TRUE(Seen.insert(Index).second)
+            << "duplicate shape index " << Index;
+      }
+  EXPECT_EQ(Seen.size(), NumFastShapes);
+}
+
+TEST(FastDetectorTest, DescribeMatchesReferenceWithFastSuffix) {
+  const BenchmarkData &B = testBenchmark();
+  for (const DetectorConfig &Config : differentialConfigs()) {
+    std::unique_ptr<PhaseDetector> Reference =
+        makeDetector(Config, B.Trace.numSites());
+    std::unique_ptr<FastDetectorBase> Fast =
+        makeFastDetector(Config, B.Trace.numSites());
+    EXPECT_EQ(Fast->describe(), Reference->describe() + " [fast]");
+    EXPECT_EQ(Fast->batchSize(), Reference->batchSize());
+  }
+}
+
+// The load-bearing test: every configuration in the shape/corner-case
+// cross product produces bit-identical output through both paths.
+TEST(FastDetectorTest, BitIdenticalToReferenceAcrossTheConfigSpace) {
+  const BenchmarkData &B = testBenchmark();
+  std::vector<DetectorConfig> Configs = differentialConfigs();
+  ASSERT_GT(Configs.size(), 500u);
+  for (const DetectorConfig &Config : Configs) {
+    std::unique_ptr<PhaseDetector> Reference =
+        makeDetector(Config, B.Trace.numSites());
+    std::unique_ptr<FastDetectorBase> Fast =
+        makeFastDetector(Config, B.Trace.numSites());
+    DetectorRun ReferenceRun = runDetector(*Reference, B.Trace);
+    DetectorRun FastRun = runDetector(*Fast, B.Trace);
+    expectRunsEqual(ReferenceRun, FastRun, Config);
+  }
+}
+
+// Arena lifetime rule: a reconfigure()d instance must behave exactly
+// like a freshly constructed one, across heterogeneous parameters and
+// with state left over from a previous trace run.
+TEST(FastDetectorTest, ReconfiguredArenaMatchesFreshDetectors) {
+  const BenchmarkData &B = testBenchmark();
+  std::array<std::unique_ptr<FastDetectorBase>, NumFastShapes> Arena;
+  DetectorRun ArenaRun;
+  for (const DetectorConfig &Config : differentialConfigs()) {
+    std::unique_ptr<FastDetectorBase> &Slot =
+        Arena[fastShapeIndex(Config)];
+    if (Slot)
+      Slot->reconfigure(Config);
+    else
+      Slot = makeFastDetector(Config, B.Trace.numSites());
+
+    std::unique_ptr<FastDetectorBase> Fresh =
+        makeFastDetector(Config, B.Trace.numSites());
+    runDetector(*Slot, B.Trace, ArenaRun);
+    DetectorRun FreshRun = runDetector(*Fresh, B.Trace);
+    expectRunsEqual(FreshRun, ArenaRun, Config);
+  }
+}
+
+// The sweep's two paths — fast detectors out of per-worker arenas
+// (plain) and the reference detector with a CountingObserver
+// (CollectStats) — must score identically, pruned or not.
+TEST(FastDetectorTest, SweepFastPathMatchesReferenceStatsPath) {
+  const BenchmarkData &B = testBenchmark();
+  SweepSpec Spec;
+  Spec.CWSizes = {250};
+  Spec.SkipFactors = {1, 10};
+  Spec.Models = {ModelKind::UnweightedSet, ModelKind::WeightedSet};
+  Spec.Analyzers = {{AnalyzerKind::Threshold, 0.6},
+                    {AnalyzerKind::Average, 0.05}};
+  Spec.Anchors = {AnchorKind::RightmostNoisy, AnchorKind::LeftmostNonNoisy};
+  Spec.Resizes = {ResizeKind::Slide, ResizeKind::Move};
+  std::vector<DetectorConfig> Configs = enumerateConfigs(Spec);
+
+  for (bool Prune : {false, true}) {
+    SweepOptions FastOptions;
+    FastOptions.ScoreAnchored = true;
+    FastOptions.Prune = Prune;
+    SweepOptions StatsOptions = FastOptions;
+    StatsOptions.CollectStats = true;
+
+    std::vector<RunScores> Fast =
+        runSweep(B.Trace, B.Baselines, Configs, FastOptions);
+    std::vector<RunScores> Reference =
+        runSweep(B.Trace, B.Baselines, Configs, StatsOptions);
+
+    ASSERT_EQ(Fast.size(), Reference.size());
+    for (size_t I = 0; I != Fast.size(); ++I) {
+      ASSERT_EQ(Fast[I].PerMPL.size(), Reference[I].PerMPL.size());
+      for (size_t M = 0; M != Fast[I].PerMPL.size(); ++M) {
+        EXPECT_EQ(Fast[I].PerMPL[M].Score, Reference[I].PerMPL[M].Score);
+        EXPECT_EQ(Fast[I].PerMPL[M].Correlation,
+                  Reference[I].PerMPL[M].Correlation);
+        EXPECT_EQ(Fast[I].PerMPL[M].Sensitivity,
+                  Reference[I].PerMPL[M].Sensitivity);
+        EXPECT_EQ(Fast[I].PerMPL[M].FalsePositives,
+                  Reference[I].PerMPL[M].FalsePositives);
+      }
+      ASSERT_EQ(Fast[I].AnchoredPerMPL.size(),
+                Reference[I].AnchoredPerMPL.size());
+      for (size_t M = 0; M != Fast[I].AnchoredPerMPL.size(); ++M)
+        EXPECT_EQ(Fast[I].AnchoredPerMPL[M].Score,
+                  Reference[I].AnchoredPerMPL[M].Score);
+    }
+  }
+}
+
+// consumeTrace()'s default batch loop and the fast override must agree
+// on partial trailing batches (trace size not a multiple of skip).
+TEST(FastDetectorTest, PartialTrailingBatchMatchesReference) {
+  const BenchmarkData &B = testBenchmark();
+  DetectorConfig Config;
+  Config.Window.CWSize = 100;
+  Config.Window.TWSize = 100;
+  Config.Window.SkipFactor = 97; // Never divides the trace evenly.
+  Config.Model = ModelKind::WeightedSet;
+  Config.TheAnalyzer = AnalyzerKind::Threshold;
+  Config.AnalyzerParam = 0.6;
+  std::unique_ptr<PhaseDetector> Reference =
+      makeDetector(Config, B.Trace.numSites());
+  std::unique_ptr<FastDetectorBase> Fast =
+      makeFastDetector(Config, B.Trace.numSites());
+  DetectorRun ReferenceRun = runDetector(*Reference, B.Trace);
+  DetectorRun FastRun = runDetector(*Fast, B.Trace);
+  ASSERT_NE(B.Trace.size() % Config.Window.SkipFactor, 0u);
+  expectRunsEqual(ReferenceRun, FastRun, Config);
+}

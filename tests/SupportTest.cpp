@@ -317,3 +317,43 @@ TEST(ParallelTest, ZeroItemsIsANoop) {
 TEST(ParallelTest, HardwareParallelismPositive) {
   EXPECT_GE(hardwareParallelism(), 1u);
 }
+
+TEST(ParallelTest, ChunkedOverloadVisitsEveryIndexExactlyOnce) {
+  // Grains that do and do not divide the item count, including one
+  // larger than it.
+  for (size_t Grain : {1, 7, 64, 5000}) {
+    const size_t N = 1000;
+    std::vector<std::atomic<int>> Visits(N);
+    parallelFor(
+        N,
+        [&](size_t I, unsigned Worker) {
+          EXPECT_LT(Worker, hardwareParallelism());
+          Visits[I].fetch_add(1);
+        },
+        Grain);
+    for (size_t I = 0; I != N; ++I)
+      EXPECT_EQ(Visits[I].load(), 1) << "grain " << Grain;
+  }
+}
+
+TEST(ParallelTest, ChunkedOverloadZeroGrainIsTreatedAsOne) {
+  const size_t N = 100;
+  std::vector<std::atomic<int>> Visits(N);
+  parallelFor(
+      N, [&](size_t I, unsigned) { Visits[I].fetch_add(1); }, 0);
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Visits[I].load(), 1);
+}
+
+TEST(ParallelTest, WorkerIdsAreStableWithinAChunk) {
+  // Items of one chunk run on one worker: record the worker per item and
+  // check each aligned Grain-sized chunk saw a single id.
+  const size_t N = 256;
+  const size_t Grain = 16;
+  std::vector<unsigned> Worker(N, ~0u);
+  parallelFor(
+      N, [&](size_t I, unsigned W) { Worker[I] = W; }, Grain);
+  for (size_t Base = 0; Base < N; Base += Grain)
+    for (size_t I = Base; I != Base + Grain; ++I)
+      EXPECT_EQ(Worker[I], Worker[Base]) << "item " << I;
+}
