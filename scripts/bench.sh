@@ -48,11 +48,40 @@ if [ "$SKIP_SWEEP" = 0 ]; then
   SWEEP_SECONDS=$(python3 -c "print(round($SWEEP_END - $SWEEP_START, 1))")
 fi
 
-python3 - "$RAW" "$SWEEP_SECONDS" <<'EOF'
+# Serving throughput: a Release opd_serve takes a loadgen fleet and the
+# ratio of served elements/sec over the single-thread offline fast
+# detector goes into the baseline (machine-relative, like the detector
+# ratios above).
+echo "=== [bench] serving throughput (opd_serve + opd_loadgen) ==="
+SERVE_LOG="$DIR/bench_serve.log"
+SERVE_JSON="$DIR/bench_serving.json"
+"$DIR/examples/opd_serve" --port 0 >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+SERVE_PORT=""
+for _ in $(seq 1 100); do
+  SERVE_PORT="$(sed -n 's/^listening on port \([0-9][0-9]*\)$/\1/p' \
+    "$SERVE_LOG" 2>/dev/null || true)"
+  [ -n "$SERVE_PORT" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if [ -z "$SERVE_PORT" ]; then
+  echo "=== [bench] opd_serve never reported a port ==="
+  cat "$SERVE_LOG" || true
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+"$DIR/examples/opd_loadgen" --port "$SERVE_PORT" \
+  --sessions 128 --total 512 --json > "$SERVE_JSON"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+
+python3 - "$RAW" "$SWEEP_SECONDS" "$SERVE_JSON" <<'EOF'
 import json, sys
 
 raw = json.load(open(sys.argv[1]))
 sweep = None if sys.argv[2] == "null" else float(sys.argv[2])
+serving = json.load(open(sys.argv[3]))
 
 rates = {}
 for b in raw["benchmarks"]:
@@ -75,6 +104,15 @@ out = {
                    "skip 1; see docs/PERFORMANCE.md",
     "cases": cases,
     "pruned_paper_sweep_seconds": sweep,
+    "serving": {
+        "sessions": serving["sessions"],
+        "total_sessions": serving["total_sessions"],
+        "served_eps": serving["eps"],
+        "offline_eps": serving["offline_eps"],
+        "serving_vs_offline_ratio": serving["serving_vs_offline_ratio"],
+        "batch_us_p99": serving["batch_us"]["p99"],
+        "session_ms_p99": serving["session_ms"]["p99"],
+    },
 }
 json.dump(out, open("BENCH_PERF.json", "w"), indent=2)
 print(open("BENCH_PERF.json").read())

@@ -11,16 +11,45 @@ M/s on a throttling host can swing far more than any real regression.
 A case fails when its ratio drops more than the tolerance (default 25%)
 below the committed baseline.
 
-Usage: check_perf.py <smoke.json> <baseline.json> [tolerance]
+When a serving smoke file (opd_loadgen --json output) is given and the
+baseline carries a "serving" entry, serving_vs_offline_ratio — served
+elements/sec over the single-thread offline fast detector, another
+machine-relative ratio — is checked the same way, with a wider default
+tolerance (50%) because it folds in scheduler and loopback variance.
+
+Usage: check_perf.py <smoke.json> <baseline.json> [tolerance] [serving.json]
 """
 
 import json
 import sys
 
+SERVING_TOLERANCE = 0.5
+
+
+def check_serving(serving_path, baseline):
+    """Returns True when the serving ratio regressed."""
+    expected = baseline.get("serving")
+    if expected is None:
+        print("perf: serving: no baseline entry; skipping")
+        return False
+    smoke = json.load(open(serving_path))
+    if smoke.get("failed", 0) or smoke.get("mismatches", 0):
+        print(f"perf: serving: smoke run had {smoke.get('failed', 0)} failed "
+              f"sessions, {smoke.get('mismatches', 0)} mismatches: FAILED")
+        return True
+    ratio = smoke["serving_vs_offline_ratio"]
+    floor = expected["serving_vs_offline_ratio"] * (1.0 - SERVING_TOLERANCE)
+    verdict = "ok" if ratio >= floor else "REGRESSION"
+    print(f"perf: serving: serving/offline {ratio:.4f} "
+          f"(baseline {expected['serving_vs_offline_ratio']:.4f}, "
+          f"floor {floor:.4f}) {verdict}")
+    return ratio < floor
+
 
 def main():
     smoke_path, baseline_path = sys.argv[1], sys.argv[2]
     tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 0.25
+    serving_path = sys.argv[4] if len(sys.argv) > 4 else None
 
     raw = json.load(open(smoke_path))
     rates = {}
@@ -28,7 +57,8 @@ def main():
         path, case = bench["name"].split("/", 1)
         rates.setdefault(case, {})[path] = bench["items_per_second"]
 
-    baseline = json.load(open(baseline_path))["cases"]
+    baseline_all = json.load(open(baseline_path))
+    baseline = baseline_all["cases"]
 
     failed = False
     for case, expected in sorted(baseline.items()):
@@ -43,6 +73,9 @@ def main():
               f"(baseline {expected['ratio']:.2f}x, floor {floor:.2f}x) "
               f"{verdict}")
         failed |= ratio < floor
+
+    if serving_path is not None:
+        failed |= check_serving(serving_path, baseline_all)
 
     if failed:
         print("perf: regression against BENCH_PERF.json "

@@ -68,20 +68,73 @@ fi
 
 run_config asan-ubsan -DOPD_SANITIZE="address;undefined"
 
-OPD_THREADS=4 run_config tsan --tests 'Parallel|Sweep|Observ|Config' \
+# Serving smoke under ASan/UBSan: a real opd_serve daemon takes a few
+# hundred loadgen sessions with --verify (every streamed transition
+# sequence is rebuilt and compared against offline runDetector), then
+# drains cleanly on SIGTERM. Any sanitizer report, session failure,
+# equivalence mismatch, or unclean shutdown fails CI.
+echo "=== [serve] ASan serving smoke (opd_serve + opd_loadgen) ==="
+SERVE_DIR="${PREFIX}-asan-ubsan"
+SERVE_LOG="$SERVE_DIR/serve_smoke.log"
+"$SERVE_DIR/examples/opd_serve" --port 0 >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+SERVE_PORT=""
+for _ in $(seq 1 100); do
+  SERVE_PORT="$(sed -n 's/^listening on port \([0-9][0-9]*\)$/\1/p' \
+    "$SERVE_LOG" 2>/dev/null || true)"
+  [ -n "$SERVE_PORT" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if [ -z "$SERVE_PORT" ]; then
+  echo "=== [serve] opd_serve never reported a port ==="
+  cat "$SERVE_LOG" || true
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+"$SERVE_DIR/examples/opd_loadgen" --port "$SERVE_PORT" \
+  --sessions 64 --total 300 --workload db --scale 0.05 --verify
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" # exit 0 only on a clean graceful drain
+
+OPD_THREADS=4 run_config tsan --tests 'Parallel|Sweep|Observ|Config|Serve' \
   -DOPD_SANITIZE=thread
 
 # Release perf smoke: the fast detector path must stay within 25% of the
-# committed fast-over-reference throughput ratios (scripts/check_perf.py
-# compares ratios, which are stable under host frequency scaling).
+# committed fast-over-reference throughput ratios, and the serving path
+# within 50% of the committed serving-over-offline ratio
+# (scripts/check_perf.py compares ratios, which are stable under host
+# frequency scaling).
 echo "=== [perf] Release perf smoke (vs BENCH_PERF.json) ==="
 PERF_DIR="${PREFIX}-perf"
 cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$PERF_DIR" -j "$JOBS" --target bench_perf
+cmake --build "$PERF_DIR" -j "$JOBS" --target bench_perf opd_serve opd_loadgen
 "$PERF_DIR/bench/bench_perf" \
   --benchmark_filter='BM_Detector/|BM_FastDetector/' \
   --benchmark_min_time=0.5 \
   --benchmark_format=json > "$PERF_DIR/bench_smoke.json"
-python3 scripts/check_perf.py "$PERF_DIR/bench_smoke.json" BENCH_PERF.json
+PERF_SERVE_LOG="$PERF_DIR/serve_smoke.log"
+"$PERF_DIR/examples/opd_serve" --port 0 >"$PERF_SERVE_LOG" 2>&1 &
+PERF_SERVE_PID=$!
+PERF_SERVE_PORT=""
+for _ in $(seq 1 100); do
+  PERF_SERVE_PORT="$(sed -n 's/^listening on port \([0-9][0-9]*\)$/\1/p' \
+    "$PERF_SERVE_LOG" 2>/dev/null || true)"
+  [ -n "$PERF_SERVE_PORT" ] && break
+  kill -0 "$PERF_SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if [ -z "$PERF_SERVE_PORT" ]; then
+  echo "=== [perf] opd_serve never reported a port ==="
+  cat "$PERF_SERVE_LOG" || true
+  kill "$PERF_SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+"$PERF_DIR/examples/opd_loadgen" --port "$PERF_SERVE_PORT" \
+  --sessions 128 --total 256 --json > "$PERF_DIR/serving_smoke.json"
+kill -TERM "$PERF_SERVE_PID"
+wait "$PERF_SERVE_PID"
+python3 scripts/check_perf.py "$PERF_DIR/bench_smoke.json" BENCH_PERF.json \
+  0.25 "$PERF_DIR/serving_smoke.json"
 
 echo "=== CI passed ==="

@@ -791,10 +791,12 @@ class FastPhaseDetector final : public FastDetectorBase {
 public:
   FastPhaseDetector(const DetectorConfig &Config, SiteIndex NumSites)
       : Model(Config.Window, NumSites),
-        TheAnalyzer(buildAnalyzer<A>(Config.AnalyzerParam)) {
+        TheAnalyzer(buildAnalyzer<A>(Config.AnalyzerParam)), Sites(NumSites) {
     assert(Config.Model == M && Config.TheAnalyzer == A &&
            "config does not match this shape");
   }
+
+  SiteIndex numSites() const override { return Sites; }
 
   PhaseState processBatch(const SiteIndex *Elements, size_t N) override {
     return processBatchInline(Elements, N);
@@ -946,6 +948,7 @@ private:
   AnalyzerT TheAnalyzer;
   PhaseState State = PhaseState::Transition;
   uint64_t LastAnchor = 0;
+  SiteIndex Sites;
 };
 
 template <ModelKind M, TWPolicyKind Policy>

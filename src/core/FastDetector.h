@@ -48,6 +48,13 @@ public:
   /// detector's shape (fastShapeIndex) — without reallocating the
   /// kernel's per-site arrays, then resets for a fresh stream.
   virtual void reconfigure(const DetectorConfig &Config) = 0;
+
+  /// The site-space size this instantiation's kernel arrays were built
+  /// for. reconfigure() cannot change it, so reuse pools (the sweep
+  /// arenas and the serving detector cache) key their free lists on
+  /// (fastShapeIndex, numSites) to decide whether an instance can be
+  /// re-targeted at a new stream or must be rebuilt.
+  virtual SiteIndex numSites() const = 0;
 };
 
 /// Number of distinct fast-path instantiations: model (3) x TW policy

@@ -1,0 +1,54 @@
+//===- serve/DetectorCache.cpp - Reusable fast-detector pool ----------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/DetectorCache.h"
+
+using namespace opd;
+
+std::unique_ptr<FastDetectorBase>
+DetectorCache::acquire(const DetectorConfig &Config, SiteIndex NumSites) {
+  size_t Shape = fastShapeIndex(Config);
+  {
+    LockGuard Lock(M);
+    std::vector<std::unique_ptr<FastDetectorBase>> &List = Free[Shape];
+    // Scan newest-first: the most recently released instance is the most
+    // likely cache-warm one, and homogeneous fleets match on the first
+    // probe anyway.
+    for (size_t I = List.size(); I != 0; --I) {
+      if (List[I - 1]->numSites() != NumSites)
+        continue;
+      std::unique_ptr<FastDetectorBase> D = std::move(List[I - 1]);
+      List.erase(List.begin() + static_cast<ptrdiff_t>(I - 1));
+      S.Hits += 1;
+      // reconfigure() resets for a fresh stream without reallocating the
+      // kernel's per-site arrays — the whole point of pooling.
+      D->reconfigure(Config);
+      return D;
+    }
+    S.Misses += 1;
+  }
+  return makeFastDetector(Config, NumSites);
+}
+
+void DetectorCache::release(const DetectorConfig &Config,
+                            std::unique_ptr<FastDetectorBase> Detector) {
+  if (!Detector)
+    return;
+  size_t Shape = fastShapeIndex(Config);
+  LockGuard Lock(M);
+  S.Releases += 1;
+  if (Free[Shape].size() >= MaxFreePerShape) {
+    S.Discarded += 1;
+    return; // unique_ptr destroys the instance
+  }
+  Free[Shape].push_back(std::move(Detector));
+}
+
+DetectorCache::Stats DetectorCache::stats() const {
+  LockGuard Lock(M);
+  return S;
+}

@@ -1,0 +1,342 @@
+//===- tests/ServeProtocolTest.cpp - Wire-protocol codec tests --------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framing codec (serve/Protocol.h) is the server's outermost attack
+/// surface, so these tests pin it down without any sockets: every
+/// message kind round-trips through its encoder and parser, frames
+/// survive arbitrary re-chunking through FrameReader, and truncated,
+/// oversized, zero-length, and bit-flipped inputs are rejected without
+/// the reader ever resynchronizing on garbage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include <gtest/gtest.h>
+
+using namespace opd;
+
+namespace {
+
+/// Feeds \p Bytes in chunks of \p Chunk and collects complete frames as
+/// (kind, payload copy) pairs.
+std::vector<std::pair<MsgKind, std::vector<uint8_t>>>
+decodeAll(const std::vector<uint8_t> &Bytes, size_t Chunk,
+          FrameReader &Reader) {
+  std::vector<std::pair<MsgKind, std::vector<uint8_t>>> Out;
+  size_t Pos = 0;
+  while (Pos < Bytes.size() || Pos == 0) {
+    size_t Take = std::min(Chunk, Bytes.size() - Pos);
+    Reader.feed(Bytes.data() + Pos, Take);
+    Pos += Take;
+    Frame F;
+    while (Reader.next(F) == FrameReader::Status::Frame)
+      Out.push_back({F.Kind, {F.Payload, F.Payload + F.Len}});
+    if (Pos >= Bytes.size())
+      break;
+  }
+  return Out;
+}
+
+DetectorConfig sampleConfig() {
+  DetectorConfig C;
+  C.Window.CWSize = 400;
+  C.Window.TWSize = 800;
+  C.Window.SkipFactor = 17;
+  C.Window.TWPolicy = TWPolicyKind::Adaptive;
+  C.Window.Anchor = AnchorKind::LeftmostNonNoisy;
+  C.Window.Resize = ResizeKind::Move;
+  C.Model = ModelKind::WeightedSet;
+  C.TheAnalyzer = AnalyzerKind::Hysteresis;
+  C.AnalyzerParam = 0.625;
+  return C;
+}
+
+TEST(ServeProtocol, HelloRoundTrip) {
+  HelloMsg In;
+  In.Flags = HelloWantAnchors | HelloWantProgress;
+  In.NumSites = 12345;
+  In.Config = sampleConfig();
+
+  std::vector<uint8_t> Bytes;
+  appendHello(Bytes, In);
+
+  FrameReader Reader;
+  Reader.feed(Bytes.data(), Bytes.size());
+  Frame F;
+  ASSERT_EQ(Reader.next(F), FrameReader::Status::Frame);
+  EXPECT_EQ(F.Kind, MsgKind::Hello);
+
+  HelloMsg Out;
+  ASSERT_EQ(parseHello(F, Out), ServeError::None);
+  EXPECT_EQ(Out.Flags, In.Flags);
+  EXPECT_EQ(Out.NumSites, In.NumSites);
+  EXPECT_EQ(Out.Config, In.Config);
+  EXPECT_EQ(Reader.buffered(), 0u);
+}
+
+TEST(ServeProtocol, HelloRejectsMagicAndVersion) {
+  HelloMsg In;
+  In.NumSites = 1;
+  std::vector<uint8_t> Bytes;
+  appendHello(Bytes, In);
+
+  // Payload starts after the 4-byte length and 1-byte kind: magic first,
+  // version next.
+  std::vector<uint8_t> BadMagic = Bytes;
+  BadMagic[5] ^= 0xFF;
+  FrameReader R1;
+  R1.feed(BadMagic.data(), BadMagic.size());
+  Frame F;
+  ASSERT_EQ(R1.next(F), FrameReader::Status::Frame);
+  HelloMsg Out;
+  EXPECT_EQ(parseHello(F, Out), ServeError::BadMagic);
+
+  std::vector<uint8_t> BadVersion = Bytes;
+  BadVersion[9] = 0xEE;
+  FrameReader R2;
+  R2.feed(BadVersion.data(), BadVersion.size());
+  ASSERT_EQ(R2.next(F), FrameReader::Status::Frame);
+  EXPECT_EQ(parseHello(F, Out), ServeError::BadVersion);
+}
+
+TEST(ServeProtocol, HelloRejectsOutOfRangeEnums) {
+  HelloMsg In;
+  In.NumSites = 10;
+  In.Config = sampleConfig();
+  std::vector<uint8_t> Bytes;
+  appendHello(Bytes, In);
+  // The five policy enum bytes precede the trailing 8-byte analyzer
+  // parameter.
+  size_t FirstEnum = Bytes.size() - 8 - 5;
+  for (size_t I = 0; I != 5; ++I) {
+    std::vector<uint8_t> Bad = Bytes;
+    Bad[FirstEnum + I] = 0x7F;
+    FrameReader R;
+    R.feed(Bad.data(), Bad.size());
+    Frame F;
+    ASSERT_EQ(R.next(F), FrameReader::Status::Frame);
+    HelloMsg Out;
+    EXPECT_EQ(parseHello(F, Out), ServeError::BadFrame) << "enum byte " << I;
+  }
+}
+
+TEST(ServeProtocol, ServerMessagesRoundTrip) {
+  std::vector<uint8_t> Bytes;
+
+  HelloAckMsg Ack;
+  Ack.SessionId = 0x1122334455667788ull;
+  Ack.BatchSize = 100;
+  Ack.MaxBatch = MaxElementsPerFrame;
+  appendHelloAck(Bytes, Ack);
+
+  TransitionMsg T1;
+  T1.Offset = 4200;
+  T1.NewState = PhaseState::InPhase;
+  T1.HasAnchor = true;
+  T1.Anchor = 4100;
+  appendTransition(Bytes, T1);
+
+  TransitionMsg T2;
+  T2.Offset = 9000;
+  T2.NewState = PhaseState::Transition;
+  appendTransition(Bytes, T2);
+
+  ProgressMsg P;
+  P.Ingested = 123456789ull;
+  appendProgress(Bytes, P);
+
+  FinishedMsg Fin;
+  Fin.Elements = 999;
+  Fin.Transitions = 2;
+  Fin.FinalState = PhaseState::InPhase;
+  appendFinished(Bytes, Fin);
+
+  appendError(Bytes, ServeError::BadConfig, "window too large");
+
+  // Decode at several chunkings, including byte-at-a-time.
+  for (size_t Chunk : {size_t(1), size_t(3), size_t(64), Bytes.size()}) {
+    FrameReader Reader;
+    auto Frames = decodeAll(Bytes, Chunk, Reader);
+    ASSERT_EQ(Frames.size(), 6u) << "chunk " << Chunk;
+
+    Frame F{Frames[0].first, Frames[0].second.data(),
+            Frames[0].second.size()};
+    HelloAckMsg AckOut;
+    ASSERT_TRUE(parseHelloAck(F, AckOut));
+    EXPECT_EQ(AckOut.SessionId, Ack.SessionId);
+    EXPECT_EQ(AckOut.BatchSize, Ack.BatchSize);
+    EXPECT_EQ(AckOut.MaxBatch, Ack.MaxBatch);
+
+    F = {Frames[1].first, Frames[1].second.data(), Frames[1].second.size()};
+    TransitionMsg TOut;
+    ASSERT_TRUE(parseTransition(F, TOut));
+    EXPECT_EQ(TOut.Offset, T1.Offset);
+    EXPECT_EQ(TOut.NewState, PhaseState::InPhase);
+    EXPECT_TRUE(TOut.HasAnchor);
+    EXPECT_EQ(TOut.Anchor, T1.Anchor);
+
+    F = {Frames[2].first, Frames[2].second.data(), Frames[2].second.size()};
+    ASSERT_TRUE(parseTransition(F, TOut));
+    EXPECT_EQ(TOut.NewState, PhaseState::Transition);
+    EXPECT_FALSE(TOut.HasAnchor);
+
+    F = {Frames[3].first, Frames[3].second.data(), Frames[3].second.size()};
+    ProgressMsg POut;
+    ASSERT_TRUE(parseProgress(F, POut));
+    EXPECT_EQ(POut.Ingested, P.Ingested);
+
+    F = {Frames[4].first, Frames[4].second.data(), Frames[4].second.size()};
+    FinishedMsg FinOut;
+    ASSERT_TRUE(parseFinished(F, FinOut));
+    EXPECT_EQ(FinOut.Elements, Fin.Elements);
+    EXPECT_EQ(FinOut.Transitions, Fin.Transitions);
+    EXPECT_EQ(FinOut.FinalState, PhaseState::InPhase);
+
+    F = {Frames[5].first, Frames[5].second.data(), Frames[5].second.size()};
+    ErrorMsg EOut;
+    ASSERT_TRUE(parseError(F, EOut));
+    EXPECT_EQ(EOut.Code, ServeError::BadConfig);
+    EXPECT_EQ(EOut.Message, "window too large");
+  }
+}
+
+TEST(ServeProtocol, ElementsRoundTrip) {
+  std::vector<SiteIndex> Elements = {0, 1, 7, 42, 0xFFFFFFFEu};
+  std::vector<uint8_t> Bytes;
+  appendElements(Bytes, Elements.data(), Elements.size());
+
+  FrameReader Reader;
+  Reader.feed(Bytes.data(), Bytes.size());
+  Frame F;
+  ASSERT_EQ(Reader.next(F), FrameReader::Status::Frame);
+  ASSERT_EQ(F.Kind, MsgKind::Elements);
+
+  ElementsView View;
+  ASSERT_TRUE(parseElements(F, View));
+  ASSERT_EQ(View.Count, Elements.size());
+  for (uint32_t I = 0; I != View.Count; ++I)
+    EXPECT_EQ(View.element(I), Elements[I]);
+}
+
+TEST(ServeProtocol, ElementsRejectsCountMismatch) {
+  std::vector<SiteIndex> Elements = {1, 2, 3};
+  std::vector<uint8_t> Bytes;
+  appendElements(Bytes, Elements.data(), Elements.size());
+  // Inflate the count header (first payload u32) past the actual data.
+  Bytes[5] = 0xFF;
+
+  FrameReader Reader;
+  Reader.feed(Bytes.data(), Bytes.size());
+  Frame F;
+  ASSERT_EQ(Reader.next(F), FrameReader::Status::Frame);
+  ElementsView View;
+  EXPECT_FALSE(parseElements(F, View));
+}
+
+TEST(ServeProtocol, TruncatedFrameNeedsMore) {
+  std::vector<uint8_t> Bytes;
+  appendFinish(Bytes);
+  FrameReader Reader;
+  // All but the last byte: not decodable yet, not an error.
+  Reader.feed(Bytes.data(), Bytes.size() - 1);
+  Frame F;
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::NeedMore);
+  Reader.feed(Bytes.data() + Bytes.size() - 1, 1);
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Frame);
+  EXPECT_EQ(F.Kind, MsgKind::Finish);
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::NeedMore);
+}
+
+TEST(ServeProtocol, OversizedLengthIsStickyCorruption) {
+  // Length prefix far beyond MaxFrameLen.
+  uint8_t Bytes[5] = {0xFF, 0xFF, 0xFF, 0xFF, 0x01};
+  FrameReader Reader;
+  Reader.feed(Bytes, sizeof(Bytes));
+  Frame F;
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Corrupt);
+  EXPECT_TRUE(Reader.corruptOversized());
+  EXPECT_FALSE(Reader.corruptReason().empty());
+  // Corruption is terminal: more (valid) bytes do not resynchronize.
+  std::vector<uint8_t> Valid;
+  appendFinish(Valid);
+  Reader.feed(Valid.data(), Valid.size());
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Corrupt);
+}
+
+TEST(ServeProtocol, ZeroLengthFrameIsCorrupt) {
+  uint8_t Bytes[5] = {0, 0, 0, 0, 0};
+  FrameReader Reader;
+  Reader.feed(Bytes, sizeof(Bytes));
+  Frame F;
+  EXPECT_EQ(Reader.next(F), FrameReader::Status::Corrupt);
+  EXPECT_FALSE(Reader.corruptOversized());
+}
+
+TEST(ServeProtocol, GarbagePayloadsRejectedByParsers) {
+  // A structurally valid frame whose payload is too short for its kind.
+  for (MsgKind K : {MsgKind::HelloAck, MsgKind::Transition, MsgKind::Progress,
+                    MsgKind::Finished}) {
+    std::vector<uint8_t> Bytes = {3, 0, 0, 0, uint8_t(K), 0xAB, 0xCD};
+    FrameReader Reader;
+    Reader.feed(Bytes.data(), Bytes.size());
+    Frame F;
+    ASSERT_EQ(Reader.next(F), FrameReader::Status::Frame);
+    HelloAckMsg Ack;
+    TransitionMsg T;
+    ProgressMsg P;
+    FinishedMsg Fin;
+    switch (K) {
+    case MsgKind::HelloAck:
+      EXPECT_FALSE(parseHelloAck(F, Ack));
+      break;
+    case MsgKind::Transition:
+      EXPECT_FALSE(parseTransition(F, T));
+      break;
+    case MsgKind::Progress:
+      EXPECT_FALSE(parseProgress(F, P));
+      break;
+    default:
+      EXPECT_FALSE(parseFinished(F, Fin));
+      break;
+    }
+  }
+}
+
+TEST(ServeProtocol, TransitionRejectsBadStateAndAnchorBytes) {
+  TransitionMsg T;
+  T.Offset = 1;
+  T.NewState = PhaseState::InPhase;
+  std::vector<uint8_t> Bytes;
+  appendTransition(Bytes, T);
+  // Payload layout: u64 offset, u8 state, u8 has-anchor, u64 anchor.
+  std::vector<uint8_t> BadState = Bytes;
+  BadState[5 + 8] = 9;
+  FrameReader R1;
+  R1.feed(BadState.data(), BadState.size());
+  Frame F;
+  ASSERT_EQ(R1.next(F), FrameReader::Status::Frame);
+  TransitionMsg Out;
+  EXPECT_FALSE(parseTransition(F, Out));
+
+  std::vector<uint8_t> BadAnchor = Bytes;
+  BadAnchor[5 + 9] = 2;
+  FrameReader R2;
+  R2.feed(BadAnchor.data(), BadAnchor.size());
+  ASSERT_EQ(R2.next(F), FrameReader::Status::Frame);
+  EXPECT_FALSE(parseTransition(F, Out));
+}
+
+TEST(ServeProtocol, ErrorNamesAreStable) {
+  EXPECT_STREQ(serveErrorName(ServeError::None), "none");
+  EXPECT_STREQ(serveErrorName(ServeError::BadConfig), "bad-config");
+  EXPECT_STREQ(serveErrorName(ServeError::Evicted), "evicted");
+  EXPECT_STREQ(serveErrorName(ServeError::Shutdown), "shutdown");
+}
+
+} // namespace
