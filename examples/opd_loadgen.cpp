@@ -56,7 +56,7 @@ double secondsBetween(Clock::time_point From, Clock::time_point To) {
 
 /// One multiplexed client session driven by the poll loop.
 struct LoadSession {
-  enum class Phase : uint8_t { Connecting, Running, Done, Failed };
+  enum class Phase : uint8_t { Connecting, Running, Done, Failed, Drained };
   Phase Ph = Phase::Connecting;
   int Fd = -1;
 
@@ -85,6 +85,7 @@ struct Options {
   size_t Chunk = 4096;
   DetectorConfig Config;
   bool Verify = false;
+  bool TolerateShutdown = false;
   bool Json = false;
   int OfflineReps = 3;
 };
@@ -166,6 +167,7 @@ struct Harness {
   size_t Launched = 0;
   size_t Completed = 0;
   size_t Failed = 0;
+  size_t Drained = 0;
   size_t Mismatches = 0;
   uint64_t ServedElements = 0;
 
@@ -180,6 +182,7 @@ struct Harness {
                             (Opts.Verify ? HelloWantAnchors : 0))) {}
 
   bool launchOne(std::string &Error);
+  bool prefixMatches(const StreamedRun &Run) const;
   void refillOut(LoadSession &S, Clock::time_point Now);
   bool flushOut(LoadSession &S, Clock::time_point Now);
   void finish(LoadSession &S, LoadSession::Phase Ph);
@@ -266,6 +269,21 @@ bool Harness::flushOut(LoadSession &S, Clock::time_point Now) {
   }
 }
 
+/// Drain-cut equivalence: a session cut mid-stream must have received a
+/// clean prefix of the offline reference's transition sequence — the
+/// server decides whole batches before cutting, never a partial or
+/// reordered one.
+bool Harness::prefixMatches(const StreamedRun &Run) const {
+  const std::vector<StateRun> &Runs = Reference->States.runs();
+  for (size_t J = 0; J != Run.Transitions.size(); ++J) {
+    const TransitionMsg &T = Run.Transitions[J];
+    if (J + 1 >= Runs.size() || T.Offset != Runs[J + 1].Begin ||
+        T.NewState != Runs[J + 1].State)
+      return false;
+  }
+  return true;
+}
+
 void Harness::finish(LoadSession &S, LoadSession::Phase Ph) {
   S.Ph = Ph;
   S.End = Clock::now();
@@ -282,6 +300,10 @@ void Harness::finish(LoadSession &S, LoadSession::Phase Ph) {
       if (!sameRun(Streamed, *Reference))
         Mismatches += 1;
     }
+  } else if (Ph == LoadSession::Phase::Drained) {
+    Drained += 1;
+    if (Opts.Verify && Reference && !prefixMatches(S.Run))
+      Mismatches += 1;
   } else {
     Failed += 1;
   }
@@ -342,6 +364,12 @@ void Harness::handleEvents(LoadSession &S, Clock::time_point Now) {
     case MsgKind::Error: {
       S.Run.GotError = true;
       parseError(F, S.Run.Err);
+      if (Opts.TolerateShutdown &&
+          (S.Run.Err.Code == ServeError::Shutdown ||
+           S.Run.Err.Code == ServeError::Evicted)) {
+        finish(S, LoadSession::Phase::Drained);
+        break;
+      }
       S.Error = std::string("server error: ") +
                 serveErrorName(S.Run.Err.Code) + ": " + S.Run.Err.Message;
       finish(S, LoadSession::Phase::Failed);
@@ -367,6 +395,12 @@ void Harness::handleRead(LoadSession &S, Clock::time_point Now) {
       continue;
     }
     if (N == 0) {
+      // Under --tolerate-shutdown a close that races the drain's Error
+      // frame is still a drain cut, not a failure.
+      if (Opts.TolerateShutdown) {
+        finish(S, LoadSession::Phase::Drained);
+        return;
+      }
       S.Error = "connection closed by server";
       finish(S, LoadSession::Phase::Failed);
       return;
@@ -431,14 +465,18 @@ bool Harness::run(std::string &Error) {
         flushOut(S, Now);
       if (S.Ph == LoadSession::Phase::Running &&
           (Re & (POLLERR | POLLHUP)) && !(Re & POLLIN)) {
+        if (Opts.TolerateShutdown) {
+          finish(S, LoadSession::Phase::Drained);
+          continue;
+        }
         S.Error = "connection reset";
         finish(S, LoadSession::Phase::Failed);
       }
     }
     // Retire finished sessions and backfill to the concurrency target.
     for (size_t I = 0; I != Active.size();) {
-      if (Active[I]->Ph == LoadSession::Phase::Done ||
-          Active[I]->Ph == LoadSession::Phase::Failed) {
+      if (Active[I]->Ph != LoadSession::Phase::Connecting &&
+          Active[I]->Ph != LoadSession::Phase::Running) {
         if (!Active[I]->Error.empty() && Failed <= 5)
           std::fprintf(stderr, "opd_loadgen: session failed: %s\n",
                        Active[I]->Error.c_str());
@@ -477,6 +515,10 @@ int main(int Argc, char **Argv) {
   Args.addOption("param", "analyzer parameter", "0.5");
   Args.addOption("offline-reps", "offline baseline repetitions", "3");
   Args.addFlag("verify", "check streamed output against offline runDetector");
+  Args.addFlag("tolerate-shutdown",
+               "treat drain/eviction cuts as drained, not failed; with "
+               "--verify their transitions must prefix-match the offline "
+               "reference");
   Args.addFlag("json", "emit one JSON result object on stdout");
   if (!Args.parse(Argc, Argv))
     return Args.helpRequested() ? 0 : 1;
@@ -495,6 +537,7 @@ int main(int Argc, char **Argv) {
   Opts.Scale = Args.getDouble("scale", 1.0);
   Opts.Chunk = size_t(std::max(1L, Args.getInt("chunk", 4096)));
   Opts.Verify = Args.getFlag("verify");
+  Opts.TolerateShutdown = Args.getFlag("tolerate-shutdown");
   Opts.Json = Args.getFlag("json");
   Opts.OfflineReps = int(std::max(1L, Args.getInt("offline-reps", 3)));
   std::string Error;
@@ -553,19 +596,23 @@ int main(int Argc, char **Argv) {
   if (Opts.Json) {
     std::printf(
         "{\"workload\": \"%s\", \"sessions\": %zu, \"total_sessions\": %zu, "
-        "\"completed\": %zu, \"failed\": %zu, \"elements\": %llu, "
+        "\"completed\": %zu, \"failed\": %zu, \"drained\": %zu, "
+        "\"elements\": %llu, "
         "\"seconds\": %.3f, \"eps\": %.0f, "
         "\"batch_us\": {\"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f}, "
         "\"session_ms\": {\"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f}, "
         "\"offline_eps\": %.0f, \"serving_vs_offline_ratio\": %.4f, "
         "\"verified\": %s, \"mismatches\": %zu}\n",
         Opts.WorkloadName.c_str(), Opts.Concurrent, Opts.Total, H.Completed,
-        H.Failed, (unsigned long long)H.ServedElements, Seconds, Eps, BatchP50,
+        H.Failed, H.Drained, (unsigned long long)H.ServedElements, Seconds,
+        Eps, BatchP50,
         BatchP95, BatchP99, SessP50, SessP95, SessP99, OfflineEps, Ratio,
         Opts.Verify ? "true" : "false", H.Mismatches);
   } else {
-    std::printf("workload %s: %zu/%zu sessions completed, %zu failed\n",
-                Opts.WorkloadName.c_str(), H.Completed, Opts.Total, H.Failed);
+    std::printf("workload %s: %zu/%zu sessions completed, %zu failed, "
+                "%zu drained\n",
+                Opts.WorkloadName.c_str(), H.Completed, Opts.Total, H.Failed,
+                H.Drained);
     std::printf("served %llu elements in %.3f s (%.0f elements/s)\n",
                 (unsigned long long)H.ServedElements, Seconds, Eps);
     std::printf("batch ack latency us: p50 %.1f  p95 %.1f  p99 %.1f\n",
@@ -575,8 +622,9 @@ int main(int Argc, char **Argv) {
     std::printf("offline baseline %.0f elements/s; serving/offline %.4f\n",
                 OfflineEps, Ratio);
     if (Opts.Verify)
-      std::printf("verify: %zu mismatches over %zu sessions\n", H.Mismatches,
-                  H.Completed);
+      std::printf("verify: %zu mismatches over %zu completed + %zu drained "
+                  "sessions\n",
+                  H.Mismatches, H.Completed, H.Drained);
   }
 
   return (H.Failed == 0 && H.Mismatches == 0) ? 0 : 1;

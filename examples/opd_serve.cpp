@@ -60,6 +60,10 @@ int main(int Argc, char **Argv) {
                  "10");
   Args.addOption("stats-interval",
                  "seconds between stats lines on stderr (0 disables)", "0");
+  Args.addOption("max-pending",
+                 "per-session ingress watermark in buffered elements "
+                 "(0 = default; tiny values force backpressure)",
+                 "0");
   if (!Args.parse(Argc, Argv))
     return Args.helpRequested() ? 0 : 1;
 
@@ -69,6 +73,8 @@ int main(int Argc, char **Argv) {
   Opts.MaxSessions = size_t(Args.getInt("max-sessions", 8192));
   Opts.IdleTimeoutSeconds = Args.getDouble("idle-timeout", 60.0);
   Opts.DrainTimeoutSeconds = Args.getDouble("drain-timeout", 10.0);
+  if (long MaxPending = Args.getInt("max-pending", 0))
+    Opts.Limits.MaxPendingElements = size_t(MaxPending);
 
   PhaseServer Server(Opts);
   std::string Error;

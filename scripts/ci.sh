@@ -51,6 +51,16 @@ run_config() {
 
 run_config plain
 
+# Protocol verification leg: the wire-protocol model checker must prove
+# its invariants, the real ServeSession must conform to the model edge
+# by edge, docs/SERVING.md must match the model's catalogues and frame
+# legality, and a fixed-seed model-guided fuzz budget (with the offline
+# detector as data-plane oracle) must come back clean. serve_check exits
+# non-zero on any warning-or-worse diagnostic.
+echo "=== [plain] serve_check (protocol model vs impl vs docs/SERVING.md) ==="
+"${PREFIX}-plain/examples/serve_check" --impl --doc docs/SERVING.md \
+  --fuzz 500 --seed 7 --stats
+
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "=== [plain] clang-tidy ==="
   cmake -B "${PREFIX}-plain" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null

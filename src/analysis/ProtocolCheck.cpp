@@ -1,0 +1,346 @@
+//===- analysis/ProtocolCheck.cpp - Explicit-state protocol checker ---------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ProtocolCheck.h"
+
+#include <map>
+#include <string>
+
+using namespace opd;
+
+namespace {
+
+constexpr SourceLoc ModelLoc{0, 0};
+
+/// Packs a configuration into a totally ordered key for the visited map.
+uint64_t configKey(const ProtoConfigState &S) {
+  return uint64_t(S.Occupancy) | (uint64_t(S.St) << 32) |
+         (uint64_t(S.ReadPaused) << 40) | (uint64_t(S.Err) << 48);
+}
+
+bool eventOffered(const ProtocolModel &M, const ProtoConfigState &S,
+                  ProtoEvent Ev, const ProtocolCheckOptions &Options) {
+  if (Options.SimulateReadWhileSaturated)
+    return true;
+  return M.offered(S, Ev);
+}
+
+std::string describeConfig(const ProtoConfigState &S) {
+  std::string Out = ProtocolModel::stateName(S.St);
+  Out += "(occ=" + std::to_string(S.Occupancy);
+  if (S.ReadPaused)
+    Out += ", paused";
+  if (S.Err != ServeError::None)
+    Out += std::string(", err=") + serveErrorName(S.Err);
+  Out += ")";
+  return Out;
+}
+
+std::string describeStep(const ProtoStep &Step) {
+  std::string Out = ProtocolModel::eventName(Step.Event);
+  if (Step.Event == ProtoEvent::ElementsOk) {
+    Out += "(";
+    Out += std::to_string(Step.Count);
+    Out += ")";
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string opd::renderWitness(const std::vector<ProtoStep> &Path) {
+  if (Path.empty())
+    return "<initial>";
+  std::string Out;
+  for (const ProtoStep &Step : Path) {
+    if (!Out.empty())
+      Out += " -> ";
+    Out += describeStep(Step);
+  }
+  return Out;
+}
+
+ProtoExploration opd::exploreProtocol(const ProtocolModel &M,
+                                      const ProtocolCheckOptions &Options) {
+  ProtoExploration Ex;
+  std::map<uint64_t, uint32_t> Visited;
+  // Expansion frontier cap: a configuration above the occupancy bound is
+  // already a watermark violation, and expanding it further would make
+  // the faulted (SimulateReadWhileSaturated) space unbounded.
+  const uint32_t OccMax =
+      M.params().HighWatermark - 1 + M.params().MaxFrameElements;
+
+  ProtoConfigState Init;
+  Ex.States.push_back(Init);
+  Ex.Witness.emplace_back();
+  Visited[configKey(Init)] = 0;
+
+  for (uint32_t Head = 0; Head != Ex.States.size(); ++Head) {
+    const ProtoConfigState S = Ex.States[Head];
+    if (S.Occupancy > OccMax)
+      continue;
+    for (unsigned E = 0; E != NumProtoEvents; ++E) {
+      ProtoEvent Ev = static_cast<ProtoEvent>(E);
+      if (!eventOffered(M, S, Ev, Options))
+        continue;
+      uint32_t MaxCount =
+          Ev == ProtoEvent::ElementsOk ? M.params().MaxFrameElements : 0;
+      for (uint32_t Count = Ev == ProtoEvent::ElementsOk ? 1 : 0;
+           Count <= MaxCount; ++Count) {
+        ProtocolModel::StepResult Res = M.step(S, Ev, Count);
+        if (!Res.Rule || Res.Ambiguous) {
+          Ex.Complete = false;
+          continue;
+        }
+        uint64_t Key = configKey(Res.Next);
+        auto It = Visited.find(Key);
+        uint32_t ToIdx;
+        if (It == Visited.end()) {
+          ToIdx = uint32_t(Ex.States.size());
+          Visited[Key] = ToIdx;
+          Ex.States.push_back(Res.Next);
+          std::vector<ProtoStep> Path = Ex.Witness[Head];
+          Path.push_back({Ev, Count});
+          Ex.Witness.push_back(std::move(Path));
+        } else {
+          ToIdx = It->second;
+        }
+        Ex.Edges.push_back({Head, ToIdx, {Ev, Count}, Res.Decided, Res.Rule});
+      }
+    }
+  }
+  return Ex;
+}
+
+ProtoExploration opd::checkProtocolModel(const ProtocolModel &M,
+                                         const ProtocolCheckOptions &Options,
+                                         DiagnosticEngine &Diags) {
+  const ProtocolParams &P = M.params();
+  const uint32_t OccMax = P.HighWatermark - 1 + P.MaxFrameElements;
+
+  //===--------------------------------------------------------------------===//
+  // Table well-formedness: the structural rules every row must satisfy,
+  // checked before any exploration so a broken table is reported at its
+  // row rather than as a downstream symptom.
+  //===--------------------------------------------------------------------===//
+  const std::vector<TransitionRule> &Rules = M.rules();
+  for (size_t I = 0; I != Rules.size(); ++I) {
+    const TransitionRule &R = Rules[I];
+    std::string Where = std::string("rule #") + std::to_string(I) + " (" +
+                        ProtocolModel::stateName(R.From) + ", " +
+                        ProtocolModel::eventName(R.Event) + ")";
+    bool EntersFailed =
+        R.To == ProtoState::Failed && R.From != ProtoState::Failed;
+    if (EntersFailed && R.Err == ServeError::None)
+      Diags.report(DiagSeverity::Error, ModelLoc, "malformed-rule",
+                   Where + " enters Failed without an error code");
+    if (!EntersFailed && R.Err != ServeError::None)
+      Diags.report(DiagSeverity::Error, ModelLoc, "malformed-rule",
+                   Where + " carries error code " + serveErrorName(R.Err) +
+                       " but does not enter Failed");
+    if (R.EmitHelloAck && !(R.From == ProtoState::AwaitHello &&
+                            R.To == ProtoState::Streaming))
+      Diags.report(DiagSeverity::Error, ModelLoc, "malformed-rule",
+                   Where + " emits HelloAck outside the handshake edge");
+    if (R.EmitFinished && R.To != ProtoState::Done)
+      Diags.report(DiagSeverity::Error, ModelLoc, "malformed-rule",
+                   Where + " emits Finished without entering Done");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Totality: every (state, event) pair must have exactly one applicable
+  // rule at every occupancy the product space admits — including
+  // configurations the I/O discipline never offers, because the table is
+  // the spec and must not have holes.
+  //===--------------------------------------------------------------------===//
+  for (unsigned StI = 0; StI != NumProtoStates; ++StI) {
+    for (unsigned E = 0; E != NumProtoEvents; ++E) {
+      for (uint32_t Occ = 0; Occ <= OccMax; ++Occ) {
+        ProtoConfigState S;
+        S.St = static_cast<ProtoState>(StI);
+        S.Occupancy = Occ;
+        ProtocolModel::StepResult Res =
+            M.step(S, static_cast<ProtoEvent>(E), 1);
+        std::string Where =
+            std::string("(") + ProtocolModel::stateName(S.St) + ", " +
+            ProtocolModel::eventName(static_cast<ProtoEvent>(E)) +
+            ", occ=" + std::to_string(Occ) + ")";
+        if (!Res.Rule) {
+          Diags.report(DiagSeverity::Error, ModelLoc, "missing-transition",
+                       "no rule applies at " + Where +
+                           ": the transition function is not total");
+          break; // One report per (state, event) is enough.
+        }
+        if (Res.Ambiguous) {
+          Diags.report(DiagSeverity::Error, ModelLoc, "ambiguous-transition",
+                       "more than one rule applies at " + Where);
+          break;
+        }
+      }
+    }
+  }
+
+  ProtoExploration Ex = exploreProtocol(M, Options);
+  if (!Ex.Complete)
+    return Ex; // Holes already diagnosed; the graph is partial.
+
+  //===--------------------------------------------------------------------===//
+  // Reachability: every lifecycle state and every session-level error
+  // code must actually be reachable from the initial configuration.
+  //===--------------------------------------------------------------------===//
+  bool SeenState[NumProtoStates] = {};
+  bool SeenErr[32] = {};
+  for (const ProtoConfigState &S : Ex.States) {
+    SeenState[unsigned(S.St)] = true;
+    if (S.St == ProtoState::Failed)
+      SeenErr[unsigned(S.Err) & 31] = true;
+  }
+  for (unsigned StI = 0; StI != NumProtoStates; ++StI)
+    if (!SeenState[StI])
+      Diags.report(DiagSeverity::Error, ModelLoc, "unreachable-state",
+                   std::string("lifecycle state ") +
+                       ProtocolModel::stateName(static_cast<ProtoState>(StI)) +
+                       " is unreachable");
+  for (const ProtocolModel::ErrorInfo &EI : ProtocolModel::errorCodes()) {
+    if (!EI.SessionLevel)
+      continue;
+    if (!SeenErr[EI.Value & 31])
+      Diags.report(DiagSeverity::Error, ModelLoc, "unreachable-state",
+                   std::string("session-level error code '") + EI.Name +
+                       "' is never emitted");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // No stuck states: from every reachable non-terminal configuration
+  // some offered event sequence reaches a terminal. Reverse reachability
+  // from the terminal set over the explored edges.
+  //===--------------------------------------------------------------------===//
+  std::vector<char> Reaches(Ex.States.size(), 0);
+  for (size_t I = 0; I != Ex.States.size(); ++I)
+    if (ProtocolModel::isTerminal(Ex.States[I].St))
+      Reaches[I] = 1;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const ProtoEdge &E : Ex.Edges)
+      if (!Reaches[E.From] && Reaches[E.To]) {
+        Reaches[E.From] = 1;
+        Changed = true;
+      }
+  }
+  unsigned StuckReported = 0;
+  for (size_t I = 0; I != Ex.States.size(); ++I) {
+    // Over-bound configurations are frontier-capped (not expanded), so a
+    // missing escape path there is an artifact of the cap, not a table
+    // defect; they are reported as watermark violations below instead.
+    if (Reaches[I] || StuckReported >= 16 || Ex.States[I].Occupancy > OccMax)
+      continue;
+    ++StuckReported;
+    Diags.report(DiagSeverity::Error, ModelLoc, "stuck-state",
+                 describeConfig(Ex.States[I]) +
+                     " has no offered path to a terminal state"
+                     " (witness: " +
+                     renderWitness(Ex.Witness[I]) + ")");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Bounded drain: Evict and Drain close the session in a single step
+  // from every reachable configuration, and a draining session finishes
+  // under repeated one-batch pumps within ceil(occ / Batch) + 1 steps.
+  //===--------------------------------------------------------------------===//
+  for (size_t I = 0; I != Ex.States.size(); ++I) {
+    const ProtoConfigState &S = Ex.States[I];
+    for (ProtoEvent Ev : {ProtoEvent::Evict, ProtoEvent::Drain}) {
+      ProtocolModel::StepResult Res = M.step(S, Ev);
+      if (Res.Rule && !ProtocolModel::isTerminal(Res.Next.St))
+        Diags.report(DiagSeverity::Error, ModelLoc, "unbounded-drain",
+                     std::string(ProtocolModel::eventName(Ev)) + " from " +
+                         describeConfig(S) + " reaches " +
+                         describeConfig(Res.Next) +
+                         " instead of a terminal state (witness: " +
+                         renderWitness(Ex.Witness[I]) + ")");
+    }
+    if (S.St != ProtoState::Draining)
+      continue;
+    uint32_t Budget = (S.Occupancy + P.Batch - 1) / P.Batch + 1;
+    ProtoConfigState Cur = S;
+    bool Closed = false;
+    for (uint32_t Step = 0; Step != Budget; ++Step) {
+      ProtocolModel::StepResult Res = M.step(Cur, ProtoEvent::PumpOne);
+      if (!Res.Rule)
+        break;
+      Cur = Res.Next;
+      if (ProtocolModel::isTerminal(Cur.St)) {
+        Closed = true;
+        break;
+      }
+    }
+    if (!Closed)
+      Diags.report(DiagSeverity::Error, ModelLoc, "unbounded-drain",
+                   "draining session " + describeConfig(S) +
+                       " does not finish within " + std::to_string(Budget) +
+                       " one-batch pumps (witness: " +
+                       renderWitness(Ex.Witness[I]) + ")");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Watermark discipline and buffer accounting, on every reachable
+  // configuration and every explored edge.
+  //===--------------------------------------------------------------------===//
+  for (size_t I = 0; I != Ex.States.size(); ++I) {
+    const ProtoConfigState &S = Ex.States[I];
+    if (S.Occupancy > OccMax)
+      Diags.report(DiagSeverity::Error, ModelLoc, "watermark-violation",
+                   describeConfig(S) + " exceeds the occupancy bound " +
+                       std::to_string(OccMax) + " (witness: " +
+                       renderWitness(Ex.Witness[I]) + ")");
+    if (!ProtocolModel::isTerminal(S.St) && !S.ReadPaused &&
+        S.Occupancy >= P.HighWatermark)
+      Diags.report(DiagSeverity::Error, ModelLoc, "watermark-violation",
+                   describeConfig(S) +
+                       " is at or above the high watermark while the "
+                       "server is still reading (witness: " +
+                       renderWitness(Ex.Witness[I]) + ")");
+    if (ProtocolModel::isTerminal(S.St) && S.Occupancy != 0)
+      Diags.report(DiagSeverity::Error, ModelLoc, "buffer-leak",
+                   describeConfig(S) +
+                       " is terminal but still holds buffered elements "
+                       "(witness: " +
+                       renderWitness(Ex.Witness[I]) + ")");
+  }
+  unsigned PausedReadReported = 0;
+  for (const ProtoEdge &E : Ex.Edges) {
+    const ProtoConfigState &From = Ex.States[E.From];
+    const ProtoConfigState &To = Ex.States[E.To];
+    if (From.ReadPaused && ProtocolModel::isClientFrameEvent(E.Step.Event) &&
+        PausedReadReported < 16) {
+      ++PausedReadReported;
+      Diags.report(DiagSeverity::Error, ModelLoc, "watermark-violation",
+                   "client frame " + describeStep(E.Step) +
+                       " processed while the read was paused at " +
+                       describeConfig(From));
+    }
+    if (!From.ReadPaused && To.ReadPaused) {
+      if (E.Step.Event != ProtoEvent::ElementsOk ||
+          To.Occupancy < P.HighWatermark)
+        Diags.report(DiagSeverity::Error, ModelLoc, "watermark-violation",
+                     "read pauses on " + describeStep(E.Step) + " from " +
+                         describeConfig(From) + " to " + describeConfig(To) +
+                         " without crossing the high watermark");
+    }
+    if (From.ReadPaused && !To.ReadPaused &&
+        !ProtocolModel::isTerminal(To.St) &&
+        To.Occupancy >= P.HighWatermark / 2)
+      Diags.report(DiagSeverity::Error, ModelLoc, "watermark-violation",
+                   "read resumes on " + describeStep(E.Step) + " from " +
+                       describeConfig(From) + " to " + describeConfig(To) +
+                       " above the low watermark " +
+                       std::to_string(P.HighWatermark / 2));
+  }
+
+  return Ex;
+}

@@ -1,0 +1,118 @@
+//===- analysis/ProtocolCheck.h - Explicit-state protocol checker -*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An explicit-state model checker for the serve-protocol model
+/// (analysis/ProtocolModel.h). `exploreProtocol` exhaustively enumerates
+/// the reachable product of protocol state x buffer occupancy x
+/// read-pause flag x terminal error code under the serving I/O
+/// discipline, recording a shortest witness event path to every
+/// configuration. `checkProtocolModel` proves the protocol invariants on
+/// top of the exploration and reports violations as stable-coded
+/// diagnostics (docs/ANALYSIS.md documents the catalogue):
+///
+///   code                  severity  meaning
+///   --------------------- --------  ----------------------------------
+///   missing-transition    error     some (state, event, occupancy) has
+///                                   no applicable rule (the transition
+///                                   function is not total)
+///   ambiguous-transition  error     more than one rule applies
+///   malformed-rule        error     a rule violates table well-
+///                                   formedness (e.g. an error code on a
+///                                   non-failing transition)
+///   unreachable-state     error     a lifecycle state or session-level
+///                                   error code is never reached
+///   stuck-state           error     a reachable non-terminal config has
+///                                   no offered path to a terminal
+///   unbounded-drain       error     Evict/Drain does not close the
+///                                   session in one step, or a draining
+///                                   session needs more than
+///                                   ceil(occ/Batch)+1 pumps to finish
+///   watermark-violation   error     occupancy or the read-pause
+///                                   hysteresis breaks the backpressure
+///                                   discipline
+///   buffer-leak           error     a terminal configuration retains
+///                                   buffered elements
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_ANALYSIS_PROTOCOLCHECK_H
+#define OPD_ANALYSIS_PROTOCOLCHECK_H
+
+#include "analysis/ProtocolModel.h"
+#include "lang/Diagnostics.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace opd {
+
+/// One step of a witness path: the event applied and, for ElementsOk,
+/// the element count it carried.
+struct ProtoStep {
+  ProtoEvent Event;
+  uint32_t Count = 0;
+};
+
+/// One explored edge of the reachable configuration graph.
+struct ProtoEdge {
+  uint32_t From = 0; ///< Index into ProtoExploration::States.
+  uint32_t To = 0;   ///< Index into ProtoExploration::States.
+  ProtoStep Step;
+  /// Elements decided (streamed through the detector) by this edge.
+  uint32_t Decided = 0;
+  /// The table rule that fired (pointer into the model's rules();
+  /// invalidated by table mutation).
+  const TransitionRule *Rule = nullptr;
+};
+
+/// The reachable configuration graph of one model instance.
+struct ProtoExploration {
+  /// Every reachable configuration, in BFS discovery order; index 0 is
+  /// the initial configuration.
+  std::vector<ProtoConfigState> States;
+  /// Every explored edge between reachable configurations.
+  std::vector<ProtoEdge> Edges;
+  /// Witness[i] is a shortest event path from the initial configuration
+  /// to States[i].
+  std::vector<std::vector<ProtoStep>> Witness;
+  /// True when exploration aborted (missing or ambiguous transition);
+  /// the graph is then partial and invariant checks on it are skipped.
+  bool Complete = true;
+};
+
+/// Knobs for `checkProtocolModel`.
+struct ProtocolCheckOptions {
+  /// Fault injection: offer client-frame events even while the read is
+  /// paused, simulating a server that keeps reading a saturated
+  /// session. The watermark invariant must then fail — the negative
+  /// test that proves the backpressure discipline is load-bearing.
+  bool SimulateReadWhileSaturated = false;
+};
+
+/// Exhaustively explores the reachable configurations of \p M under the
+/// serving I/O discipline (or the faulted discipline from \p Options).
+/// ElementsOk is expanded once per element count in
+/// [1, MaxFrameElements]. On a missing or ambiguous transition the
+/// exploration marks itself incomplete and stops expanding that edge.
+ProtoExploration exploreProtocol(const ProtocolModel &M,
+                                 const ProtocolCheckOptions &Options = {});
+
+/// Renders a witness path as "event(count) -> event -> ..." for
+/// diagnostics.
+std::string renderWitness(const std::vector<ProtoStep> &Path);
+
+/// Proves the protocol invariants of \p M, recording violations in
+/// \p Diags. Returns the exploration so callers (the conformance layer,
+/// serve_check --json) can reuse the graph without re-exploring.
+ProtoExploration checkProtocolModel(const ProtocolModel &M,
+                                    const ProtocolCheckOptions &Options,
+                                    DiagnosticEngine &Diags);
+
+} // namespace opd
+
+#endif // OPD_ANALYSIS_PROTOCOLCHECK_H

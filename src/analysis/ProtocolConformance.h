@@ -1,0 +1,81 @@
+//===- analysis/ProtocolConformance.h - Model-vs-reality diffs --*- C++ -*-===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three conformance directions that pin the protocol model
+/// (analysis/ProtocolModel.h) to reality:
+///
+///   * `checkImplConformance` drives a real ServeSession along every
+///     edge of the explored model graph — encoding each classified event
+///     as actual wire bytes (or the matching pump/shutdown call) — and
+///     diffs the observed lifecycle state, error code, buffer occupancy,
+///     processed-element count, emitted frames, and backpressure
+///     predicates against the model's prediction at every step.
+///   * `checkDocConformance` parses the normative tables of
+///     docs/SERVING.md (frame kinds, error codes, lifecycle states,
+///     frame legality by state) and diffs them against the model's
+///     catalogues.
+///   * `fuzzProtocolConformance` runs model-guided adversarial
+///     schedules: random interleavings of well-formed and malformed
+///     frames, pumps with and without budgets, watermark crossings, and
+///     eviction/drain, under randomized batch/watermark/frame-size
+///     parameters and detector shapes, with the model as the
+///     control-plane oracle and offline runDetector() as the data-plane
+///     oracle for sessions that complete.
+///
+/// Diagnostic codes (all Error severity; docs/ANALYSIS.md):
+///
+///   impl-divergence   ServeSession disagrees with the model
+///   doc-divergence    docs/SERVING.md disagrees with the model
+///   doc-parse         a normative doc table is missing or malformed
+///   fuzz-divergence   an adversarial schedule exposed a disagreement
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPD_ANALYSIS_PROTOCOLCONFORMANCE_H
+#define OPD_ANALYSIS_PROTOCOLCONFORMANCE_H
+
+#include "analysis/ProtocolCheck.h"
+#include "lang/Diagnostics.h"
+
+#include <string>
+
+namespace opd {
+
+/// Replays every edge of \p M's explored graph on a real ServeSession
+/// and records any divergence in \p Diags (code `impl-divergence`).
+/// Reporting stops after a bounded number of divergences; the first ones
+/// pinpoint the defect and the rest are echoes.
+void checkImplConformance(const ProtocolModel &M, DiagnosticEngine &Diags);
+
+/// Parses the normative tables of \p DocText (the contents of
+/// docs/SERVING.md) and diffs them against \p M's catalogues, recording
+/// `doc-divergence` / `doc-parse` findings in \p Diags. Diagnostic
+/// locations carry the 1-based line number within \p DocText.
+void checkDocConformance(const ProtocolModel &M, const std::string &DocText,
+                         DiagnosticEngine &Diags);
+
+/// Knobs for the model-guided fuzz pass.
+struct ProtocolFuzzOptions {
+  /// PRNG seed; a fixed seed makes a CI run reproducible.
+  uint64_t Seed = 1;
+  /// Number of independent random sessions to run.
+  unsigned Iterations = 200;
+  /// Event budget per session (sessions also stop at a terminal state).
+  unsigned MaxSteps = 96;
+};
+
+/// Runs \p Options.Iterations random sessions in model/implementation
+/// lockstep, recording any disagreement in \p Diags (code
+/// `fuzz-divergence`). Each finding names the seed, iteration, and event
+/// schedule prefix so it can be replayed.
+void fuzzProtocolConformance(const ProtocolFuzzOptions &Options,
+                             DiagnosticEngine &Diags);
+
+} // namespace opd
+
+#endif // OPD_ANALYSIS_PROTOCOLCONFORMANCE_H

@@ -680,6 +680,8 @@ void PhaseServer::Impl::ioLoop() {
 PhaseServer::PhaseServer(const ServerOptions &Options)
     : I(std::make_unique<Impl>(Options)) {}
 
+// NOLINTNEXTLINE(bugprone-exception-escape): stop() joins threads and
+// closes fds; a throwing join here means the process is already lost.
 PhaseServer::~PhaseServer() { stop(); }
 
 bool PhaseServer::start(std::string &Error) { return I->start(Error); }

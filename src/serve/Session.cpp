@@ -15,6 +15,8 @@ ServeSession::ServeSession(uint64_t Id, const ServeLimits &Limits,
                            DetectorCache &Cache)
     : Id(Id), Limits(Limits), Cache(Cache) {}
 
+// NOLINTNEXTLINE(bugprone-exception-escape): release path only moves a
+// pooled detector back to the cache; nothing on it can throw.
 ServeSession::~ServeSession() { releaseDetector(); }
 
 void ServeSession::releaseDetector() {
@@ -39,7 +41,12 @@ void ServeSession::fail(ServeError Code, const std::string &Message) {
 }
 
 bool ServeSession::feed(const uint8_t *Data, size_t N) {
-  if (St == State::Failed)
+  // Terminal states ignore further input instead of parsing it: a Done
+  // session must never regress to Failed (the protocol model's
+  // conformance replay pins this — trailing client bytes after Finished
+  // previously turned Done into Failed with a spurious BadState Error
+  // *after* the Finished summary).
+  if (St == State::Failed || St == State::Done)
     return false;
   Reader.feed(Data, N);
   Frame F;

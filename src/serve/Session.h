@@ -77,8 +77,10 @@ public:
 
   /// Consumes \p N raw bytes from the client: decodes frames, performs
   /// the handshake, buffers elements, records Finish. Returns false once
-  /// the session is Failed (the terminal Error frame is already in the
-  /// output buffer); further bytes are ignored.
+  /// the session is terminal — Failed (the terminal Error frame is
+  /// already in the output buffer) or Done (the Finished summary was
+  /// emitted) — and further bytes are ignored rather than parsed, so a
+  /// completed session never regresses to Failed on trailing input.
   bool feed(const uint8_t *Data, size_t N);
 
   /// Streams buffered elements through the detector: decides every full

@@ -1,0 +1,366 @@
+//===- tests/ProtocolCheckTest.cpp - Protocol model checker tests ---------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+//
+// Positive proofs: the shipped protocol model satisfies every invariant,
+// matches the real ServeSession on every explored edge, matches the
+// normative tables of docs/SERVING.md, and survives a fixed-seed
+// model-guided fuzz budget.
+//
+// Negative proofs (the checks have teeth): each invariant is broken by a
+// targeted table mutation — erased, duplicated, or retargeted rules and
+// a fault-injected I/O discipline — and the matching diagnostic code
+// must fire.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ProtocolCheck.h"
+#include "analysis/ProtocolConformance.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+using namespace opd;
+
+namespace {
+
+bool hasCode(const DiagnosticEngine &Diags, const std::string &Code) {
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Code == Code)
+      return true;
+  return false;
+}
+
+/// Asserts the model checker reports \p Code (and nothing makes the
+/// engine look clean).
+void expectViolation(ProtocolModel &M, const std::string &Code,
+                     ProtocolCheckOptions Options = {}) {
+  DiagnosticEngine Diags;
+  checkProtocolModel(M, Options, Diags);
+  EXPECT_TRUE(hasCode(Diags, Code))
+      << "expected [" << Code << "], got:\n"
+      << Diags.renderAll();
+}
+
+/// Erases every rule matching (From, Event); returns the count removed.
+size_t eraseRules(ProtocolModel &M, ProtoState From, ProtoEvent Ev) {
+  std::vector<TransitionRule> &Rules = M.rules();
+  size_t Before = Rules.size();
+  Rules.erase(std::remove_if(Rules.begin(), Rules.end(),
+                             [&](const TransitionRule &R) {
+                               return R.From == From && R.Event == Ev;
+                             }),
+              Rules.end());
+  return Before - Rules.size();
+}
+
+TransitionRule *findRule(ProtocolModel &M, ProtoState From, ProtoEvent Ev) {
+  for (TransitionRule &R : M.rules())
+    if (R.From == From && R.Event == Ev)
+      return &R;
+  return nullptr;
+}
+
+std::string readSourceFile(const std::string &RelPath) {
+  std::ifstream In(std::string(OPD_SOURCE_DIR) + "/" + RelPath);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Positive: invariants hold on the shipped model
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolCheck, InvariantsHoldOnDefaultModel) {
+  ProtocolModel M;
+  DiagnosticEngine Diags;
+  ProtoExploration Ex = checkProtocolModel(M, {}, Diags);
+  EXPECT_TRUE(Diags.empty()) << Diags.renderAll();
+  EXPECT_TRUE(Ex.Complete);
+  EXPECT_FALSE(Ex.States.empty());
+  EXPECT_FALSE(Ex.Edges.empty());
+}
+
+TEST(ProtocolCheck, InvariantsHoldAcrossParameterSpace) {
+  // Every guard boundary: batch 1 (every pump drains), tiny and wide
+  // watermarks, single-element and batch-crossing frames.
+  for (uint32_t Batch : {1u, 2u, 3u, 5u})
+    for (uint32_t Watermark : {2u, 4u, 8u, 13u})
+      for (uint32_t MaxFrame : {1u, 3u, 7u}) {
+        ProtocolParams P;
+        P.Batch = Batch;
+        P.HighWatermark = Watermark;
+        P.MaxFrameElements = MaxFrame;
+        ProtocolModel M(P);
+        DiagnosticEngine Diags;
+        checkProtocolModel(M, {}, Diags);
+        EXPECT_TRUE(Diags.empty())
+            << "batch=" << Batch << " watermark=" << Watermark
+            << " max-frame=" << MaxFrame << ":\n"
+            << Diags.renderAll();
+      }
+}
+
+TEST(ProtocolCheck, ExplorationCoversTheFullProduct) {
+  ProtocolModel M;
+  ProtoExploration Ex = exploreProtocol(M);
+  ASSERT_TRUE(Ex.Complete);
+
+  // Every lifecycle state is reachable.
+  bool SeenState[NumProtoStates] = {};
+  bool SeenPaused = false, SeenUnpaused = false;
+  uint32_t MaxOcc = 0;
+  for (const ProtoConfigState &S : Ex.States) {
+    SeenState[static_cast<unsigned>(S.St)] = true;
+    (S.ReadPaused ? SeenPaused : SeenUnpaused) = true;
+    MaxOcc = std::max(MaxOcc, S.Occupancy);
+  }
+  for (unsigned I = 0; I != NumProtoStates; ++I)
+    EXPECT_TRUE(SeenState[I])
+        << ProtocolModel::stateName(static_cast<ProtoState>(I));
+  EXPECT_TRUE(SeenPaused);
+  EXPECT_TRUE(SeenUnpaused);
+  // Occupancy reaches the bound: a frame landing just under the
+  // watermark can overshoot it by MaxFrameElements - 1.
+  EXPECT_EQ(MaxOcc,
+            M.params().HighWatermark - 1 + M.params().MaxFrameElements);
+
+  // Witnesses really lead where they claim: replay each path.
+  for (size_t I = 0; I != Ex.States.size(); ++I) {
+    ProtoConfigState S;
+    for (const ProtoStep &Step : Ex.Witness[I]) {
+      ProtocolModel::StepResult Res = M.step(S, Step.Event, Step.Count);
+      ASSERT_NE(Res.Rule, nullptr);
+      S = Res.Next;
+    }
+    EXPECT_TRUE(S == Ex.States[I]) << "witness " << I << " diverges";
+  }
+}
+
+TEST(ProtocolCheck, EveryNonTerminalEventIsExplored) {
+  ProtocolModel M;
+  ProtoExploration Ex = exploreProtocol(M);
+  bool SeenEvent[NumProtoEvents] = {};
+  for (const ProtoEdge &E : Ex.Edges)
+    SeenEvent[static_cast<unsigned>(E.Step.Event)] = true;
+  for (unsigned I = 0; I != NumProtoEvents; ++I)
+    EXPECT_TRUE(SeenEvent[I])
+        << ProtocolModel::eventName(static_cast<ProtoEvent>(I));
+}
+
+//===----------------------------------------------------------------------===//
+// Negative: each invariant violation is detected
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolCheck, MissingTransitionDetected) {
+  ProtocolModel M;
+  ASSERT_GT(eraseRules(M, ProtoState::Streaming, ProtoEvent::FinishOk), 0u);
+  expectViolation(M, "missing-transition");
+}
+
+TEST(ProtocolCheck, AmbiguousTransitionDetected) {
+  ProtocolModel M;
+  TransitionRule *R =
+      findRule(M, ProtoState::Streaming, ProtoEvent::ElementsOk);
+  ASSERT_NE(R, nullptr);
+  M.rules().push_back(*R); // Two applicable rules for the same event.
+  expectViolation(M, "ambiguous-transition");
+}
+
+TEST(ProtocolCheck, MalformedRuleDetected) {
+  ProtocolModel M;
+  TransitionRule *R =
+      findRule(M, ProtoState::Streaming, ProtoEvent::ElementsOk);
+  ASSERT_NE(R, nullptr);
+  R->Err = ServeError::BadFrame; // Error code on a non-failing rule.
+  expectViolation(M, "malformed-rule");
+}
+
+TEST(ProtocolCheck, UnreachableStateDetected) {
+  ProtocolModel M;
+  // Reject every handshake: Streaming, Draining, and Done all become
+  // unreachable.
+  TransitionRule *R = findRule(M, ProtoState::AwaitHello, ProtoEvent::HelloOk);
+  ASSERT_NE(R, nullptr);
+  R->To = ProtoState::Failed;
+  R->Err = ServeError::BadMagic;
+  R->Occ = OccEffect::Clear;
+  R->EmitHelloAck = false;
+  expectViolation(M, "unreachable-state");
+}
+
+TEST(ProtocolCheck, StuckStateDetected) {
+  ProtocolModel M;
+  // Make Draining fully absorbing: every event — pumps, shutdowns, and
+  // the client-frame rejections that would otherwise escape to Failed —
+  // spins in place, so no offered path reaches a terminal state.
+  for (TransitionRule &R : M.rules())
+    if (R.From == ProtoState::Draining) {
+      R.To = ProtoState::Draining;
+      R.Err = ServeError::None;
+      R.Occ = OccEffect::None;
+      R.EmitFinished = false;
+    }
+  expectViolation(M, "stuck-state");
+}
+
+TEST(ProtocolCheck, UnboundedDrainDetected) {
+  ProtocolModel M;
+  // A drain request that leaves the session Streaming: shutdown no
+  // longer closes the session in one step.
+  TransitionRule *R = findRule(M, ProtoState::Streaming, ProtoEvent::Drain);
+  ASSERT_NE(R, nullptr);
+  R->To = ProtoState::Streaming;
+  R->Err = ServeError::None;
+  R->Occ = OccEffect::None;
+  expectViolation(M, "unbounded-drain");
+}
+
+TEST(ProtocolCheck, BufferLeakDetected) {
+  ProtocolModel M;
+  // Eviction that forgets to clear the pending buffer: a terminal
+  // configuration retains elements.
+  TransitionRule *R = findRule(M, ProtoState::Streaming, ProtoEvent::Evict);
+  ASSERT_NE(R, nullptr);
+  R->Occ = OccEffect::None;
+  expectViolation(M, "buffer-leak");
+}
+
+TEST(ProtocolCheck, ReadWhileSaturatedViolatesWatermark) {
+  // Fault injection: a server that keeps reading a saturated session
+  // must break the backpressure invariant — this is the proof that the
+  // read-pause discipline is load-bearing, not decorative.
+  ProtocolModel M;
+  ProtocolCheckOptions Options;
+  Options.SimulateReadWhileSaturated = true;
+  expectViolation(M, "watermark-violation", Options);
+}
+
+//===----------------------------------------------------------------------===//
+// Conformance: implementation
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolConformance, ImplementationMatchesModel) {
+  ProtocolModel M;
+  DiagnosticEngine Diags;
+  checkImplConformance(M, Diags);
+  EXPECT_TRUE(Diags.empty()) << Diags.renderAll();
+}
+
+TEST(ProtocolConformance, ImplementationMatchesModelAcrossParams) {
+  for (uint32_t Batch : {1u, 4u}) {
+    ProtocolParams P;
+    P.Batch = Batch;
+    P.HighWatermark = 6;
+    P.MaxFrameElements = 4;
+    ProtocolModel M(P);
+    DiagnosticEngine Diags;
+    checkImplConformance(M, Diags);
+    EXPECT_TRUE(Diags.empty()) << "batch=" << Batch << ":\n"
+                               << Diags.renderAll();
+  }
+}
+
+TEST(ProtocolConformance, ImplDivergenceDetected) {
+  ProtocolModel M;
+  // Claim the server rejects Finish while Streaming. The real session
+  // accepts it, so the replay must report the disagreement.
+  TransitionRule *R = findRule(M, ProtoState::Streaming, ProtoEvent::FinishOk);
+  ASSERT_NE(R, nullptr);
+  R->To = ProtoState::Failed;
+  R->Err = ServeError::BadState;
+  R->Occ = OccEffect::Clear;
+  DiagnosticEngine Diags;
+  checkImplConformance(M, Diags);
+  EXPECT_TRUE(hasCode(Diags, "impl-divergence")) << Diags.renderAll();
+}
+
+//===----------------------------------------------------------------------===//
+// Conformance: documentation
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolConformance, ServingDocMatchesModel) {
+  std::string Doc = readSourceFile("docs/SERVING.md");
+  ASSERT_FALSE(Doc.empty());
+  ProtocolModel M;
+  DiagnosticEngine Diags;
+  checkDocConformance(M, Doc, Diags);
+  EXPECT_TRUE(Diags.empty()) << Diags.renderAll();
+}
+
+TEST(ProtocolConformance, DocDivergenceDetected) {
+  std::string Doc = readSourceFile("docs/SERVING.md");
+  ASSERT_FALSE(Doc.empty());
+  // Doctor the wire value of the Elements kind.
+  size_t Pos = Doc.find("| `Elements` | 2 |");
+  ASSERT_NE(Pos, std::string::npos);
+  Doc.replace(Pos, 18, "| `Elements` | 6 |");
+  ProtocolModel M;
+  DiagnosticEngine Diags;
+  checkDocConformance(M, Doc, Diags);
+  EXPECT_TRUE(hasCode(Diags, "doc-divergence")) << Diags.renderAll();
+}
+
+TEST(ProtocolConformance, MissingDocTablesReported) {
+  ProtocolModel M;
+  DiagnosticEngine Diags;
+  checkDocConformance(M, "# Not the serving doc\n\nNo tables here.\n",
+                      Diags);
+  EXPECT_TRUE(hasCode(Diags, "doc-parse")) << Diags.renderAll();
+}
+
+//===----------------------------------------------------------------------===//
+// Conformance: model-guided fuzz
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolConformance, FuzzCleanUnderFixedSeedBudget) {
+  ProtocolFuzzOptions Options;
+  Options.Seed = 7;
+  Options.Iterations = 150;
+  DiagnosticEngine Diags;
+  fuzzProtocolConformance(Options, Diags);
+  EXPECT_TRUE(Diags.empty()) << Diags.renderAll();
+}
+
+//===----------------------------------------------------------------------===//
+// Catalogues
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolModelTest, LegalityVerdicts) {
+  ProtocolModel M;
+  EXPECT_EQ(M.legality(ProtoState::AwaitHello, MsgKind::Hello).Err,
+            ServeError::None);
+  EXPECT_EQ(M.legality(ProtoState::AwaitHello, MsgKind::Hello).To,
+            ProtoState::Streaming);
+  EXPECT_EQ(M.legality(ProtoState::AwaitHello, MsgKind::Elements).Err,
+            ServeError::BadState);
+  EXPECT_EQ(M.legality(ProtoState::Streaming, MsgKind::Elements).Err,
+            ServeError::None);
+  EXPECT_EQ(M.legality(ProtoState::Streaming, MsgKind::Finish).To,
+            ProtoState::Draining);
+  EXPECT_EQ(M.legality(ProtoState::Draining, MsgKind::Elements).Err,
+            ServeError::BadState);
+  EXPECT_EQ(M.legality(ProtoState::Streaming, MsgKind::HelloAck).Err,
+            ServeError::BadFrame);
+}
+
+TEST(ProtocolModelTest, CataloguesMatchWireConstants) {
+  std::vector<ProtocolModel::KindInfo> Kinds = ProtocolModel::frameKinds();
+  ASSERT_EQ(Kinds.size(), 8u);
+  EXPECT_EQ(Kinds.front().Value, uint8_t(MsgKind::Hello));
+  EXPECT_EQ(Kinds.back().Value, uint8_t(MsgKind::Error));
+
+  std::vector<ProtocolModel::ErrorInfo> Errs = ProtocolModel::errorCodes();
+  ASSERT_EQ(Errs.size(), 10u);
+  for (const ProtocolModel::ErrorInfo &E : Errs)
+    EXPECT_STREQ(E.Name, serveErrorName(static_cast<ServeError>(E.Value)));
+}
+
+} // namespace
