@@ -8,7 +8,12 @@
 #
 #   1. plain:     configure + build (warnings-as-errors) + ctest
 #   2. sanitized: the same under AddressSanitizer + UndefinedBehaviorSanitizer
-#   3. tsan:      ThreadSanitizer over the concurrency-exercising tests
+#   3. ubsan-int: the kernel/detector arithmetic suites under clang's
+#                 -fsanitize=undefined,integer (gcc fallback: undefined
+#                 only) — the gain/loss kernel deltas must hold their
+#                 no-wraparound certificates at runtime, not just in the
+#                 KernelBounds abstract interpretation
+#   4. tsan:      ThreadSanitizer over the concurrency-exercising tests
 #                 (sweep harness, parallel helpers, observers, config
 #                 analysis), with OPD_THREADS=4 so single-core runners
 #                 still run real threads
@@ -51,6 +56,16 @@ run_config() {
 
 run_config plain
 
+# Kernel value-range certification leg: every shipped sweep spec must
+# certify wraparound-free at the evaluation's 62M-element trace scale,
+# with the full 18-shape lane plan emitted (kernel_check exits non-zero
+# on any warning-or-worse diagnostic; the kernel_check_* ctests above
+# already cover the per-preset and adversarial cases, this run prints
+# the lane plan into the CI log for the SIMD work to consume).
+echo "=== [plain] kernel_check (paper sweep value-range certificates) ==="
+"${PREFIX}-plain/examples/kernel_check" --preset paper --trace-len 62M \
+  --lane-plan
+
 # Protocol verification leg: the wire-protocol model checker must prove
 # its invariants, the real ServeSession must conform to the model edge
 # by edge, docs/SERVING.md must match the model's catalogues and frame
@@ -77,6 +92,20 @@ else
 fi
 
 run_config asan-ubsan -DOPD_SANITIZE="address;undefined"
+
+# Integer-overflow leg over the kernel arithmetic: clang's integer
+# sanitizer traps unsigned wraparound too, which the gain/loss delta
+# forms in SimilarityKernel/FastDetector are certified never to need
+# (analysis/KernelBounds.h). gcc has no -fsanitize=integer, so the
+# fallback rides the plain undefined sanitizer there.
+if command -v clang++ >/dev/null 2>&1; then
+  run_config ubsan-int --tests 'KernelBounds|CoreKernel|FastDetector' \
+    -DCMAKE_CXX_COMPILER=clang++ -DOPD_SANITIZE="undefined;integer"
+else
+  echo "=== clang++ not found; running the integer leg under gcc ubsan ==="
+  run_config ubsan-int --tests 'KernelBounds|CoreKernel|FastDetector' \
+    -DOPD_SANITIZE=undefined
+fi
 
 # Serving smoke under ASan/UBSan: a real opd_serve daemon takes a few
 # hundred loadgen sessions with --verify (every streamed transition

@@ -7,9 +7,12 @@
 
 #include "analysis/ConfigAnalysis.h"
 
+#include "analysis/KernelBounds.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <set>
 
@@ -81,6 +84,23 @@ void lintAnalyzer(AnalyzerKind Kind, double Param, DiagnosticEngine &Diags) {
                      "exceed it and the analyzer cannot be constructed");
 }
 
+/// The KernelBounds-backed checks shared by lintConfig and
+/// lintSweepSpec: provable count/product wraparound (errors) and
+/// products within a few bits of the 64-bit cliff (warning). The
+/// kernel-unbounded-tw finding is filtered out here — an adaptive TW
+/// with no known trace length proves nothing either way, and
+/// kernel_check owns that conversation.
+void lintKernelBounds(const DetectorConfig &Config, uint64_t TraceLen,
+                      DiagnosticEngine &Diags) {
+  TraceBounds Stats;
+  Stats.TraceLen = TraceLen;
+  DiagnosticEngine Local;
+  lintCertificate(certifyKernel(Config, Stats), Local);
+  for (const Diagnostic &D : Local.diagnostics())
+    if (D.Code != "kernel-unbounded-tw")
+      Diags.report(D.Severity, D.Loc, D.Code, D.Message);
+}
+
 } // namespace
 
 void opd::lintConfig(const DetectorConfig &Config,
@@ -118,6 +138,8 @@ void opd::lintConfig(const DetectorConfig &Config,
                        std::to_string(Options.TraceLen) +
                        "); the detector never evaluates");
   }
+
+  lintKernelBounds(Config, Options.TraceLen, Diags);
 }
 
 void opd::lintSweepSpec(const SweepSpec &Spec, const ConfigLintOptions &Options,
@@ -229,6 +251,38 @@ void opd::lintSweepSpec(const SweepSpec &Spec, const ConfigLintOptions &Options,
                          " exceeds the trace length (" +
                          std::to_string(Options.TraceLen) +
                          "); the detector never evaluates");
+  }
+
+  // Kernel value-range checks, once per (CW, factor, policy) cell: the
+  // bounds are analyzer- and skip-independent, and the weighted model
+  // dominates the others (it alone forms the cross products), so one
+  // weighted probe per cell covers the whole cell.
+  {
+    ModelKind Probe = std::find(Spec.Models.begin(), Spec.Models.end(),
+                                ModelKind::WeightedSet) != Spec.Models.end()
+                          ? ModelKind::WeightedSet
+                          : (Spec.Models.empty() ? ModelKind::UnweightedSet
+                                                 : Spec.Models.front());
+    std::vector<TWPolicyKind> Policies = Spec.TWPolicies;
+    if (Spec.IncludeFixedInterval &&
+        std::find(Policies.begin(), Policies.end(), TWPolicyKind::Constant) ==
+            Policies.end())
+      Policies.push_back(TWPolicyKind::Constant);
+    for (uint32_t CW : Spec.CWSizes)
+      for (uint32_t Factor : Spec.TWFactors) {
+        if (CW == 0 || Factor == 0)
+          continue;
+        for (TWPolicyKind Policy : Policies) {
+          DetectorConfig C;
+          C.Window.CWSize = CW;
+          C.Window.TWSize = static_cast<uint32_t>(std::min<uint64_t>(
+              static_cast<uint64_t>(CW) * Factor,
+              std::numeric_limits<uint32_t>::max()));
+          C.Window.TWPolicy = Policy;
+          C.Model = Probe;
+          lintKernelBounds(C, Options.TraceLen, Diags);
+        }
+      }
   }
 
   if (Spec.IncludeFixedInterval &&

@@ -48,6 +48,18 @@
 ///   fixed-interval-overlap    note      the Fixed-Interval point
 ///                                       duplicates an enumerated
 ///                                       (Constant, skip == CW) point
+///   kernel-count-overflow     error     a window count provably exceeds
+///                                       its uint32_t storage (backed by
+///                                       the KernelBounds certifier)
+///   kernel-product-overflow   error     a kernel product or accumulator
+///                                       provably exceeds uint64_t
+///   kernel-product-near-64bit warning   a kernel product's bound is
+///                                       within 6 bits of the 64-bit
+///                                       cliff
+///   kernel-unbounded-tw       warning   adaptive TW growth cannot be
+///                                       bounded without a trace length
+///                                       (emitted by kernel_check only;
+///                                       config_check filters it)
 ///
 //===----------------------------------------------------------------------===//
 

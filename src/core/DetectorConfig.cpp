@@ -31,3 +31,12 @@ std::unique_ptr<PhaseDetector> opd::makeDetector(const DetectorConfig &Config,
       Config.Window, Config.Model,
       makeAnalyzer(Config.TheAnalyzer, Config.AnalyzerParam), NumSites);
 }
+
+std::unique_ptr<PhaseDetector>
+opd::makeCheckedDetector(const DetectorConfig &Config, SiteIndex NumSites,
+                         KernelValueProbe &Probe) {
+  return std::make_unique<PhaseDetector>(
+      Config.Window, Config.Model,
+      makeAnalyzer(Config.TheAnalyzer, Config.AnalyzerParam), NumSites,
+      &Probe);
+}

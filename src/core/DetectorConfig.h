@@ -58,6 +58,16 @@ struct DetectorConfig {
 std::unique_ptr<PhaseDetector> makeDetector(const DetectorConfig &Config,
                                             SiteIndex NumSites);
 
+/// Builds the detector \p Config describes with the
+/// CheckedKernelArith-instrumented kernel: every kernel arithmetic step
+/// is overflow-checked and its value recorded into \p Probe (which must
+/// outlive the detector). The shadow mode of the KernelBounds
+/// certificates (analysis/KernelBounds.h) — behaviorally identical to
+/// makeDetector, plus observation.
+std::unique_ptr<PhaseDetector> makeCheckedDetector(const DetectorConfig &Config,
+                                                   SiteIndex NumSites,
+                                                   KernelValueProbe &Probe);
+
 } // namespace opd
 
 #endif // OPD_CORE_DETECTORCONFIG_H

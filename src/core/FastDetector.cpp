@@ -19,9 +19,15 @@
 //    reference analyzer, so the emitted states are bit-identical.
 //
 //  * FastWeightedSetKernel computes the replace-operation MinSum deltas
-//    from shared products (4 multiplies instead of 8). Unsigned
-//    arithmetic is associative mod 2^64, so MinSum matches the
-//    reference kernel's bit for bit.
+//    from shared products (4 multiplies instead of 8), in the same
+//    non-wrapping gain/loss form as the reference kernel: the gain and
+//    the loss are computed from the identical products and applied in
+//    the identical order, so MinSum matches bit for bit.
+//
+// Like the reference kernels, every fast kernel is parameterized by an
+// arithmetic policy (PlainKernelArith in production, compiled to the
+// exact pre-policy arithmetic; CheckedKernelArith in the KernelBounds
+// shadow mode, where every step is overflow-checked and recorded).
 //
 //  * Threshold decisions skip the similarity division when the integer
 //    numerator is outside a conservative rounding margin of
@@ -118,11 +124,15 @@ protected:
   std::vector<SiteIndex> TouchedSites;
 };
 
-/// Non-virtual mirror of UnweightedSetKernel.
-class FastUnweightedSetKernel : public FastKernelBase {
+/// Non-virtual mirror of UnweightedSetKernel. The arithmetic policy is
+/// a private base so the empty production policy occupies no storage
+/// (empty-base optimization keeps the layout identical to a policy-free
+/// kernel).
+template <typename ArithT = PlainKernelArith>
+class FastUnweightedSetKernel : public FastKernelBase, private ArithT {
 public:
-  explicit FastUnweightedSetKernel(SiteIndex NumSites)
-      : FastKernelBase(NumSites) {}
+  explicit FastUnweightedSetKernel(SiteIndex NumSites, ArithT A = ArithT())
+      : FastKernelBase(NumSites), ArithT(A) {}
 
   void reset() {
     resetCounts();
@@ -135,10 +145,15 @@ public:
     touch(S);
     if (CWCounts[S]++ == 0) {
       ++CWDistinct;
-      if (TWCounts[S] != 0)
+      this->observeValue(KernelQuantity::CWDistinct, CWDistinct);
+      if (TWCounts[S] != 0) {
         ++BothDistinct;
+        this->observeValue(KernelQuantity::BothDistinct, BothDistinct);
+      }
     }
+    this->observeCount(KernelQuantity::CWCount, CWCounts[S]);
     ++NCW;
+    this->observeValue(KernelQuantity::CWTotal, NCW);
   }
 
   void cwRemove(SiteIndex S) {
@@ -155,9 +170,13 @@ public:
   void twAdd(SiteIndex S) {
     assert(S < TWCounts.size() && "site out of range");
     touch(S);
-    if (TWCounts[S]++ == 0 && CWCounts[S] != 0)
+    if (TWCounts[S]++ == 0 && CWCounts[S] != 0) {
       ++BothDistinct;
+      this->observeValue(KernelQuantity::BothDistinct, BothDistinct);
+    }
+    this->observeCount(KernelQuantity::TWCount, TWCounts[S]);
     ++NTW;
+    this->observeValue(KernelQuantity::TWTotal, NTW);
   }
 
   void twRemove(SiteIndex S) {
@@ -168,13 +187,15 @@ public:
     --NTW;
   }
 
+  // Remove before add: the totals never exceed the window bound, even
+  // transiently, matching the KernelBounds-certified invariant.
   OPD_FORCE_INLINE void cwReplace(SiteIndex In, SiteIndex Out) {
-    cwAdd(In);
     cwRemove(Out);
+    cwAdd(In);
   }
   OPD_FORCE_INLINE void twReplace(SiteIndex In, SiteIndex Out) {
-    twAdd(In);
     twRemove(Out);
+    twAdd(In);
   }
   void moveCWToTW(SiteIndex S) {
     cwRemove(S);
@@ -202,13 +223,15 @@ private:
 /// count bump reuses the same two products, halving the multiplies of
 /// the reference WeightedSetKernel on the steady-state path, and
 /// similarity() divides by a cached double(NCW)*double(NTW). Both are
-/// the same arithmetic the reference kernel performs (unsigned deltas
-/// are exact mod 2^64; the cached denominator is the identical double
-/// product), so MinSum and the returned similarity are bit-identical.
-class FastWeightedSetKernel : public FastKernelBase {
+/// the same arithmetic the reference kernel performs (the gain/loss
+/// deltas reuse the reference's products; the cached denominator is the
+/// identical double product), so MinSum and the returned similarity are
+/// bit-identical.
+template <typename ArithT = PlainKernelArith>
+class FastWeightedSetKernel : public FastKernelBase, private ArithT {
 public:
-  explicit FastWeightedSetKernel(SiteIndex NumSites)
-      : FastKernelBase(NumSites) {}
+  explicit FastWeightedSetKernel(SiteIndex NumSites, ArithT A = ArithT())
+      : FastKernelBase(NumSites), ArithT(A) {}
 
   void reset() {
     resetCounts();
@@ -220,7 +243,9 @@ public:
     assert(S < CWCounts.size() && "site out of range");
     touch(S);
     ++CWCounts[S];
+    this->observeCount(KernelQuantity::CWCount, CWCounts[S]);
     ++NCW;
+    this->observeValue(KernelQuantity::CWTotal, NCW);
     Dirty = true;
   }
 
@@ -235,7 +260,9 @@ public:
     assert(S < TWCounts.size() && "site out of range");
     touch(S);
     ++TWCounts[S];
+    this->observeCount(KernelQuantity::TWCount, TWCounts[S]);
     ++NTW;
+    this->observeValue(KernelQuantity::TWTotal, NTW);
     Dirty = true;
   }
 
@@ -260,14 +287,28 @@ public:
     }
     // term(S) = min(cw*NTW, tw*NCW); after ++cw[In]/--cw[Out] only the
     // first operand moves, by +-NTW (cw[Out] >= 1, so no underflow).
-    uint64_t AIn = static_cast<uint64_t>(CWCounts[In]) * NTW;
-    uint64_t BIn = static_cast<uint64_t>(TWCounts[In]) * NCW;
-    uint64_t AOut = static_cast<uint64_t>(CWCounts[Out]) * NTW;
-    uint64_t BOut = static_cast<uint64_t>(TWCounts[Out]) * NCW;
+    // Gain/loss form: In's term only rises, Out's only falls, and the
+    // loss is one of MinSum's summands — so with the certified bound
+    // MinSum <= NCW*NTW no step here can wrap (see SimilarityKernel.h).
+    uint64_t AIn =
+        this->mul(KernelQuantity::ProductCWTW, CWCounts[In], NTW);
+    uint64_t BIn =
+        this->mul(KernelQuantity::ProductTWCW, TWCounts[In], NCW);
+    uint64_t AOut =
+        this->mul(KernelQuantity::ProductCWTW, CWCounts[Out], NTW);
+    uint64_t BOut =
+        this->mul(KernelQuantity::ProductTWCW, TWCounts[Out], NCW);
+    uint64_t AInNew = this->add(KernelQuantity::ProductCWTW, AIn, NTW);
+    uint64_t AOutNew = this->sub(KernelQuantity::ProductCWTW, AOut, NTW);
     ++CWCounts[In];
+    this->observeCount(KernelQuantity::CWCount, CWCounts[In]);
     --CWCounts[Out];
-    MinSum += std::min(AIn + NTW, BIn) - std::min(AIn, BIn) +
-              std::min(AOut - NTW, BOut) - std::min(AOut, BOut);
+    uint64_t Gain = this->sub(KernelQuantity::MinSum,
+                              std::min(AInNew, BIn), std::min(AIn, BIn));
+    uint64_t Loss = this->sub(KernelQuantity::MinSum, std::min(AOut, BOut),
+                              std::min(AOutNew, BOut));
+    MinSum = this->add(KernelQuantity::MinSum, MinSum, Gain);
+    MinSum = this->sub(KernelQuantity::MinSum, MinSum, Loss);
   }
 
   /// Precondition (which every FastWindowedModel call site satisfies):
@@ -288,14 +329,26 @@ public:
       --TWCounts[Out];
       return;
     }
-    uint64_t AIn = static_cast<uint64_t>(TWCounts[In]) * NCW;
-    uint64_t BIn = static_cast<uint64_t>(CWCounts[In]) * NTW;
-    uint64_t AOut = static_cast<uint64_t>(TWCounts[Out]) * NCW;
-    uint64_t BOut = static_cast<uint64_t>(CWCounts[Out]) * NTW;
+    // Same gain/loss argument as cwReplace, with the TW count moving.
+    uint64_t AIn =
+        this->mul(KernelQuantity::ProductTWCW, TWCounts[In], NCW);
+    uint64_t BIn =
+        this->mul(KernelQuantity::ProductCWTW, CWCounts[In], NTW);
+    uint64_t AOut =
+        this->mul(KernelQuantity::ProductTWCW, TWCounts[Out], NCW);
+    uint64_t BOut =
+        this->mul(KernelQuantity::ProductCWTW, CWCounts[Out], NTW);
+    uint64_t AInNew = this->add(KernelQuantity::ProductTWCW, AIn, NCW);
+    uint64_t AOutNew = this->sub(KernelQuantity::ProductTWCW, AOut, NCW);
     ++TWCounts[In];
+    this->observeCount(KernelQuantity::TWCount, TWCounts[In]);
     --TWCounts[Out];
-    MinSum += std::min(AIn + NCW, BIn) - std::min(AIn, BIn) +
-              std::min(AOut - NCW, BOut) - std::min(AOut, BOut);
+    uint64_t Gain = this->sub(KernelQuantity::MinSum,
+                              std::min(AInNew, BIn), std::min(AIn, BIn));
+    uint64_t Loss = this->sub(KernelQuantity::MinSum, std::min(AOut, BOut),
+                              std::min(AOutNew, BOut));
+    MinSum = this->add(KernelQuantity::MinSum, MinSum, Gain);
+    MinSum = this->sub(KernelQuantity::MinSum, MinSum, Loss);
   }
 
   void moveCWToTW(SiteIndex S) {
@@ -309,8 +362,11 @@ public:
     if (Dirty) {
       MinSum = 0;
       for (SiteIndex S : TouchedSites)
-        MinSum += std::min(static_cast<uint64_t>(CWCounts[S]) * NTW,
-                           static_cast<uint64_t>(TWCounts[S]) * NCW);
+        MinSum = this->add(
+            KernelQuantity::MinSum, MinSum,
+            std::min(
+                this->mul(KernelQuantity::ProductCWTW, CWCounts[S], NTW),
+                this->mul(KernelQuantity::ProductTWCW, TWCounts[S], NCW)));
       // The same product the reference divides by, computed once per
       // totals change instead of per element.
       Denom = static_cast<double>(NCW) * static_cast<double>(NTW);
@@ -349,10 +405,11 @@ private:
 /// Non-virtual mirror of ManhattanKernel. similarity() must keep the
 /// reference's full ascending floating-point loop: FP addition is not
 /// associative, so any reordering would break bit-identity.
-class FastManhattanKernel : public FastKernelBase {
+template <typename ArithT = PlainKernelArith>
+class FastManhattanKernel : public FastKernelBase, private ArithT {
 public:
-  explicit FastManhattanKernel(SiteIndex NumSites)
-      : FastKernelBase(NumSites) {}
+  explicit FastManhattanKernel(SiteIndex NumSites, ArithT A = ArithT())
+      : FastKernelBase(NumSites), ArithT(A) {}
 
   void reset() { resetCounts(); }
 
@@ -360,7 +417,9 @@ public:
     assert(S < CWCounts.size() && "site out of range");
     touch(S);
     ++CWCounts[S];
+    this->observeCount(KernelQuantity::CWCount, CWCounts[S]);
     ++NCW;
+    this->observeValue(KernelQuantity::CWTotal, NCW);
   }
 
   void cwRemove(SiteIndex S) {
@@ -373,7 +432,9 @@ public:
     assert(S < TWCounts.size() && "site out of range");
     touch(S);
     ++TWCounts[S];
+    this->observeCount(KernelQuantity::TWCount, TWCounts[S]);
     ++NTW;
+    this->observeValue(KernelQuantity::TWTotal, NTW);
   }
 
   void twRemove(SiteIndex S) {
@@ -382,13 +443,15 @@ public:
     --NTW;
   }
 
+  // Remove before add: the totals never exceed the window bound, even
+  // transiently, matching the KernelBounds-certified invariant.
   OPD_FORCE_INLINE void cwReplace(SiteIndex In, SiteIndex Out) {
-    cwAdd(In);
     cwRemove(Out);
+    cwAdd(In);
   }
   OPD_FORCE_INLINE void twReplace(SiteIndex In, SiteIndex Out) {
-    twAdd(In);
     twRemove(Out);
+    twAdd(In);
   }
   void moveCWToTW(SiteIndex S) {
     cwRemove(S);
@@ -414,15 +477,15 @@ public:
   }
 };
 
-template <ModelKind M> struct KernelOf;
-template <> struct KernelOf<ModelKind::UnweightedSet> {
-  using type = FastUnweightedSetKernel;
+template <ModelKind M, typename ArithT> struct KernelOf;
+template <typename ArithT> struct KernelOf<ModelKind::UnweightedSet, ArithT> {
+  using type = FastUnweightedSetKernel<ArithT>;
 };
-template <> struct KernelOf<ModelKind::WeightedSet> {
-  using type = FastWeightedSetKernel;
+template <typename ArithT> struct KernelOf<ModelKind::WeightedSet, ArithT> {
+  using type = FastWeightedSetKernel<ArithT>;
 };
-template <> struct KernelOf<ModelKind::ManhattanBBV> {
-  using type = FastManhattanKernel;
+template <typename ArithT> struct KernelOf<ModelKind::ManhattanBBV, ArithT> {
+  using type = FastManhattanKernel<ArithT>;
 };
 
 /// Decision-identical threshold analyzer without the confidence margin
@@ -604,12 +667,15 @@ private:
 /// WindowedModel with the kernel held by concrete value and the TW
 /// policy fixed at compile time. Field-for-field and statement-for-
 /// statement mirror of WindowedModel/WindowedModel.cpp.
-template <ModelKind M, TWPolicyKind Policy> class FastWindowedModel {
-  using Kernel = typename KernelOf<M>::type;
+template <ModelKind M, TWPolicyKind Policy,
+          typename ArithT = PlainKernelArith>
+class FastWindowedModel {
+  using Kernel = typename KernelOf<M, ArithT>::type;
 
 public:
-  FastWindowedModel(const WindowConfig &Config, SiteIndex NumSites)
-      : Config(Config), TheKernel(NumSites) {
+  FastWindowedModel(const WindowConfig &Config, SiteIndex NumSites,
+                    ArithT Arith = ArithT())
+      : Config(Config), TheKernel(NumSites, Arith) {
     assert(Config.TWPolicy == Policy && "config does not match this shape");
     assert(Config.CWSize > 0 && "current window must be nonempty");
     assert(Config.TWSize > 0 && "trailing window must be nonempty");
@@ -784,13 +850,15 @@ private:
 /// The monomorphic detector: PhaseDetector's unobserved processBatchImpl
 /// with every model/analyzer call resolved at compile time, plus a
 /// consumeTrace() override that keeps the whole run in one stack frame.
-template <ModelKind M, TWPolicyKind Policy, AnalyzerKind A>
+template <ModelKind M, TWPolicyKind Policy, AnalyzerKind A,
+          typename ArithT = PlainKernelArith>
 class FastPhaseDetector final : public FastDetectorBase {
   using AnalyzerT = typename AnalyzerOf<A>::type;
 
 public:
-  FastPhaseDetector(const DetectorConfig &Config, SiteIndex NumSites)
-      : Model(Config.Window, NumSites),
+  FastPhaseDetector(const DetectorConfig &Config, SiteIndex NumSites,
+                    ArithT Arith = ArithT())
+      : Model(Config.Window, NumSites, Arith),
         TheAnalyzer(buildAnalyzer<A>(Config.AnalyzerParam)), Sites(NumSites) {
     assert(Config.Model == M && Config.TheAnalyzer == A &&
            "config does not match this shape");
@@ -944,38 +1012,55 @@ private:
     return State;
   }
 
-  FastWindowedModel<M, Policy> Model;
+  FastWindowedModel<M, Policy, ArithT> Model;
   AnalyzerT TheAnalyzer;
   PhaseState State = PhaseState::Transition;
   uint64_t LastAnchor = 0;
   SiteIndex Sites;
 };
 
-template <ModelKind M, TWPolicyKind Policy>
-std::unique_ptr<FastDetectorBase> makeForAnalyzer(const DetectorConfig &C,
-                                                  SiteIndex NumSites) {
+template <ModelKind M, TWPolicyKind Policy, typename ArithT>
+std::unique_ptr<FastDetectorBase>
+makeForAnalyzer(const DetectorConfig &C, SiteIndex NumSites, ArithT Arith) {
   switch (C.TheAnalyzer) {
   case AnalyzerKind::Threshold:
     return std::make_unique<
-        FastPhaseDetector<M, Policy, AnalyzerKind::Threshold>>(C, NumSites);
+        FastPhaseDetector<M, Policy, AnalyzerKind::Threshold, ArithT>>(
+        C, NumSites, Arith);
   case AnalyzerKind::Average:
     return std::make_unique<
-        FastPhaseDetector<M, Policy, AnalyzerKind::Average>>(C, NumSites);
+        FastPhaseDetector<M, Policy, AnalyzerKind::Average, ArithT>>(
+        C, NumSites, Arith);
   case AnalyzerKind::Hysteresis:
     return std::make_unique<
-        FastPhaseDetector<M, Policy, AnalyzerKind::Hysteresis>>(C, NumSites);
+        FastPhaseDetector<M, Policy, AnalyzerKind::Hysteresis, ArithT>>(
+        C, NumSites, Arith);
   }
   return nullptr;
 }
 
-template <ModelKind M>
-std::unique_ptr<FastDetectorBase> makeForPolicy(const DetectorConfig &C,
-                                                SiteIndex NumSites) {
+template <ModelKind M, typename ArithT>
+std::unique_ptr<FastDetectorBase>
+makeForPolicy(const DetectorConfig &C, SiteIndex NumSites, ArithT Arith) {
   switch (C.Window.TWPolicy) {
   case TWPolicyKind::Constant:
-    return makeForAnalyzer<M, TWPolicyKind::Constant>(C, NumSites);
+    return makeForAnalyzer<M, TWPolicyKind::Constant>(C, NumSites, Arith);
   case TWPolicyKind::Adaptive:
-    return makeForAnalyzer<M, TWPolicyKind::Adaptive>(C, NumSites);
+    return makeForAnalyzer<M, TWPolicyKind::Adaptive>(C, NumSites, Arith);
+  }
+  return nullptr;
+}
+
+template <typename ArithT>
+std::unique_ptr<FastDetectorBase>
+makeForModel(const DetectorConfig &C, SiteIndex NumSites, ArithT Arith) {
+  switch (C.Model) {
+  case ModelKind::UnweightedSet:
+    return makeForPolicy<ModelKind::UnweightedSet>(C, NumSites, Arith);
+  case ModelKind::WeightedSet:
+    return makeForPolicy<ModelKind::WeightedSet>(C, NumSites, Arith);
+  case ModelKind::ManhattanBBV:
+    return makeForPolicy<ModelKind::ManhattanBBV>(C, NumSites, Arith);
   }
   return nullptr;
 }
@@ -991,13 +1076,11 @@ size_t opd::fastShapeIndex(const DetectorConfig &Config) {
 
 std::unique_ptr<FastDetectorBase>
 opd::makeFastDetector(const DetectorConfig &Config, SiteIndex NumSites) {
-  switch (Config.Model) {
-  case ModelKind::UnweightedSet:
-    return makeForPolicy<ModelKind::UnweightedSet>(Config, NumSites);
-  case ModelKind::WeightedSet:
-    return makeForPolicy<ModelKind::WeightedSet>(Config, NumSites);
-  case ModelKind::ManhattanBBV:
-    return makeForPolicy<ModelKind::ManhattanBBV>(Config, NumSites);
-  }
-  return nullptr;
+  return makeForModel(Config, NumSites, PlainKernelArith());
+}
+
+std::unique_ptr<FastDetectorBase>
+opd::makeCheckedFastDetector(const DetectorConfig &Config, SiteIndex NumSites,
+                             KernelValueProbe &Probe) {
+  return makeForModel(Config, NumSites, CheckedKernelArith(Probe));
 }

@@ -73,6 +73,16 @@ size_t fastShapeIndex(const DetectorConfig &Config);
 std::unique_ptr<FastDetectorBase>
 makeFastDetector(const DetectorConfig &Config, SiteIndex NumSites);
 
+/// Builds the fast-path detector for \p Config with the
+/// CheckedKernelArith-instrumented kernel: every kernel arithmetic step
+/// is overflow-checked and its value recorded into \p Probe (which must
+/// outlive the detector). This is the fast-path half of the KernelBounds
+/// shadow mode (analysis/KernelBounds.h) — decision-identical to
+/// makeFastDetector, plus observation.
+std::unique_ptr<FastDetectorBase>
+makeCheckedFastDetector(const DetectorConfig &Config, SiteIndex NumSites,
+                        KernelValueProbe &Probe);
+
 } // namespace opd
 
 #endif // OPD_CORE_FASTDETECTOR_H

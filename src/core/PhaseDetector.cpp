@@ -36,8 +36,9 @@ void OnlineDetector::consumeTrace(const SiteIndex *Elements,
 
 PhaseDetector::PhaseDetector(const WindowConfig &Window, ModelKind Model,
                              std::unique_ptr<Analyzer> TheAnalyzer,
-                             SiteIndex NumSites)
-    : Model(Window, Model, NumSites), TheAnalyzer(std::move(TheAnalyzer)) {
+                             SiteIndex NumSites, KernelValueProbe *Probe)
+    : Model(Window, Model, NumSites, Probe),
+      TheAnalyzer(std::move(TheAnalyzer)) {
   assert(this->TheAnalyzer && "detector requires an analyzer");
 }
 

@@ -94,8 +94,12 @@ public:
 /// The framework detector of Figure 3.
 class PhaseDetector final : public OnlineDetector {
 public:
+  /// \p Probe, when non-null, builds the model over the
+  /// CheckedKernelArith-instrumented kernel (see WindowedModel); null
+  /// gives the production kernel.
   PhaseDetector(const WindowConfig &Window, ModelKind Model,
-                std::unique_ptr<Analyzer> TheAnalyzer, SiteIndex NumSites);
+                std::unique_ptr<Analyzer> TheAnalyzer, SiteIndex NumSites,
+                KernelValueProbe *Probe = nullptr);
 
   /// Figure 3's processProfile(profileElements).
   PhaseState processBatch(const SiteIndex *Elements, size_t N) override;

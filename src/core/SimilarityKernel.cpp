@@ -23,6 +23,30 @@ const char *opd::modelKindName(ModelKind Kind) {
   return "unknown";
 }
 
+const char *opd::kernelQuantityName(KernelQuantity Q) {
+  switch (Q) {
+  case KernelQuantity::CWCount:
+    return "cw-count";
+  case KernelQuantity::TWCount:
+    return "tw-count";
+  case KernelQuantity::CWTotal:
+    return "cw-total";
+  case KernelQuantity::TWTotal:
+    return "tw-total";
+  case KernelQuantity::CWDistinct:
+    return "cw-distinct";
+  case KernelQuantity::BothDistinct:
+    return "both-distinct";
+  case KernelQuantity::ProductCWTW:
+    return "product-cw-tw";
+  case KernelQuantity::ProductTWCW:
+    return "product-tw-cw";
+  case KernelQuantity::MinSum:
+    return "min-sum";
+  }
+  return "unknown";
+}
+
 SimilarityKernel::~SimilarityKernel() = default;
 
 void SimilarityKernel::reset() {
@@ -37,53 +61,19 @@ void SimilarityKernel::reset() {
   NCW = NTW = 0;
 }
 
-//===----------------------------------------------------------------------===//
-// UnweightedSetKernel
-//===----------------------------------------------------------------------===//
-
-void UnweightedSetKernel::reset() {
-  SimilarityKernel::reset();
-  CWDistinct = 0;
-  BothDistinct = 0;
-}
-
-//===----------------------------------------------------------------------===//
-// WeightedSetKernel
-//===----------------------------------------------------------------------===//
-
-void WeightedSetKernel::reset() {
-  SimilarityKernel::reset();
-  MinSum = 0;
-  Dirty = false;
-}
-
-void WeightedSetKernel::recompute() {
-  // term(S) == 0 for any untouched site (both counts zero), so summing
-  // the touched list is exact. The sum is an integer, so the list's
-  // insertion order cannot perturb the result — bit-identical to a full
-  // ascending sweep.
-  MinSum = 0;
-  for (SiteIndex S : TouchedSites)
-    MinSum += term(S);
-  Dirty = false;
-}
-
-//===----------------------------------------------------------------------===//
-// ManhattanKernel
-//===----------------------------------------------------------------------===//
-
-double ManhattanKernel::similarity() {
-  if (NCW == 0 || NTW == 0)
-    return 0.0;
-  double Distance = 0.0;
-  double InvCW = 1.0 / static_cast<double>(NCW);
-  double InvTW = 1.0 / static_cast<double>(NTW);
+void SimilarityKernel::seedCountsForTest(const std::vector<uint32_t> &CW,
+                                         const std::vector<uint32_t> &TW) {
+  assert(CW.size() == CWCounts.size() && TW.size() == TWCounts.size() &&
+         "seed vectors must cover every site");
+  reset();
   for (SiteIndex S = 0, E = numSites(); S != E; ++S) {
-    double Diff = static_cast<double>(CWCounts[S]) * InvCW -
-                  static_cast<double>(TWCounts[S]) * InvTW;
-    Distance += Diff < 0 ? -Diff : Diff;
+    CWCounts[S] = CW[S];
+    TWCounts[S] = TW[S];
+    NCW += CW[S];
+    NTW += TW[S];
+    if (CW[S] != 0 || TW[S] != 0)
+      touch(S);
   }
-  return 1.0 - Distance / 2.0;
 }
 
 std::unique_ptr<SimilarityKernel> opd::makeKernel(ModelKind Kind,
@@ -95,6 +85,24 @@ std::unique_ptr<SimilarityKernel> opd::makeKernel(ModelKind Kind,
     return std::make_unique<WeightedSetKernel>(NumSites);
   case ModelKind::ManhattanBBV:
     return std::make_unique<ManhattanKernel>(NumSites);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<SimilarityKernel>
+opd::makeCheckedKernel(ModelKind Kind, SiteIndex NumSites,
+                       KernelValueProbe &Probe) {
+  CheckedKernelArith Arith(Probe);
+  switch (Kind) {
+  case ModelKind::UnweightedSet:
+    return std::make_unique<UnweightedSetKernelT<CheckedKernelArith>>(
+        NumSites, Arith);
+  case ModelKind::WeightedSet:
+    return std::make_unique<WeightedSetKernelT<CheckedKernelArith>>(
+        NumSites, Arith);
+  case ModelKind::ManhattanBBV:
+    return std::make_unique<ManhattanKernelT<CheckedKernelArith>>(NumSites,
+                                                                  Arith);
   }
   return nullptr;
 }

@@ -31,6 +31,17 @@
 /// list only (an integer sum, so the iteration order cannot perturb the
 /// result).
 ///
+/// Every kernel arithmetic step routes through a compile-time *arithmetic
+/// policy* (PlainKernelArith in production, CheckedKernelArith under
+/// test). The incremental MinSum updates are written in a non-wrapping
+/// gain/loss form: the replaced-in site's term only rises and the
+/// replaced-out site's term only falls, so the gain is added and the loss
+/// subtracted as two separately non-negative deltas, and no intermediate
+/// ever exceeds the analysis bound NCW*NTW. analysis/KernelBounds.h
+/// derives sound upper bounds for each KernelQuantity per DetectorConfig
+/// and certifies exactly this no-wraparound property; CheckedKernelArith
+/// is the runtime shadow that validates those certificates.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OPD_CORE_SIMILARITYKERNEL_H
@@ -39,6 +50,7 @@
 #include "trace/ProfileElement.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -58,6 +70,171 @@ enum class ModelKind : uint8_t {
 
 /// Short mnemonic ("unweighted"/"weighted") for tables.
 const char *modelKindName(ModelKind Kind);
+
+/// Every distinct integer quantity the kernel dataflow computes. The
+/// abstract interpreter (analysis/KernelBounds.h) derives a sound upper
+/// bound per quantity and DetectorConfig; CheckedKernelArith observes the
+/// runtime value of the same quantities so tests can compare the two.
+enum class KernelQuantity : uint8_t {
+  CWCount,      ///< Per-site occurrence count in the CW (uint32_t).
+  TWCount,      ///< Per-site occurrence count in the TW (uint32_t).
+  CWTotal,      ///< |CW|: total occurrences in the CW (uint64_t).
+  TWTotal,      ///< |TW|: total occurrences in the TW (uint64_t).
+  CWDistinct,   ///< Distinct sites present in the CW (unweighted model).
+  BothDistinct, ///< Distinct sites present in both windows.
+  ProductCWTW,  ///< cw[s]*|TW|, the left min() operand (uint64_t).
+  ProductTWCW,  ///< tw[s]*|CW|, the right min() operand (uint64_t).
+  MinSum,       ///< sum_s min(cw[s]*|TW|, tw[s]*|CW|) (uint64_t).
+};
+
+/// Number of KernelQuantity enumerators (array sizing).
+constexpr unsigned NumKernelQuantities = 9;
+
+/// Stable kebab-case mnemonic for \p Q ("cw-count", "product-cw-tw", ...),
+/// shared by the certifier's reports and the probe's test output.
+const char *kernelQuantityName(KernelQuantity Q);
+
+/// Runtime witness for the kernel value-range analysis: records the
+/// maximum observed value and the number of overflow events per
+/// KernelQuantity. CheckedKernelArith feeds one of these; tests compare
+/// the observed maxima against the certificates' predicted bounds (every
+/// observed value must be <= the bound, and overflowCount must be zero
+/// whenever the certificate claims no wraparound).
+class KernelValueProbe {
+public:
+  KernelValueProbe() { reset(); }
+
+  /// Records \p V as an observed value of \p Q.
+  void observe(KernelQuantity Q, uint64_t V) {
+    uint64_t &Max = ObservedMax[static_cast<unsigned>(Q)];
+    if (V > Max)
+      Max = V;
+  }
+
+  /// Records one overflow (wraparound) event on \p Q.
+  void noteOverflow(KernelQuantity Q) {
+    ++Overflows[static_cast<unsigned>(Q)];
+  }
+
+  /// Largest value observed for \p Q since the last reset().
+  uint64_t observedMax(KernelQuantity Q) const {
+    return ObservedMax[static_cast<unsigned>(Q)];
+  }
+
+  /// Number of overflow events recorded for \p Q since the last reset().
+  uint64_t overflowCount(KernelQuantity Q) const {
+    return Overflows[static_cast<unsigned>(Q)];
+  }
+
+  /// Sum of overflowCount over all quantities.
+  uint64_t totalOverflows() const {
+    uint64_t Total = 0;
+    for (uint64_t N : Overflows)
+      Total += N;
+    return Total;
+  }
+
+  /// Zeroes all maxima and overflow counters.
+  void reset() {
+    ObservedMax.fill(0);
+    Overflows.fill(0);
+  }
+
+private:
+  std::array<uint64_t, NumKernelQuantities> ObservedMax;
+  std::array<uint64_t, NumKernelQuantities> Overflows;
+};
+
+/// Production arithmetic policy: plain unsigned operations, no
+/// observation. Every method is a trivial inline forwarder, so a kernel
+/// instantiated with this policy compiles to exactly the arithmetic it
+/// would contain without the policy layer.
+struct PlainKernelArith {
+  /// Distinguishes the policies at compile time (e.g. for tests).
+  static constexpr bool Checked = false;
+
+  /// Returns A * B.
+  uint64_t mul(KernelQuantity, uint64_t A, uint64_t B) const {
+    return A * B;
+  }
+  /// Returns A + B.
+  uint64_t add(KernelQuantity, uint64_t A, uint64_t B) const {
+    return A + B;
+  }
+  /// Returns A - B.
+  uint64_t sub(KernelQuantity, uint64_t A, uint64_t B) const {
+    return A - B;
+  }
+  /// Observes a post-increment uint32_t count value (no-op).
+  void observeCount(KernelQuantity, uint32_t) const {}
+  /// Observes a uint64_t quantity value (no-op).
+  void observeValue(KernelQuantity, uint64_t) const {}
+};
+
+/// Shadow arithmetic policy: every operation is overflow-checked via the
+/// compiler builtins (well-defined even when the mathematical result does
+/// not fit) and every result is recorded in a KernelValueProbe. Used by
+/// makeCheckedKernel / makeCheckedDetector / makeCheckedFastDetector to
+/// validate KernelBounds certificates dynamically.
+struct CheckedKernelArith {
+  /// Records observations and overflow events into \p Probe.
+  explicit CheckedKernelArith(KernelValueProbe &Probe) : Probe(&Probe) {}
+
+  /// Distinguishes the policies at compile time (e.g. for tests).
+  static constexpr bool Checked = true;
+
+  /// Returns A * B mod 2^64; notes an overflow if the true product does
+  /// not fit, otherwise observes the result.
+  uint64_t mul(KernelQuantity Q, uint64_t A, uint64_t B) const {
+    uint64_t R;
+    if (__builtin_mul_overflow(A, B, &R)) {
+      Probe->noteOverflow(Q);
+      return R;
+    }
+    Probe->observe(Q, R);
+    return R;
+  }
+
+  /// Returns A + B mod 2^64; notes an overflow if the true sum does not
+  /// fit, otherwise observes the result.
+  uint64_t add(KernelQuantity Q, uint64_t A, uint64_t B) const {
+    uint64_t R;
+    if (__builtin_add_overflow(A, B, &R)) {
+      Probe->noteOverflow(Q);
+      return R;
+    }
+    Probe->observe(Q, R);
+    return R;
+  }
+
+  /// Returns A - B mod 2^64; notes an overflow if A < B (unsigned wrap).
+  /// The result is not observed: a difference is never larger than a
+  /// value the probe already saw.
+  uint64_t sub(KernelQuantity Q, uint64_t A, uint64_t B) const {
+    uint64_t R;
+    if (__builtin_sub_overflow(A, B, &R))
+      Probe->noteOverflow(Q);
+    return R;
+  }
+
+  /// Observes a post-increment uint32_t count: a post-increment value of
+  /// zero means the count wrapped past UINT32_MAX.
+  void observeCount(KernelQuantity Q, uint32_t V) const {
+    if (V == 0) {
+      Probe->noteOverflow(Q);
+      return;
+    }
+    Probe->observe(Q, V);
+  }
+
+  /// Observes a uint64_t quantity value.
+  void observeValue(KernelQuantity Q, uint64_t V) const {
+    Probe->observe(Q, V);
+  }
+
+private:
+  KernelValueProbe *Probe;
+};
 
 /// Base class: occupancy counts plus the operations the window machinery
 /// performs. All operations must keep counts consistent; similarity() may
@@ -82,15 +259,19 @@ public:
   virtual void twAdd(SiteIndex S) = 0;
   virtual void twRemove(SiteIndex S) = 0;
 
-  /// Totals-stable combined operations (add \p In, remove \p Out). The
+  /// Totals-stable combined operations (remove \p Out, add \p In). The
+  /// removal runs first so the window totals never exceed the window
+  /// bound, even transiently — the KernelBounds certificates
+  /// (analysis/KernelBounds.h) certify NCW/NTW against that invariant
+  /// and the checked shadow arithmetic observes every intermediate. The
   /// weighted kernel overrides these with O(1) updates.
   virtual void cwReplace(SiteIndex In, SiteIndex Out) {
-    cwAdd(In);
     cwRemove(Out);
+    cwAdd(In);
   }
   virtual void twReplace(SiteIndex In, SiteIndex Out) {
-    twAdd(In);
     twRemove(Out);
+    twAdd(In);
   }
 
   /// Moves one occurrence of \p S from the CW into the TW (the element
@@ -103,6 +284,14 @@ public:
   /// The similarity of the current window contents, in [0, 1]. An empty
   /// CW yields 0.
   virtual double similarity() = 0;
+
+  /// Test hook: resets the kernel and installs \p CW / \p TW as the
+  /// per-site occurrence counts directly, recomputing the totals and
+  /// derived state. Boundary tests use this to reach count magnitudes
+  /// (near UINT32_MAX) that streaming that many elements cannot. Both
+  /// vectors must have numSites() entries.
+  virtual void seedCountsForTest(const std::vector<uint32_t> &CW,
+                                 const std::vector<uint32_t> &TW);
 
   /// True if \p S occurs in the CW (used by the anchor policies: a TW
   /// element absent from the CW is "noisy").
@@ -149,22 +338,35 @@ protected:
 /// detectors (core/FastDetector.cpp) hold kernels by concrete final type,
 /// so these inline straight into the per-element loop. Virtual callers
 /// bind the same definitions through the vtable.
-class UnweightedSetKernel final : public SimilarityKernel {
+///
+/// \tparam ArithT the arithmetic policy (PlainKernelArith in production).
+template <typename ArithT = PlainKernelArith>
+class UnweightedSetKernelT final : public SimilarityKernel {
 public:
-  explicit UnweightedSetKernel(SiteIndex NumSites)
-      : SimilarityKernel(NumSites) {}
+  /// \p A is the arithmetic policy instance (defaulted in production).
+  explicit UnweightedSetKernelT(SiteIndex NumSites, ArithT A = ArithT())
+      : SimilarityKernel(NumSites), Arith(A) {}
 
-  void reset() override;
+  void reset() override {
+    SimilarityKernel::reset();
+    CWDistinct = 0;
+    BothDistinct = 0;
+  }
 
   void cwAdd(SiteIndex S) override {
     assert(S < CWCounts.size() && "site out of range");
     touch(S);
     if (CWCounts[S]++ == 0) {
       ++CWDistinct;
-      if (TWCounts[S] != 0)
+      Arith.observeValue(KernelQuantity::CWDistinct, CWDistinct);
+      if (TWCounts[S] != 0) {
         ++BothDistinct;
+        Arith.observeValue(KernelQuantity::BothDistinct, BothDistinct);
+      }
     }
+    Arith.observeCount(KernelQuantity::CWCount, CWCounts[S]);
     ++NCW;
+    Arith.observeValue(KernelQuantity::CWTotal, NCW);
   }
 
   void cwRemove(SiteIndex S) override {
@@ -181,9 +383,13 @@ public:
   void twAdd(SiteIndex S) override {
     assert(S < TWCounts.size() && "site out of range");
     touch(S);
-    if (TWCounts[S]++ == 0 && CWCounts[S] != 0)
+    if (TWCounts[S]++ == 0 && CWCounts[S] != 0) {
       ++BothDistinct;
+      Arith.observeValue(KernelQuantity::BothDistinct, BothDistinct);
+    }
+    Arith.observeCount(KernelQuantity::TWCount, TWCounts[S]);
     ++NTW;
+    Arith.observeValue(KernelQuantity::TWTotal, NTW);
   }
 
   void twRemove(SiteIndex S) override {
@@ -201,7 +407,22 @@ public:
            static_cast<double>(CWDistinct);
   }
 
+  void seedCountsForTest(const std::vector<uint32_t> &CW,
+                         const std::vector<uint32_t> &TW) override {
+    SimilarityKernel::seedCountsForTest(CW, TW);
+    CWDistinct = 0;
+    BothDistinct = 0;
+    for (SiteIndex S = 0, E = numSites(); S != E; ++S) {
+      if (CWCounts[S] != 0) {
+        ++CWDistinct;
+        if (TWCounts[S] != 0)
+          ++BothDistinct;
+      }
+    }
+  }
+
 private:
+  ArithT Arith;
   /// Number of distinct sites present in the CW.
   uint64_t CWDistinct = 0;
   /// Number of distinct sites present in both windows.
@@ -209,18 +430,28 @@ private:
 };
 
 /// Symmetric min-relative-weight similarity (weighted model).
-class WeightedSetKernel final : public SimilarityKernel {
+///
+/// \tparam ArithT the arithmetic policy (PlainKernelArith in production).
+template <typename ArithT = PlainKernelArith>
+class WeightedSetKernelT final : public SimilarityKernel {
 public:
-  explicit WeightedSetKernel(SiteIndex NumSites)
-      : SimilarityKernel(NumSites) {}
+  /// \p A is the arithmetic policy instance (defaulted in production).
+  explicit WeightedSetKernelT(SiteIndex NumSites, ArithT A = ArithT())
+      : SimilarityKernel(NumSites), Arith(A) {}
 
-  void reset() override;
+  void reset() override {
+    SimilarityKernel::reset();
+    MinSum = 0;
+    Dirty = false;
+  }
 
   void cwAdd(SiteIndex S) override {
     assert(S < CWCounts.size() && "site out of range");
     touch(S);
     ++CWCounts[S];
+    Arith.observeCount(KernelQuantity::CWCount, CWCounts[S]);
     ++NCW;
+    Arith.observeValue(KernelQuantity::CWTotal, NCW);
     Dirty = true;
   }
 
@@ -235,7 +466,9 @@ public:
     assert(S < TWCounts.size() && "site out of range");
     touch(S);
     ++TWCounts[S];
+    Arith.observeCount(KernelQuantity::TWCount, TWCounts[S]);
     ++NTW;
+    Arith.observeValue(KernelQuantity::TWTotal, NTW);
     Dirty = true;
   }
 
@@ -258,10 +491,20 @@ public:
       --CWCounts[Out];
       return;
     }
-    uint64_t Before = term(In) + term(Out);
+    // Gain/loss form: raising cw[In] can only raise In's term, lowering
+    // cw[Out] can only lower Out's term. Both deltas are non-negative,
+    // and the loss is at most term(Out) — one of MinSum's summands — so
+    // neither the intermediate differences nor the running sum can wrap
+    // while the certified bound MinSum <= NCW*NTW holds.
+    uint64_t TIn = term(In);
+    uint64_t TOut = term(Out);
     ++CWCounts[In];
+    Arith.observeCount(KernelQuantity::CWCount, CWCounts[In]);
     --CWCounts[Out];
-    MinSum += term(In) + term(Out) - Before;
+    uint64_t Gain = Arith.sub(KernelQuantity::MinSum, term(In), TIn);
+    uint64_t Loss = Arith.sub(KernelQuantity::MinSum, TOut, term(Out));
+    MinSum = Arith.add(KernelQuantity::MinSum, MinSum, Gain);
+    MinSum = Arith.sub(KernelQuantity::MinSum, MinSum, Loss);
   }
 
   void twReplace(SiteIndex In, SiteIndex Out) override {
@@ -276,10 +519,16 @@ public:
       --TWCounts[Out];
       return;
     }
-    uint64_t Before = term(In) + term(Out);
+    // Same gain/loss argument as cwReplace, with the TW count moving.
+    uint64_t TIn = term(In);
+    uint64_t TOut = term(Out);
     ++TWCounts[In];
+    Arith.observeCount(KernelQuantity::TWCount, TWCounts[In]);
     --TWCounts[Out];
-    MinSum += term(In) + term(Out) - Before;
+    uint64_t Gain = Arith.sub(KernelQuantity::MinSum, term(In), TIn);
+    uint64_t Loss = Arith.sub(KernelQuantity::MinSum, TOut, term(Out));
+    MinSum = Arith.add(KernelQuantity::MinSum, MinSum, Gain);
+    MinSum = Arith.sub(KernelQuantity::MinSum, MinSum, Loss);
   }
 
   double similarity() override {
@@ -291,15 +540,42 @@ public:
            (static_cast<double>(NCW) * static_cast<double>(NTW));
   }
 
-private:
-  /// min(cw[s]*NTW, tw[s]*NCW) under the current totals.
-  uint64_t term(SiteIndex S) const {
-    return std::min(static_cast<uint64_t>(CWCounts[S]) * NTW,
-                    static_cast<uint64_t>(TWCounts[S]) * NCW);
+  void seedCountsForTest(const std::vector<uint32_t> &CW,
+                         const std::vector<uint32_t> &TW) override {
+    SimilarityKernel::seedCountsForTest(CW, TW);
+    MinSum = 0;
+    Dirty = true;
   }
 
-  void recompute();
+  /// Test hook: the integer min-sum under the current counts (recomputing
+  /// if a total changed since the last replace). Boundary tests compare
+  /// this against an independent wide-integer evaluation.
+  uint64_t minSumForTest() {
+    if (Dirty)
+      recompute();
+    return MinSum;
+  }
 
+private:
+  /// min(cw[s]*NTW, tw[s]*NCW) under the current totals.
+  uint64_t term(SiteIndex S) {
+    return std::min(
+        Arith.mul(KernelQuantity::ProductCWTW, CWCounts[S], NTW),
+        Arith.mul(KernelQuantity::ProductTWCW, TWCounts[S], NCW));
+  }
+
+  void recompute() {
+    // term(S) == 0 for any untouched site (both counts zero), so summing
+    // the touched list is exact. The sum is an integer, so the list's
+    // insertion order cannot perturb the result — bit-identical to a full
+    // ascending sweep.
+    MinSum = 0;
+    for (SiteIndex S : TouchedSites)
+      MinSum = Arith.add(KernelQuantity::MinSum, MinSum, term(S));
+    Dirty = false;
+  }
+
+  ArithT Arith;
   /// Sum of term(s) over all sites; valid iff !Dirty.
   uint64_t MinSum = 0;
   /// Set whenever a total changed; similarity() recomputes lazily.
@@ -314,10 +590,14 @@ private:
 /// every similarity() call, which makes it the brute-force
 /// cross-check for WeightedSetKernel's incremental bookkeeping and the
 /// cost model for a non-incremental implementation (bench_perf).
-class ManhattanKernel final : public SimilarityKernel {
+///
+/// \tparam ArithT the arithmetic policy (PlainKernelArith in production).
+template <typename ArithT = PlainKernelArith>
+class ManhattanKernelT final : public SimilarityKernel {
 public:
-  explicit ManhattanKernel(SiteIndex NumSites)
-      : SimilarityKernel(NumSites) {}
+  /// \p A is the arithmetic policy instance (defaulted in production).
+  explicit ManhattanKernelT(SiteIndex NumSites, ArithT A = ArithT())
+      : SimilarityKernel(NumSites), Arith(A) {}
 
   void reset() override { SimilarityKernel::reset(); }
 
@@ -325,7 +605,9 @@ public:
     assert(S < CWCounts.size() && "site out of range");
     touch(S);
     ++CWCounts[S];
+    Arith.observeCount(KernelQuantity::CWCount, CWCounts[S]);
     ++NCW;
+    Arith.observeValue(KernelQuantity::CWTotal, NCW);
   }
 
   void cwRemove(SiteIndex S) override {
@@ -338,7 +620,9 @@ public:
     assert(S < TWCounts.size() && "site out of range");
     touch(S);
     ++TWCounts[S];
+    Arith.observeCount(KernelQuantity::TWCount, TWCounts[S]);
     ++NTW;
+    Arith.observeValue(KernelQuantity::TWTotal, NTW);
   }
 
   void twRemove(SiteIndex S) override {
@@ -347,12 +631,45 @@ public:
     --NTW;
   }
 
-  double similarity() override;
+  double similarity() override {
+    // Floating-point throughout: this kernel's decision path never forms
+    // the uint64_t cross-products, so only counts and totals appear in
+    // its value-range certificate.
+    if (NCW == 0 || NTW == 0)
+      return 0.0;
+    double Distance = 0.0;
+    double InvCW = 1.0 / static_cast<double>(NCW);
+    double InvTW = 1.0 / static_cast<double>(NTW);
+    for (SiteIndex S = 0, E = numSites(); S != E; ++S) {
+      double Diff = static_cast<double>(CWCounts[S]) * InvCW -
+                    static_cast<double>(TWCounts[S]) * InvTW;
+      Distance += Diff < 0 ? -Diff : Diff;
+    }
+    return 1.0 - Distance / 2.0;
+  }
+
+private:
+  ArithT Arith;
 };
+
+/// The production kernel types: plain arithmetic, unchanged layout and
+/// codegen relative to the pre-policy implementations.
+using UnweightedSetKernel = UnweightedSetKernelT<PlainKernelArith>;
+/// \copydoc UnweightedSetKernel
+using WeightedSetKernel = WeightedSetKernelT<PlainKernelArith>;
+/// \copydoc UnweightedSetKernel
+using ManhattanKernel = ManhattanKernelT<PlainKernelArith>;
 
 /// Creates the kernel for \p Kind.
 std::unique_ptr<SimilarityKernel> makeKernel(ModelKind Kind,
                                              SiteIndex NumSites);
+
+/// Creates the CheckedKernelArith-instrumented kernel for \p Kind,
+/// recording observations and overflow events into \p Probe (which must
+/// outlive the kernel).
+std::unique_ptr<SimilarityKernel>
+makeCheckedKernel(ModelKind Kind, SiteIndex NumSites,
+                  KernelValueProbe &Probe);
 
 } // namespace opd
 

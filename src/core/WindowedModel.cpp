@@ -42,8 +42,10 @@ const char *opd::resizeKindName(ResizeKind Kind) {
 }
 
 WindowedModel::WindowedModel(const WindowConfig &Config, ModelKind Model,
-                             SiteIndex NumSites)
-    : Config(Config), Model(Model), Kernel(makeKernel(Model, NumSites)) {
+                             SiteIndex NumSites, KernelValueProbe *Probe)
+    : Config(Config), Model(Model),
+      Kernel(Probe ? makeCheckedKernel(Model, NumSites, *Probe)
+                   : makeKernel(Model, NumSites)) {
   assert(Config.CWSize > 0 && "current window must be nonempty");
   assert(Config.TWSize > 0 && "trailing window must be nonempty");
   assert(Config.SkipFactor > 0 && "skip factor must be positive");

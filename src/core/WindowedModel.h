@@ -93,8 +93,12 @@ struct WindowConfig {
 /// evaluation points, startPhase()/endPhase() at state transitions.
 class WindowedModel {
 public:
+  /// \p Probe, when non-null, swaps the kernel for its
+  /// CheckedKernelArith-instrumented twin so every arithmetic step is
+  /// overflow-checked and recorded (the KernelBounds shadow mode);
+  /// production callers leave it null and get the plain kernel.
   WindowedModel(const WindowConfig &Config, ModelKind Model,
-                SiteIndex NumSites);
+                SiteIndex NumSites, KernelValueProbe *Probe = nullptr);
 
   /// Consumes one profile element.
   void consume(SiteIndex S);

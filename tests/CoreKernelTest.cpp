@@ -11,7 +11,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 using namespace opd;
@@ -344,4 +347,109 @@ TEST(KernelTest, FactoryCreatesRightKinds) {
 TEST(KernelTest, ModelKindNames) {
   EXPECT_STREQ(modelKindName(ModelKind::UnweightedSet), "unweighted");
   EXPECT_STREQ(modelKindName(ModelKind::WeightedSet), "weighted");
+}
+
+//===----------------------------------------------------------------------===//
+// Boundary coverage: counts near uint32_t saturation and products near
+// uint64_t — the extremes the KernelBounds certificates admit
+// (analysis/KernelBounds.h). Streaming cannot reach these in a test's
+// lifetime, so the counts are installed via seedCountsForTest().
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Independent min-sum oracle evaluated entirely in unsigned 128-bit
+/// arithmetic, so the expectation cannot share a wraparound bug with the
+/// kernel under test.
+uint64_t wideMinSum(const std::vector<uint32_t> &CW,
+                    const std::vector<uint32_t> &TW) {
+  unsigned __int128 NCW = 0, NTW = 0;
+  for (uint32_t C : CW)
+    NCW += C;
+  for (uint32_t C : TW)
+    NTW += C;
+  unsigned __int128 Sum = 0;
+  for (size_t S = 0; S != CW.size(); ++S)
+    Sum += std::min(static_cast<unsigned __int128>(CW[S]) * NTW,
+                    static_cast<unsigned __int128>(TW[S]) * NCW);
+  EXPECT_LE(Sum, static_cast<unsigned __int128>(UINT64_MAX));
+  return static_cast<uint64_t>(Sum);
+}
+
+} // namespace
+
+TEST(KernelBoundaryTest, SaturatedCountsExactMinSum) {
+  // One site at the uint32_t count ceiling in each window: NCW = NTW =
+  // 2^32, and the min in every term picks the small factor, so MinSum =
+  // 2^33 while the losing product sits at 2^64 - 2^32.
+  std::vector<uint32_t> CW = {UINT32_MAX, 1};
+  std::vector<uint32_t> TW = {1, UINT32_MAX};
+  WeightedSetKernel K(2);
+  K.seedCountsForTest(CW, TW);
+  EXPECT_EQ(K.minSumForTest(), uint64_t(1) << 33);
+  EXPECT_EQ(K.minSumForTest(), wideMinSum(CW, TW));
+  // 2^33 / (2^32 * 2^32) = 2^-31, exactly representable.
+  EXPECT_DOUBLE_EQ(K.similarity(), std::ldexp(1.0, -31));
+}
+
+TEST(KernelBoundaryTest, ProductExactlyAtUint64Max) {
+  // tw[0] = 2 pushes NTW to 2^32 + 1, so term(0)'s losing product is
+  // (2^32 - 1) * (2^32 + 1) = 2^64 - 1: the largest intermediate the
+  // kernels can form without wrapping. The checked shadow arithmetic
+  // must observe it and report zero overflows.
+  std::vector<uint32_t> CW = {UINT32_MAX, 1};
+  std::vector<uint32_t> TW = {2, UINT32_MAX};
+  KernelValueProbe Probe;
+  std::unique_ptr<SimilarityKernel> K =
+      makeCheckedKernel(ModelKind::WeightedSet, 2, Probe);
+  auto *WK = dynamic_cast<WeightedSetKernelT<CheckedKernelArith> *>(K.get());
+  ASSERT_NE(WK, nullptr);
+  WK->seedCountsForTest(CW, TW);
+  EXPECT_EQ(WK->minSumForTest(), wideMinSum(CW, TW));
+  EXPECT_EQ(Probe.totalOverflows(), 0u);
+  EXPECT_EQ(Probe.observedMax(KernelQuantity::ProductCWTW), UINT64_MAX);
+}
+
+TEST(KernelBoundaryTest, IncrementalReplaceExactAtEdge) {
+  // Steady-state replaces on the saturated counts: the gain/loss deltas
+  // must agree bit-for-bit with a full recompute and with the wide
+  // oracle even when the individual products approach 2^64.
+  std::vector<uint32_t> CW = {UINT32_MAX, 1, 0};
+  std::vector<uint32_t> TW = {1, 1, UINT32_MAX};
+  WeightedSetKernel K(3);
+  K.seedCountsForTest(CW, TW);
+  (void)K.minSumForTest(); // clear Dirty so replaces take the delta path
+
+  K.cwReplace(/*In=*/1, /*Out=*/0); // cw -> {2^32-2, 2, 0}
+  --CW[0];
+  ++CW[1];
+  EXPECT_EQ(K.minSumForTest(), wideMinSum(CW, TW));
+
+  K.twReplace(/*In=*/0, /*Out=*/2); // tw -> {2, 1, 2^32-2}
+  ++TW[0];
+  --TW[2];
+  EXPECT_EQ(K.minSumForTest(), wideMinSum(CW, TW));
+
+  WeightedSetKernel Fresh(3);
+  Fresh.seedCountsForTest(CW, TW);
+  EXPECT_EQ(K.minSumForTest(), Fresh.minSumForTest());
+  EXPECT_DOUBLE_EQ(K.similarity(), Fresh.similarity());
+}
+
+TEST(KernelBoundaryTest, CheckedProbeFlagsProductWraparound) {
+  // One element past ProductExactlyAtUint64Max: NTW = 2^32 + 2 makes
+  // term(0)'s product (2^32 - 1) * (2^32 + 2) = 2^64 + 2^32 - 2, which
+  // wraps uint64_t. The plain kernel would compute a wrong min-sum
+  // silently; the checked shadow arithmetic must flag the overflow on
+  // the exact quantity the certifier bounds.
+  KernelValueProbe Probe;
+  std::unique_ptr<SimilarityKernel> K =
+      makeCheckedKernel(ModelKind::WeightedSet, 2, Probe);
+  auto *WK = dynamic_cast<WeightedSetKernelT<CheckedKernelArith> *>(K.get());
+  ASSERT_NE(WK, nullptr);
+  WK->seedCountsForTest({UINT32_MAX, 1}, {2, UINT32_MAX});
+  WK->twAdd(0); // NTW: 2^32 + 1 -> 2^32 + 2
+  (void)WK->minSumForTest();
+  EXPECT_GT(Probe.totalOverflows(), 0u);
+  EXPECT_GE(Probe.overflowCount(KernelQuantity::ProductCWTW), 1u);
 }
