@@ -224,7 +224,7 @@ int main(int Argc, char **Argv) {
     } else {
       Table T("Kernel lane plan: " + SpecName);
       T.setHeader({"shape", "configs", "counts", "wide", "wraparound",
-                   "threshold"});
+                   "batch", "threshold"});
       for (size_t S = 0; S != NumFastShapes; ++S) {
         const KernelCertificate &Cert = *Merged[S];
         T.addRow(
@@ -233,6 +233,7 @@ int main(int Argc, char **Argv) {
              laneCell(maxBits(Cert, true), Cert.CountLaneBits),
              laneCell(maxBits(Cert, false), Cert.ProductLaneBits),
              Cert.NoWraparound ? "none" : "POSSIBLE",
+             admitsBatchLanes(Cert) ? "admit" : "refuse",
              thresholdExactnessName(Cert.Exactness)});
       }
       std::fputs(T.render().c_str(), stdout);

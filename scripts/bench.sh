@@ -19,6 +19,8 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+# shellcheck source=scripts/serve_common.sh
+. scripts/serve_common.sh
 
 SKIP_SWEEP=0
 if [ "${1:-}" = "--skip-sweep" ]; then
@@ -34,7 +36,7 @@ cmake --build "$DIR" -j "$JOBS"
 echo "=== [bench] detector benchmarks ==="
 RAW="$DIR/bench_perf_raw.json"
 "$DIR/bench/bench_perf" \
-  --benchmark_filter='BM_Detector/|BM_FastDetector/' \
+  --benchmark_filter='BM_Detector/|BM_FastDetector/|BM_BatchSimdDetector/|BM_BatchPortableDetector/' \
   --benchmark_min_time=2 \
   --benchmark_format=json > "$RAW"
 
@@ -53,28 +55,11 @@ fi
 # detector goes into the baseline (machine-relative, like the detector
 # ratios above).
 echo "=== [bench] serving throughput (opd_serve + opd_loadgen) ==="
-SERVE_LOG="$DIR/bench_serve.log"
 SERVE_JSON="$DIR/bench_serving.json"
-"$DIR/examples/opd_serve" --port 0 >"$SERVE_LOG" 2>&1 &
-SERVE_PID=$!
-SERVE_PORT=""
-for _ in $(seq 1 100); do
-  SERVE_PORT="$(sed -n 's/^listening on port \([0-9][0-9]*\)$/\1/p' \
-    "$SERVE_LOG" 2>/dev/null || true)"
-  [ -n "$SERVE_PORT" ] && break
-  kill -0 "$SERVE_PID" 2>/dev/null || break
-  sleep 0.1
-done
-if [ -z "$SERVE_PORT" ]; then
-  echo "=== [bench] opd_serve never reported a port ==="
-  cat "$SERVE_LOG" || true
-  kill "$SERVE_PID" 2>/dev/null || true
-  exit 1
-fi
+start_opd_serve "$DIR/examples/opd_serve" "$DIR/bench_serve.log"
 "$DIR/examples/opd_loadgen" --port "$SERVE_PORT" \
   --sessions 128 --total 512 --json > "$SERVE_JSON"
-kill -TERM "$SERVE_PID"
-wait "$SERVE_PID"
+stop_opd_serve
 
 python3 - "$RAW" "$SWEEP_SECONDS" "$SERVE_JSON" <<'EOF'
 import json, sys
@@ -85,6 +70,8 @@ serving = json.load(open(sys.argv[3]))
 
 rates = {}
 for b in raw["benchmarks"]:
+    if "items_per_second" not in b:  # skipped (e.g. SIMD without AVX2)
+        continue
     path, case = b["name"].split("/", 1)
     rates.setdefault(case, {})[path] = round(
         b["items_per_second"] / 1e6, 2)
@@ -97,11 +84,27 @@ for case, r in sorted(rates.items()):
         "fast_mps": fast,
         "ratio": round(fast / ref, 2),
     }
+    # Pinned batch-backend cases (check_perf.py resolves the extra
+    # fields back to the benchmark names): SIMD vs portable dispatch
+    # over the same reference run.
+    for prefix, bench in (("batch_simd", "BM_BatchSimdDetector"),
+                          ("batch_portable", "BM_BatchPortableDetector")):
+        if bench not in r:
+            continue
+        cases[f"{prefix}_{case}"] = {
+            "fast_bench": bench,
+            "bench_case": case,
+            "reference_mps": ref,
+            "fast_mps": r[bench],
+            "ratio": round(r[bench] / ref, 2),
+        }
 
 out = {
     "description": "Detector per-element throughput (M elements/s) on "
                    "jess scale 0.25 MPL 10K, CW=TW=5000, threshold 0.6, "
-                   "skip 1; see docs/PERFORMANCE.md",
+                   "skip 1; batch_* cases pin the BatchKernel dispatch "
+                   "backend (see scripts/check_perf.py); "
+                   "see docs/PERFORMANCE.md",
     "cases": cases,
     "pruned_paper_sweep_seconds": sweep,
     "serving": {

@@ -4,176 +4,253 @@
 # Part of the OPD project: a reproduction of "Online Phase Detection
 # Algorithms" (CGO 2006).
 #
-# Runs the complete CI matrix from a clean tree:
+# Runs the complete CI matrix from a clean tree as named stages:
 #
-#   1. plain:     configure + build (warnings-as-errors) + ctest
-#   2. sanitized: the same under AddressSanitizer + UndefinedBehaviorSanitizer
-#   3. ubsan-int: the kernel/detector arithmetic suites under clang's
-#                 -fsanitize=undefined,integer (gcc fallback: undefined
-#                 only) — the gain/loss kernel deltas must hold their
+#   plain:        configure + build (warnings-as-errors) + full ctest
+#   kernel-check: the shipped sweep specs certify wraparound-free at the
+#                 evaluation's 62M-element trace scale, with the full
+#                 18-shape SIMD lane plan (and its per-shape batch-kernel
+#                 admission verdicts) printed into the CI log
+#   serve-check:  wire-protocol model checker vs the real ServeSession vs
+#                 docs/SERVING.md, plus a fixed-seed model-guided fuzz run
+#   tidy:         clang-tidy over src/ when it is on PATH (skips otherwise)
+#   clang:        a clang++ configuration so -Wthread-safety verifies the
+#                 locking annotations (skips when clang++ is absent)
+#   simd-matrix:  the SIMD/portable batch-kernel matrix — the kernel
+#                 differential, batch-kernel, and KernelBounds suites run
+#                 (a) on the AVX2-enabled plain build with OPD_SIMD=off
+#                 forcing the portable dispatch fallback, and (b) on a
+#                 separate -DOPD_DISABLE_SIMD=ON build with the AVX2 code
+#                 compiled out entirely; the default-dispatch leg is the
+#                 plain stage's full ctest
+#   asan-ubsan:   full ctest under Address + UndefinedBehaviorSanitizer
+#   ubsan-int:    the kernel/detector/batch arithmetic suites under
+#                 clang's -fsanitize=undefined,integer (gcc fallback:
+#                 undefined only) — the gain/loss kernel deltas and the
+#                 batch min-sum/anchor kernels must hold their
 #                 no-wraparound certificates at runtime, not just in the
-#                 KernelBounds abstract interpretation
-#   4. tsan:      ThreadSanitizer over the concurrency-exercising tests
-#                 (sweep harness, parallel helpers, observers, config
-#                 analysis), with OPD_THREADS=4 so single-core runners
-#                 still run real threads
+#                 KernelBounds abstract interpretation; the same suites
+#                 repeat with OPD_SIMD=off so the portable blocks are
+#                 sanitized too
+#   serve-smoke:  a real opd_serve daemon under ASan/UBSan takes a few
+#                 hundred opd_loadgen --verify sessions, then drains
+#                 cleanly on SIGTERM
+#   tsan:         ThreadSanitizer over the concurrency-exercising tests,
+#                 with OPD_THREADS=4 so single-core runners still run
+#                 real threads
+#   perf:         Release perf smoke vs BENCH_PERF.json — the fast and
+#                 batch-backend detector ratios within 25%, the serving
+#                 ratio within 50% (scripts/check_perf.py)
 #
-# All configurations include the jp_lint_* / config_check_* ctests, which
-# lint the bundled .jp workloads and the shipped sweep specs. When
-# clang-tidy is on PATH, the plain configuration also runs it over src/
-# with the repo .clang-tidy profile (including the concurrency-* checks).
-# When clang++ is on PATH, an additional configuration builds under it so
-# -Wthread-safety verifies the locking annotations in support/Parallel.h.
+# All ctest configurations include the jp_lint_* / config_check_* tests,
+# which lint the bundled .jp workloads and the shipped sweep specs. The
+# opd_serve process handling is shared with serve_differential.sh via
+# scripts/serve_common.sh. A per-stage wall-clock summary is printed on
+# exit (also when a stage fails).
 #
-# Usage: scripts/ci.sh [build-dir-prefix]
+# Usage: scripts/ci.sh [--list-stages] [--stage NAME]... [build-dir-prefix]
+#
+#   scripts/ci.sh                      # every stage, in order
+#   scripts/ci.sh --stage tsan         # just the tsan stage
+#   scripts/ci.sh --stage plain --stage simd-matrix my-prefix
 #
 #===----------------------------------------------------------------------===#
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-PREFIX="${1:-build-ci}"
+# shellcheck source=scripts/serve_common.sh
+. scripts/serve_common.sh
+
+ALL_STAGES=(plain kernel-check serve-check tidy clang simd-matrix
+  asan-ubsan ubsan-int serve-smoke tsan perf)
+SIMD_TESTS='BatchKernel|FastDetector|KernelBounds'
+
+SELECTED=()
+PREFIX=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+  --list-stages)
+    printf '%s\n' "${ALL_STAGES[@]}"
+    exit 0
+    ;;
+  --stage)
+    [ $# -ge 2 ] || { echo "ci.sh: --stage needs a name" >&2; exit 2; }
+    case " ${ALL_STAGES[*]} " in
+    *" $2 "*) SELECTED+=("$2") ;;
+    *)
+      echo "ci.sh: unknown stage '$2' (see --list-stages)" >&2
+      exit 2
+      ;;
+    esac
+    shift 2
+    ;;
+  -*)
+    echo "ci.sh: unknown option '$1'" >&2
+    exit 2
+    ;;
+  *)
+    PREFIX="$1"
+    shift
+    ;;
+  esac
+done
+PREFIX="${PREFIX:-build-ci}"
+[ ${#SELECTED[@]} -gt 0 ] || SELECTED=("${ALL_STAGES[@]}")
+
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-run_config() {
-  local name="$1"; shift
-  local tests=""
-  if [ "${1:-}" = "--tests" ]; then
-    tests="$2"; shift 2
-  fi
+# Configures and (incrementally) builds one named tree; stages that share
+# a tree (plain / kernel-check / serve-check, asan-ubsan / serve-smoke)
+# get a no-op rebuild when run in one invocation.
+configure_build() {
+  local name="$1"
+  shift
   local dir="${PREFIX}-${name}"
   echo "=== [$name] configure ($*) ==="
   cmake -B "$dir" -S . -DOPD_WERROR=ON "$@"
   echo "=== [$name] build ==="
   cmake --build "$dir" -j "$JOBS"
-  echo "=== [$name] ctest ==="
-  if [ -n "$tests" ]; then
-    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -R "$tests"
-  else
-    ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
-  fi
 }
 
-run_config plain
+run_ctest() {
+  local name="$1"
+  shift
+  echo "=== [$name] ctest ($*) ==="
+  ctest --test-dir "${PREFIX}-${name}" --output-on-failure -j "$JOBS" "$@"
+}
 
-# Kernel value-range certification leg: every shipped sweep spec must
-# certify wraparound-free at the evaluation's 62M-element trace scale,
-# with the full 18-shape lane plan emitted (kernel_check exits non-zero
-# on any warning-or-worse diagnostic; the kernel_check_* ctests above
-# already cover the per-preset and adversarial cases, this run prints
-# the lane plan into the CI log for the SIMD work to consume).
-echo "=== [plain] kernel_check (paper sweep value-range certificates) ==="
-"${PREFIX}-plain/examples/kernel_check" --preset paper --trace-len 62M \
-  --lane-plan
+stage_plain() {
+  configure_build plain
+  run_ctest plain
+}
 
-# Protocol verification leg: the wire-protocol model checker must prove
-# its invariants, the real ServeSession must conform to the model edge
-# by edge, docs/SERVING.md must match the model's catalogues and frame
-# legality, and a fixed-seed model-guided fuzz budget (with the offline
-# detector as data-plane oracle) must come back clean. serve_check exits
-# non-zero on any warning-or-worse diagnostic.
-echo "=== [plain] serve_check (protocol model vs impl vs docs/SERVING.md) ==="
-"${PREFIX}-plain/examples/serve_check" --impl --doc docs/SERVING.md \
-  --fuzz 500 --seed 7 --stats
+stage_kernel_check() {
+  configure_build plain
+  "${PREFIX}-plain/examples/kernel_check" --preset paper --trace-len 62M \
+    --lane-plan
+}
 
-if command -v clang-tidy >/dev/null 2>&1; then
-  echo "=== [plain] clang-tidy ==="
-  cmake -B "${PREFIX}-plain" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+stage_serve_check() {
+  configure_build plain
+  "${PREFIX}-plain/examples/serve_check" --impl --doc docs/SERVING.md \
+    --fuzz 500 --seed 7 --stats
+}
+
+stage_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== clang-tidy not found; skipping (config: .clang-tidy) ==="
+    return 0
+  fi
+  configure_build plain -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
   find src -name '*.cpp' -print0 |
     xargs -0 -P "$JOBS" -n 4 clang-tidy -p "${PREFIX}-plain" --quiet
-else
-  echo "=== clang-tidy not found; skipping (config: .clang-tidy) ==="
-fi
+}
 
-if command -v clang++ >/dev/null 2>&1; then
-  run_config clang -DCMAKE_CXX_COMPILER=clang++
-else
-  echo "=== clang++ not found; skipping -Wthread-safety configuration ==="
-fi
+stage_clang() {
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "=== clang++ not found; skipping -Wthread-safety configuration ==="
+    return 0
+  fi
+  configure_build clang -DCMAKE_CXX_COMPILER=clang++
+  run_ctest clang
+}
 
-run_config asan-ubsan -DOPD_SANITIZE="address;undefined"
+stage_simd_matrix() {
+  # Leg (a): AVX2 compiled in, dispatch forced onto the portable scalar
+  # blocks. The differential suites must be bit-identical here exactly as
+  # under the default dispatch (the plain stage's full ctest).
+  configure_build plain
+  echo "=== [simd-matrix] portable dispatch (OPD_SIMD=off) ==="
+  OPD_SIMD=off ctest --test-dir "${PREFIX}-plain" --output-on-failure \
+    -j "$JOBS" -R "$SIMD_TESTS"
+  # Leg (b): AVX2 compiled out — the build the portable-only targets get.
+  configure_build nosimd -DOPD_DISABLE_SIMD=ON
+  run_ctest nosimd -R "$SIMD_TESTS"
+}
 
-# Integer-overflow leg over the kernel arithmetic: clang's integer
-# sanitizer traps unsigned wraparound too, which the gain/loss delta
-# forms in SimilarityKernel/FastDetector are certified never to need
-# (analysis/KernelBounds.h). gcc has no -fsanitize=integer, so the
-# fallback rides the plain undefined sanitizer there.
-if command -v clang++ >/dev/null 2>&1; then
-  run_config ubsan-int --tests 'KernelBounds|CoreKernel|FastDetector' \
-    -DCMAKE_CXX_COMPILER=clang++ -DOPD_SANITIZE="undefined;integer"
-else
-  echo "=== clang++ not found; running the integer leg under gcc ubsan ==="
-  run_config ubsan-int --tests 'KernelBounds|CoreKernel|FastDetector' \
-    -DOPD_SANITIZE=undefined
-fi
+stage_asan_ubsan() {
+  configure_build asan-ubsan -DOPD_SANITIZE="address;undefined"
+  run_ctest asan-ubsan
+}
 
-# Serving smoke under ASan/UBSan: a real opd_serve daemon takes a few
-# hundred loadgen sessions with --verify (every streamed transition
-# sequence is rebuilt and compared against offline runDetector), then
-# drains cleanly on SIGTERM. Any sanitizer report, session failure,
-# equivalence mismatch, or unclean shutdown fails CI.
-echo "=== [serve] ASan serving smoke (opd_serve + opd_loadgen) ==="
-SERVE_DIR="${PREFIX}-asan-ubsan"
-SERVE_LOG="$SERVE_DIR/serve_smoke.log"
-"$SERVE_DIR/examples/opd_serve" --port 0 >"$SERVE_LOG" 2>&1 &
-SERVE_PID=$!
-SERVE_PORT=""
-for _ in $(seq 1 100); do
-  SERVE_PORT="$(sed -n 's/^listening on port \([0-9][0-9]*\)$/\1/p' \
-    "$SERVE_LOG" 2>/dev/null || true)"
-  [ -n "$SERVE_PORT" ] && break
-  kill -0 "$SERVE_PID" 2>/dev/null || break
-  sleep 0.1
+stage_ubsan_int() {
+  # clang's integer sanitizer traps unsigned wraparound too, which the
+  # gain/loss delta forms and the batch min-sum accumulators are
+  # certified never to need (analysis/KernelBounds.h). gcc has no
+  # -fsanitize=integer, so the fallback rides the plain undefined
+  # sanitizer there.
+  local tests='KernelBounds|CoreKernel|FastDetector|BatchKernel'
+  if command -v clang++ >/dev/null 2>&1; then
+    configure_build ubsan-int -DCMAKE_CXX_COMPILER=clang++ \
+      -DOPD_SANITIZE="undefined;integer"
+  else
+    echo "=== clang++ not found; running the integer leg under gcc ubsan ==="
+    configure_build ubsan-int -DOPD_SANITIZE=undefined
+  fi
+  run_ctest ubsan-int -R "$tests"
+  echo "=== [ubsan-int] portable dispatch (OPD_SIMD=off) ==="
+  OPD_SIMD=off ctest --test-dir "${PREFIX}-ubsan-int" --output-on-failure \
+    -j "$JOBS" -R 'BatchKernel|FastDetector'
+}
+
+stage_serve_smoke() {
+  # A real opd_serve daemon under ASan/UBSan takes a few hundred loadgen
+  # sessions with --verify (every streamed transition sequence is rebuilt
+  # and compared against offline runDetector), then drains cleanly on
+  # SIGTERM. Any sanitizer report, session failure, equivalence mismatch,
+  # or unclean shutdown fails CI.
+  configure_build asan-ubsan -DOPD_SANITIZE="address;undefined"
+  local dir="${PREFIX}-asan-ubsan"
+  start_opd_serve "$dir/examples/opd_serve" "$dir/serve_smoke.log"
+  "$dir/examples/opd_loadgen" --port "$SERVE_PORT" \
+    --sessions 64 --total 300 --workload db --scale 0.05 --verify
+  stop_opd_serve
+}
+
+stage_tsan() {
+  configure_build tsan -DOPD_SANITIZE=thread
+  OPD_THREADS=4 ctest --test-dir "${PREFIX}-tsan" --output-on-failure \
+    -j "$JOBS" -R 'Parallel|Sweep|Observ|Config|Serve'
+}
+
+stage_perf() {
+  local dir="${PREFIX}-perf"
+  echo "=== [perf] configure + build (Release) ==="
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$dir" -j "$JOBS" --target bench_perf opd_serve opd_loadgen
+  "$dir/bench/bench_perf" \
+    --benchmark_filter='BM_Detector/|BM_FastDetector/|BM_BatchSimdDetector/|BM_BatchPortableDetector/' \
+    --benchmark_min_time=0.5 \
+    --benchmark_format=json > "$dir/bench_smoke.json"
+  start_opd_serve "$dir/examples/opd_serve" "$dir/serve_smoke.log"
+  "$dir/examples/opd_loadgen" --port "$SERVE_PORT" \
+    --sessions 128 --total 256 --json > "$dir/serving_smoke.json"
+  stop_opd_serve
+  python3 scripts/check_perf.py "$dir/bench_smoke.json" BENCH_PERF.json \
+    0.25 "$dir/serving_smoke.json"
+}
+
+STAGE_TIMES=""
+print_summary() {
+  local status=$?
+  kill_opd_serve
+  if [ -n "$STAGE_TIMES" ]; then
+    echo "=== stage timing ==="
+    printf '%s' "$STAGE_TIMES"
+  fi
+  if [ "$status" -eq 0 ]; then
+    echo "=== CI passed (${SELECTED[*]}) ==="
+  else
+    echo "=== CI FAILED (exit $status) ==="
+  fi
+}
+trap print_summary EXIT
+
+for stage in "${SELECTED[@]}"; do
+  echo "=== stage: $stage ==="
+  stage_t0=$SECONDS
+  "stage_${stage//-/_}"
+  STAGE_TIMES="${STAGE_TIMES}$(printf '%-12s %5ss' "$stage" \
+    "$((SECONDS - stage_t0))")"$'\n'
 done
-if [ -z "$SERVE_PORT" ]; then
-  echo "=== [serve] opd_serve never reported a port ==="
-  cat "$SERVE_LOG" || true
-  kill "$SERVE_PID" 2>/dev/null || true
-  exit 1
-fi
-"$SERVE_DIR/examples/opd_loadgen" --port "$SERVE_PORT" \
-  --sessions 64 --total 300 --workload db --scale 0.05 --verify
-kill -TERM "$SERVE_PID"
-wait "$SERVE_PID" # exit 0 only on a clean graceful drain
-
-OPD_THREADS=4 run_config tsan --tests 'Parallel|Sweep|Observ|Config|Serve' \
-  -DOPD_SANITIZE=thread
-
-# Release perf smoke: the fast detector path must stay within 25% of the
-# committed fast-over-reference throughput ratios, and the serving path
-# within 50% of the committed serving-over-offline ratio
-# (scripts/check_perf.py compares ratios, which are stable under host
-# frequency scaling).
-echo "=== [perf] Release perf smoke (vs BENCH_PERF.json) ==="
-PERF_DIR="${PREFIX}-perf"
-cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$PERF_DIR" -j "$JOBS" --target bench_perf opd_serve opd_loadgen
-"$PERF_DIR/bench/bench_perf" \
-  --benchmark_filter='BM_Detector/|BM_FastDetector/' \
-  --benchmark_min_time=0.5 \
-  --benchmark_format=json > "$PERF_DIR/bench_smoke.json"
-PERF_SERVE_LOG="$PERF_DIR/serve_smoke.log"
-"$PERF_DIR/examples/opd_serve" --port 0 >"$PERF_SERVE_LOG" 2>&1 &
-PERF_SERVE_PID=$!
-PERF_SERVE_PORT=""
-for _ in $(seq 1 100); do
-  PERF_SERVE_PORT="$(sed -n 's/^listening on port \([0-9][0-9]*\)$/\1/p' \
-    "$PERF_SERVE_LOG" 2>/dev/null || true)"
-  [ -n "$PERF_SERVE_PORT" ] && break
-  kill -0 "$PERF_SERVE_PID" 2>/dev/null || break
-  sleep 0.1
-done
-if [ -z "$PERF_SERVE_PORT" ]; then
-  echo "=== [perf] opd_serve never reported a port ==="
-  cat "$PERF_SERVE_LOG" || true
-  kill "$PERF_SERVE_PID" 2>/dev/null || true
-  exit 1
-fi
-"$PERF_DIR/examples/opd_loadgen" --port "$PERF_SERVE_PORT" \
-  --sessions 128 --total 256 --json > "$PERF_DIR/serving_smoke.json"
-kill -TERM "$PERF_SERVE_PID"
-wait "$PERF_SERVE_PID"
-python3 scripts/check_perf.py "$PERF_DIR/bench_smoke.json" BENCH_PERF.json \
-  0.25 "$PERF_DIR/serving_smoke.json"
-
-echo "=== CI passed ==="

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+#===- scripts/serve_common.sh - Shared opd_serve process helpers ------------===#
+#
+# Part of the OPD project: a reproduction of "Online Phase Detection
+# Algorithms" (CGO 2006).
+#
+# Sourced (not executed) by ci.sh and serve_differential.sh: one copy of
+# the opd_serve start/port-discovery/drain dance instead of one per smoke
+# test. Callers run under `set -euo pipefail`.
+#
+#   start_opd_serve <serve-binary> <log> [serve flags...]
+#       Launches the daemon on --port 0, polls the log for the
+#       "listening on port N" line, and exports SERVE_PID/SERVE_PORT.
+#       Fails (status 1, log dumped) if the daemon dies or never
+#       reports a port.
+#   stop_opd_serve
+#       Graceful drain: SIGTERM then wait. Propagates the daemon's exit
+#       status, which is 0 only on a clean drain — sanitizer reports and
+#       unclean shutdowns fail the caller.
+#   kill_opd_serve
+#       Best-effort kill for cleanup/trap paths; never fails.
+#   wait_for_established <port> <min-sessions> [timeout-sec]
+#       Blocks until the server has at least <min-sessions> ESTABLISHED
+#       connections (server-side sockets in /proc/net/tcp{,6}), so a
+#       mid-stream SIGTERM cannot race the clients' connects — the old
+#       fixed-sleep version of this dance was a flake on single-core
+#       hosts where the scheduler could starve every connect for the
+#       whole sleep. Degrades to a fixed sleep where /proc/net/tcp does
+#       not exist; on timeout it returns 0 (best effort) and lets the
+#       caller's own verification decide.
+#
+#===----------------------------------------------------------------------===#
+
+SERVE_PID=""
+SERVE_PORT=""
+
+start_opd_serve() {
+  local serve="$1" log="$2"
+  shift 2
+  "$serve" --port 0 "$@" >"$log" 2>&1 &
+  SERVE_PID=$!
+  SERVE_PORT=""
+  for _ in $(seq 1 100); do
+    SERVE_PORT="$(sed -n 's/^listening on port \([0-9][0-9]*\)$/\1/p' \
+      "$log" 2>/dev/null || true)"
+    [ -n "$SERVE_PORT" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+  done
+  if [ -z "$SERVE_PORT" ]; then
+    echo "serve_common: opd_serve never reported a port"
+    cat "$log" || true
+    kill "$SERVE_PID" 2>/dev/null || true
+    SERVE_PID=""
+    return 1
+  fi
+}
+
+stop_opd_serve() {
+  [ -n "$SERVE_PID" ] || return 0
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID" # exit 0 only on a clean graceful drain
+  SERVE_PID=""
+}
+
+kill_opd_serve() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  SERVE_PID=""
+}
+
+wait_for_established() {
+  local port="$1" want="$2" timeout="${3:-10}"
+  if [ ! -r /proc/net/tcp ]; then
+    sleep 0.5
+    return 0
+  fi
+  local hex count
+  hex="$(printf '%04X' "$port")"
+  for _ in $(seq 1 $((timeout * 20))); do
+    # Server-side sockets only (local_address field 2 carries the listen
+    # port): one ESTABLISHED entry per accepted session.
+    count="$(cat /proc/net/tcp /proc/net/tcp6 2>/dev/null |
+      awk -v p=":${hex}" '$2 ~ p"$" && $4 == "01" { n++ } END { print n+0 }')"
+    [ "$count" -ge "$want" ] && return 0
+    sleep 0.05
+  done
+  return 0
+}

@@ -35,57 +35,33 @@ for bin in "$SERVE" "$LOADGEN"; do
   fi
 done
 
-SERVE_PID=""
-cleanup() {
-  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
-}
-trap cleanup EXIT
-
-# Starts opd_serve with the given extra flags; sets SERVE_PID/SERVE_PORT.
-start_server() {
-  local log="$1"; shift
-  "$SERVE" --port 0 "$@" >"$log" 2>&1 &
-  SERVE_PID=$!
-  SERVE_PORT=""
-  for _ in $(seq 1 100); do
-    SERVE_PORT="$(sed -n 's/^listening on port \([0-9][0-9]*\)$/\1/p' \
-      "$log" 2>/dev/null || true)"
-    [ -n "$SERVE_PORT" ] && break
-    kill -0 "$SERVE_PID" 2>/dev/null || break
-    sleep 0.1
-  done
-  if [ -z "$SERVE_PORT" ]; then
-    echo "serve_differential: opd_serve never reported a port"
-    cat "$log" || true
-    exit 1
-  fi
-}
+# shellcheck source=scripts/serve_common.sh
+. scripts/serve_common.sh
+trap kill_opd_serve EXIT
 
 echo "=== [1/2] equivalence under forced backpressure ==="
 # Watermark 64 with 48-element frames: the second in-flight frame
 # saturates ingress, so every session streams through repeated
 # pause/pump/resume cycles. The batch size (--skip) must stay below the
 # watermark or a sub-batch backlog could never be relieved.
-start_server "$BUILD/serve_diff_bp.log" --max-pending 64
+start_opd_serve "$SERVE" "$BUILD/serve_diff_bp.log" --max-pending 64
 "$LOADGEN" --port "$SERVE_PORT" \
   --sessions 16 --total 48 --workload db --scale 0.05 \
   --chunk 48 --cw 200 --tw 200 --skip 25 --verify
-kill -TERM "$SERVE_PID"
-wait "$SERVE_PID" # exit 0 only on a clean graceful drain
-SERVE_PID=""
+stop_opd_serve
 
 echo "=== [2/2] equivalence under mid-stream drain ==="
 # All sessions launch upfront (total == sessions: no backfill races the
-# closed listener), then SIGTERM cuts the server from under them.
-start_server "$BUILD/serve_diff_drain.log"
+# closed listener), then SIGTERM cuts the server from under them — but
+# only after every session is ESTABLISHED server-side, so the cut hits
+# mid-stream instead of racing the connects on a loaded single-core box.
+start_opd_serve "$SERVE" "$BUILD/serve_diff_drain.log"
 "$LOADGEN" --port "$SERVE_PORT" \
   --sessions 16 --total 16 --workload db --scale 6.0 \
   --chunk 1024 --verify --tolerate-shutdown &
 LOADGEN_PID=$!
-sleep 0.25
-kill -TERM "$SERVE_PID"
-wait "$SERVE_PID"
-SERVE_PID=""
+wait_for_established "$SERVE_PORT" 16
+stop_opd_serve
 wait "$LOADGEN_PID"
 
 echo "=== serve_differential passed ==="

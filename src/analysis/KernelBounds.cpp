@@ -7,6 +7,8 @@
 
 #include "analysis/KernelBounds.h"
 
+#include "core/BatchKernel.h"
+
 #include <algorithm>
 #include <limits>
 
@@ -355,6 +357,25 @@ void opd::lintCertificate(const KernelCertificate &Cert,
             Desc + "' (provide --trace-len to bound them)");
 }
 
+bool opd::admitsBatchLanes(const KernelCertificate &Cert) {
+  BatchLanePlan Plan = batchLanePlan(Cert.Config.Model);
+  // No batch kernel compiled for the model at all: nothing to admit.
+  if (Plan.CountLaneBits == 0)
+    return false;
+  // The batch kernels assume the certified wraparound-free dataflow (the
+  // AVX2 min-sum derives its exactness from MinSum <= NCW*NTW, and the
+  // per-site counts must fit their uint32_t lanes).
+  if (!Cert.NoWraparound)
+    return false;
+  if (Cert.CountLaneBits == 0 || Cert.CountLaneBits > Plan.CountLaneBits)
+    return false;
+  if (Plan.ProductLaneBits != 0 &&
+      (Cert.ProductLaneBits == 0 ||
+       Cert.ProductLaneBits > Plan.ProductLaneBits))
+    return false;
+  return true;
+}
+
 std::string opd::renderCertificateJSON(const KernelCertificate &Cert) {
   std::string Out = "{\n";
   Out += "    \"config\": \"" + Cert.Config.describe() + "\",\n";
@@ -362,6 +383,9 @@ std::string opd::renderCertificateJSON(const KernelCertificate &Cert) {
   Out += "    \"configs_merged\": " + std::to_string(Cert.NumConfigs) + ",\n";
   Out += "    \"no_wraparound\": ";
   Out += Cert.NoWraparound ? "true" : "false";
+  Out += ",\n";
+  Out += "    \"batch_admitted\": ";
+  Out += admitsBatchLanes(Cert) ? "true" : "false";
   Out += ",\n";
   Out += "    \"count_lane_bits\": " + std::to_string(Cert.CountLaneBits) +
          ",\n";

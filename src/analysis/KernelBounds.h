@@ -177,6 +177,16 @@ KernelCertificate certifyKernel(const DetectorConfig &Config,
 /// SIMD layer must respect.
 void mergeCertificate(KernelCertificate &Into, const KernelCertificate &C);
 
+/// The admission check of the batch-kernel handshake (core/BatchKernel.h):
+/// true iff \p Cert proves the configuration safe on the batch kernels'
+/// compiled lane plan for its model — the certificate must rule out
+/// wraparound everywhere, certify every per-site count into the plan's
+/// count lanes, and (when the plan forms products) certify every
+/// product/accumulator into the plan's product lanes. A refusing config
+/// must run with FastDetectorBase::setBatchKernels(false); the sweep
+/// harness applies the verdict to every detector it acquires.
+bool admitsBatchLanes(const KernelCertificate &Cert);
+
 /// Reports \p Cert's findings into \p Diags using the stable diagnostic
 /// codes (kernel-count-overflow, kernel-product-overflow,
 /// kernel-product-near-64bit, kernel-unbounded-tw — see

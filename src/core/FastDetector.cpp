@@ -33,7 +33,12 @@
 //    numerator is outside a conservative rounding margin of
 //    threshold * denominator; inside the margin the exact reference
 //    division runs, so every decision is still bit-identical (see
-//    FastWeightedSetKernel::similarityAtLeast).
+//    FastWeightedSetKernel::similarityAtLeast). While the weighted
+//    kernel is dirty the decision further consults a sound integer
+//    envelope around the true MinSum, skipping the O(roster) recompute
+//    entirely whenever either envelope edge clears the margin — the
+//    quotient is monotone in the numerator, so the skipped recompute
+//    provably decides identically.
 //
 // Any behavioral change to the reference detector must be replicated
 // here — FastDetectorTest runs every sweep configuration shape through
@@ -44,6 +49,7 @@
 
 #include "core/FastDetector.h"
 
+#include "core/BatchKernel.h"
 #include "support/Format.h"
 
 #include <algorithm>
@@ -96,6 +102,14 @@ public:
     return static_cast<SiteIndex>(CWCounts.size());
   }
 
+  /// Kernels with dense per-site CW counts support the blocked anchor
+  /// membership scans (core/BatchKernel.h) directly over this array.
+  static constexpr bool HasDenseCW = true;
+  const uint32_t *cwCountsData() const { return CWCounts.data(); }
+
+  void setBatchEnabled(bool Enabled) { BatchEnabled = Enabled; }
+  bool batchEnabled() const { return BatchEnabled; }
+
 protected:
   /// Same contract as SimilarityKernel::touch().
   OPD_FORCE_INLINE void touch(SiteIndex S) {
@@ -122,6 +136,7 @@ protected:
   uint64_t NTW = 0;
   std::vector<uint8_t> SiteTouched;
   std::vector<SiteIndex> TouchedSites;
+  bool BatchEnabled = true;
 };
 
 /// Non-virtual mirror of UnweightedSetKernel. The arithmetic policy is
@@ -140,7 +155,7 @@ public:
     BothDistinct = 0;
   }
 
-  void cwAdd(SiteIndex S) {
+  OPD_FORCE_INLINE void cwAdd(SiteIndex S) {
     assert(S < CWCounts.size() && "site out of range");
     touch(S);
     if (CWCounts[S]++ == 0) {
@@ -156,7 +171,7 @@ public:
     this->observeValue(KernelQuantity::CWTotal, NCW);
   }
 
-  void cwRemove(SiteIndex S) {
+  OPD_FORCE_INLINE void cwRemove(SiteIndex S) {
     assert(S < CWCounts.size() && "site out of range");
     assert(CWCounts[S] != 0 && "removing a site not in the CW");
     if (--CWCounts[S] == 0) {
@@ -167,7 +182,7 @@ public:
     --NCW;
   }
 
-  void twAdd(SiteIndex S) {
+  OPD_FORCE_INLINE void twAdd(SiteIndex S) {
     assert(S < TWCounts.size() && "site out of range");
     touch(S);
     if (TWCounts[S]++ == 0 && CWCounts[S] != 0) {
@@ -179,7 +194,7 @@ public:
     this->observeValue(KernelQuantity::TWTotal, NTW);
   }
 
-  void twRemove(SiteIndex S) {
+  OPD_FORCE_INLINE void twRemove(SiteIndex S) {
     assert(S < TWCounts.size() && "site out of range");
     assert(TWCounts[S] != 0 && "removing a site not in the TW");
     if (--TWCounts[S] == 0 && CWCounts[S] != 0)
@@ -197,7 +212,7 @@ public:
     twRemove(Out);
     twAdd(In);
   }
-  void moveCWToTW(SiteIndex S) {
+  OPD_FORCE_INLINE void moveCWToTW(SiteIndex S) {
     cwRemove(S);
     twAdd(S);
   }
@@ -218,71 +233,133 @@ private:
   uint64_t BothDistinct = 0;
 };
 
-/// Non-virtual weighted-set kernel with the replace-operation delta
-/// computed from shared products: min(cw*NTW, tw*NCW) before and after a
-/// count bump reuses the same two products, halving the multiplies of
-/// the reference WeightedSetKernel on the steady-state path, and
-/// similarity() divides by a cached double(NCW)*double(NTW). Both are
-/// the same arithmetic the reference kernel performs (the gain/loss
-/// deltas reuse the reference's products; the cached denominator is the
-/// identical double product), so MinSum and the returned similarity are
+/// Non-virtual weighted-set kernel, restructured as a structure-of-
+/// arrays batch kernel: instead of dense per-site count arrays plus a
+/// touched-site index list (whose recompute gathers counts through the
+/// list), the touched sites live in a packed roster — interleaved
+/// (cw, tw) count-pair lanes plus the owning site per slot, with a
+/// per-site slot map for O(1) lookup. The min-sum recompute that
+/// dominates the weighted-adaptive shape (it runs per element while an
+/// adaptive TW grows) then becomes one contiguous sweep over the count
+/// pairs, dispatched to the AVX2 or portable block kernel
+/// (core/BatchKernel.h); the interleaving also lands a site's two counts
+/// on the same cache line for the replace-delta path. The sum is an
+/// integer sum of non-negative terms, so neither the roster order nor
+/// the lane evaluation order can perturb it — bit-identical to the
+/// reference kernel's touched-list recompute.
+///
+/// The replace-operation MinSum delta is computed from shared products:
+/// min(cw*NTW, tw*NCW) before and after a count bump reuses the same two
+/// products, halving the multiplies of the reference WeightedSetKernel
+/// on the steady-state path, and similarity() divides by a cached
+/// double(NCW)*double(NTW). Both are the same arithmetic the reference
+/// kernel performs, so MinSum and the returned similarity are
 /// bit-identical.
+///
+/// Under the CheckedKernelArith shadow policy the recompute keeps the
+/// scalar per-step instrumented loop (the probe must observe every
+/// product and partial sum), so certificates are validated against the
+/// exact same sequence of observations as before.
 template <typename ArithT = PlainKernelArith>
-class FastWeightedSetKernel : public FastKernelBase, private ArithT {
+class FastWeightedSetKernel : private ArithT {
 public:
   explicit FastWeightedSetKernel(SiteIndex NumSites, ArithT A = ArithT())
-      : FastKernelBase(NumSites), ArithT(A) {}
+      : ArithT(A), Slot(NumSites, InvalidSlot), RosterSites(NumSites),
+        RosterCounts(2 * static_cast<size_t>(NumSites)) {}
+
+  bool inCW(SiteIndex S) const {
+    assert(S < Slot.size() && "site out of range");
+    uint32_t I = Slot[S];
+    return I != InvalidSlot && cwAt(I) != 0;
+  }
+  uint64_t cwTotal() const { return NCW; }
+  uint64_t twTotal() const { return NTW; }
+  SiteIndex numSites() const { return static_cast<SiteIndex>(Slot.size()); }
+
+  /// The CW counts live in packed roster lanes, not densely by site, so
+  /// the anchor scans take the scalar inCW path (anchoring runs once per
+  /// phase transition; the win here is the per-element recompute).
+  static constexpr bool HasDenseCW = false;
+  const uint32_t *cwCountsData() const { return nullptr; }
+
+  void setBatchEnabled(bool Enabled) { BatchEnabled = Enabled; }
+  bool batchEnabled() const { return BatchEnabled; }
 
   void reset() {
-    resetCounts();
+    // O(roster) un-enrollment, the counterpart of FastKernelBase's
+    // O(touched) resetCounts(): only enrolled sites have live slots.
+    for (uint32_t I = 0; I != RosterSize; ++I)
+      Slot[RosterSites[I]] = InvalidSlot;
+    RosterSize = 0;
+    NCW = NTW = 0;
     MinSum = 0;
+    BoundLo = BoundHi = 0;
     Dirty = false;
   }
 
-  void cwAdd(SiteIndex S) {
-    assert(S < CWCounts.size() && "site out of range");
-    touch(S);
-    ++CWCounts[S];
-    this->observeCount(KernelQuantity::CWCount, CWCounts[S]);
+  OPD_FORCE_INLINE void cwAdd(SiteIndex S) {
+    assert(S < Slot.size() && "site out of range");
+    uint32_t I = slotOf(S);
+    ++cwAt(I);
+    this->observeCount(KernelQuantity::CWCount, cwAt(I));
     ++NCW;
     this->observeValue(KernelQuantity::CWTotal, NCW);
-    Dirty = true;
+    // cw[S] and NCW rise, nothing falls: every term is nondecreasing,
+    // and the total rise is at most sum_i tw_i + NTW = 2*NTW (each
+    // term's tw-side operand gains tw_i from the NCW bump, and term S
+    // gains at most max(NTW, tw_S) <= NTW on top).
+    markDirty();
+    widenUp(saturatingDouble(NTW));
   }
 
-  void cwRemove(SiteIndex S) {
-    assert(CWCounts[S] != 0 && "removing a site not in the CW");
-    --CWCounts[S];
+  OPD_FORCE_INLINE void cwRemove(SiteIndex S) {
+    assert(Slot[S] != InvalidSlot && cwAt(Slot[S]) != 0 &&
+           "removing a site not in the CW");
+    --cwAt(Slot[S]);
     --NCW;
-    Dirty = true;
+    // Mirror of cwAdd: everything is nonincreasing, by at most 2*NTW.
+    markDirty();
+    widenDown(saturatingDouble(NTW));
   }
 
-  void twAdd(SiteIndex S) {
-    assert(S < TWCounts.size() && "site out of range");
-    touch(S);
-    ++TWCounts[S];
-    this->observeCount(KernelQuantity::TWCount, TWCounts[S]);
+  OPD_FORCE_INLINE void twAdd(SiteIndex S) {
+    assert(S < Slot.size() && "site out of range");
+    uint32_t I = slotOf(S);
+    ++twAt(I);
+    this->observeCount(KernelQuantity::TWCount, twAt(I));
     ++NTW;
     this->observeValue(KernelQuantity::TWTotal, NTW);
-    Dirty = true;
+    // tw[S] and NTW rise: every term is nondecreasing, total rise at
+    // most sum_i cw_i + NCW = 2*NCW (the symmetric cwAdd argument).
+    markDirty();
+    widenUp(saturatingDouble(NCW));
   }
 
-  void twRemove(SiteIndex S) {
-    assert(TWCounts[S] != 0 && "removing a site not in the TW");
-    --TWCounts[S];
+  OPD_FORCE_INLINE void twRemove(SiteIndex S) {
+    assert(Slot[S] != InvalidSlot && twAt(Slot[S]) != 0 &&
+           "removing a site not in the TW");
+    --twAt(Slot[S]);
     --NTW;
-    Dirty = true;
+    // Mirror of twAdd: everything is nonincreasing, by at most 2*NCW.
+    markDirty();
+    widenDown(saturatingDouble(NCW));
   }
 
   OPD_FORCE_INLINE void cwReplace(SiteIndex In, SiteIndex Out) {
-    assert(In < CWCounts.size() && Out < CWCounts.size() &&
-           "site out of range");
-    assert(CWCounts[Out] != 0 && "replacing a site not in the CW");
+    assert(In < Slot.size() && Out < Slot.size() && "site out of range");
+    assert(Slot[Out] != InvalidSlot && cwAt(Slot[Out]) != 0 &&
+           "replacing a site not in the CW");
     if (In == Out)
       return;
-    touch(In);
+    uint32_t II = slotOf(In);
+    uint32_t OI = Slot[Out];
     if (Dirty) {
-      ++CWCounts[In];
-      --CWCounts[Out];
+      ++cwAt(II);
+      --cwAt(OI);
+      // Totals are unchanged; In's term rises by at most NTW and Out's
+      // falls by at most NTW.
+      widenUp(NTW);
+      widenDown(NTW);
       return;
     }
     // term(S) = min(cw*NTW, tw*NCW); after ++cw[In]/--cw[Out] only the
@@ -291,18 +368,18 @@ public:
     // loss is one of MinSum's summands — so with the certified bound
     // MinSum <= NCW*NTW no step here can wrap (see SimilarityKernel.h).
     uint64_t AIn =
-        this->mul(KernelQuantity::ProductCWTW, CWCounts[In], NTW);
+        this->mul(KernelQuantity::ProductCWTW, cwAt(II), NTW);
     uint64_t BIn =
-        this->mul(KernelQuantity::ProductTWCW, TWCounts[In], NCW);
+        this->mul(KernelQuantity::ProductTWCW, twAt(II), NCW);
     uint64_t AOut =
-        this->mul(KernelQuantity::ProductCWTW, CWCounts[Out], NTW);
+        this->mul(KernelQuantity::ProductCWTW, cwAt(OI), NTW);
     uint64_t BOut =
-        this->mul(KernelQuantity::ProductTWCW, TWCounts[Out], NCW);
+        this->mul(KernelQuantity::ProductTWCW, twAt(OI), NCW);
     uint64_t AInNew = this->add(KernelQuantity::ProductCWTW, AIn, NTW);
     uint64_t AOutNew = this->sub(KernelQuantity::ProductCWTW, AOut, NTW);
-    ++CWCounts[In];
-    this->observeCount(KernelQuantity::CWCount, CWCounts[In]);
-    --CWCounts[Out];
+    ++cwAt(II);
+    this->observeCount(KernelQuantity::CWCount, cwAt(II));
+    --cwAt(OI);
     uint64_t Gain = this->sub(KernelQuantity::MinSum,
                               std::min(AInNew, BIn), std::min(AIn, BIn));
     uint64_t Loss = this->sub(KernelQuantity::MinSum, std::min(AOut, BOut),
@@ -314,35 +391,41 @@ public:
   /// Precondition (which every FastWindowedModel call site satisfies):
   /// In has already been added to a window since the last reset() — in
   /// the model, twReplace only moves the element leaving the CW into
-  /// the TW, and everything that entered the CW was touched on the way
-  /// in. That makes touch(In) a guaranteed no-op here, so it is elided
-  /// from this per-element path.
+  /// the TW, and everything that entered the CW was enrolled on the way
+  /// in. That makes the enrollment check a guaranteed no-op here, so it
+  /// is elided from this per-element path.
   OPD_FORCE_INLINE void twReplace(SiteIndex In, SiteIndex Out) {
-    assert(In < TWCounts.size() && Out < TWCounts.size() &&
-           "site out of range");
-    assert(TWCounts[Out] != 0 && "replacing a site not in the TW");
-    assert(SiteTouched[In] && "twReplace of a never-touched site");
+    assert(In < Slot.size() && Out < Slot.size() && "site out of range");
+    assert(Slot[Out] != InvalidSlot && twAt(Slot[Out]) != 0 &&
+           "replacing a site not in the TW");
+    assert(Slot[In] != InvalidSlot && "twReplace of a never-enrolled site");
     if (In == Out)
       return;
+    uint32_t II = Slot[In];
+    uint32_t OI = Slot[Out];
     if (Dirty) {
-      ++TWCounts[In];
-      --TWCounts[Out];
+      ++twAt(II);
+      --twAt(OI);
+      // Totals are unchanged; In's term rises by at most NCW and Out's
+      // falls by at most NCW.
+      widenUp(NCW);
+      widenDown(NCW);
       return;
     }
     // Same gain/loss argument as cwReplace, with the TW count moving.
     uint64_t AIn =
-        this->mul(KernelQuantity::ProductTWCW, TWCounts[In], NCW);
+        this->mul(KernelQuantity::ProductTWCW, twAt(II), NCW);
     uint64_t BIn =
-        this->mul(KernelQuantity::ProductCWTW, CWCounts[In], NTW);
+        this->mul(KernelQuantity::ProductCWTW, cwAt(II), NTW);
     uint64_t AOut =
-        this->mul(KernelQuantity::ProductTWCW, TWCounts[Out], NCW);
+        this->mul(KernelQuantity::ProductTWCW, twAt(OI), NCW);
     uint64_t BOut =
-        this->mul(KernelQuantity::ProductCWTW, CWCounts[Out], NTW);
+        this->mul(KernelQuantity::ProductCWTW, cwAt(OI), NTW);
     uint64_t AInNew = this->add(KernelQuantity::ProductTWCW, AIn, NCW);
     uint64_t AOutNew = this->sub(KernelQuantity::ProductTWCW, AOut, NCW);
-    ++TWCounts[In];
-    this->observeCount(KernelQuantity::TWCount, TWCounts[In]);
-    --TWCounts[Out];
+    ++twAt(II);
+    this->observeCount(KernelQuantity::TWCount, twAt(II));
+    --twAt(OI);
     uint64_t Gain = this->sub(KernelQuantity::MinSum,
                               std::min(AInNew, BIn), std::min(AIn, BIn));
     uint64_t Loss = this->sub(KernelQuantity::MinSum, std::min(AOut, BOut),
@@ -351,7 +434,7 @@ public:
     MinSum = this->sub(KernelQuantity::MinSum, MinSum, Loss);
   }
 
-  void moveCWToTW(SiteIndex S) {
+  OPD_FORCE_INLINE void moveCWToTW(SiteIndex S) {
     cwRemove(S);
     twAdd(S);
   }
@@ -360,13 +443,7 @@ public:
     if (NCW == 0 || NTW == 0)
       return 0.0;
     if (Dirty) {
-      MinSum = 0;
-      for (SiteIndex S : TouchedSites)
-        MinSum = this->add(
-            KernelQuantity::MinSum, MinSum,
-            std::min(
-                this->mul(KernelQuantity::ProductCWTW, CWCounts[S], NTW),
-                this->mul(KernelQuantity::ProductTWCW, TWCounts[S], NCW)));
+      recomputeMinSum();
       // The same product the reference divides by, computed once per
       // totals change instead of per element.
       Denom = static_cast<double>(NCW) * static_cast<double>(NTW);
@@ -383,9 +460,34 @@ public:
   /// result is therefore bit-identical to similarity() >= T for every
   /// input, including T <= 0 (the comparison against a non-positive
   /// bound is always true, as is similarity() >= T).
+  ///
+  /// While the kernel is dirty, the decision first consults the
+  /// [BoundLo, BoundHi] envelope the mutators maintain around the true
+  /// MinSum: the quotient is monotone in the numerator, so when even the
+  /// lower bound clears the threshold (or even the upper bound misses
+  /// it, each by the same margin) the exact recompute provably decides
+  /// the same way and is skipped — MinSum stays stale, Dirty stays set,
+  /// and the next similarity() recompute restores exactness. Only the
+  /// indecisive band pays the O(roster) sweep, which is what makes the
+  /// threshold analyzer's weighted-adaptive path cheap between
+  /// recomputes while remaining decision-identical to the reference.
   OPD_FORCE_INLINE bool similarityAtLeast(double T) {
-    if (NCW == 0 || NTW == 0 || Dirty)
+    if (NCW == 0 || NTW == 0)
       return similarity() >= T;
+    if (Dirty) {
+      if constexpr (ArithT::Checked)
+        // The shadow probe must observe the recompute arithmetic at
+        // every reference decision point, so the checked kernel never
+        // defers.
+        return similarity() >= T;
+      double D = static_cast<double>(NCW) * static_cast<double>(NTW);
+      double Bound = T * D;
+      if (static_cast<double>(BoundLo) >= Bound + Bound * 1e-12)
+        return true;
+      if (static_cast<double>(BoundHi) <= Bound - Bound * 1e-12)
+        return false;
+      return similarity() >= T;
+    }
     double Num = static_cast<double>(MinSum);
     double Bound = T * Denom;
     if (Num >= Bound + Bound * 1e-12)
@@ -396,10 +498,104 @@ public:
   }
 
 private:
+  static constexpr uint32_t InvalidSlot = UINT32_MAX;
+
+  /// Transitions to the dirty state, seeding the MinSum bound envelope
+  /// from the last exact value. While dirty, every mutator widens the
+  /// envelope by a sound per-operation delta bound (see the mutators),
+  /// so BoundLo <= true MinSum <= BoundHi holds at every decision point.
+  OPD_FORCE_INLINE void markDirty() {
+    if (!Dirty) {
+      Dirty = true;
+      BoundLo = BoundHi = MinSum;
+    }
+  }
+
+  /// 2*X, saturating (the per-op envelope deltas; saturation keeps the
+  /// bounds sound even for absurd totals near 2^63).
+  static OPD_FORCE_INLINE uint64_t saturatingDouble(uint64_t X) {
+    return X > UINT64_MAX / 2 ? UINT64_MAX : 2 * X;
+  }
+
+  OPD_FORCE_INLINE void widenUp(uint64_t X) {
+    BoundHi = BoundHi > UINT64_MAX - X ? UINT64_MAX : BoundHi + X;
+  }
+
+  OPD_FORCE_INLINE void widenDown(uint64_t X) {
+    BoundLo = BoundLo > X ? BoundLo - X : 0;
+  }
+
+  /// Slot of site \p S, enrolling it into the roster on first use (the
+  /// counterpart of FastKernelBase::touch): both count lanes start at
+  /// zero, since reset() leaves stale lane values behind the sentinel.
+  OPD_FORCE_INLINE uint32_t slotOf(SiteIndex S) {
+    uint32_t I = Slot[S];
+    if (I == InvalidSlot) {
+      I = RosterSize++;
+      Slot[S] = I;
+      RosterSites[I] = S;
+      cwAt(I) = 0;
+      twAt(I) = 0;
+    }
+    return I;
+  }
+
+  OPD_FORCE_INLINE void recomputeMinSum() {
+    if constexpr (ArithT::Checked) {
+      // The shadow probe must observe every product and partial sum, so
+      // the checked recompute stays a scalar per-step instrumented loop
+      // (roster order is enrollment order — the same first-touch order
+      // the pre-roster TouchedSites recompute observed in).
+      uint64_t Sum = 0;
+      for (uint32_t I = 0; I != RosterSize; ++I)
+        Sum = this->add(
+            KernelQuantity::MinSum, Sum,
+            std::min(
+                this->mul(KernelQuantity::ProductCWTW, cwAt(I), NTW),
+                this->mul(KernelQuantity::ProductTWCW, twAt(I), NCW)));
+      MinSum = Sum;
+    } else if (BatchEnabled) {
+      MinSum = batchMinSum(RosterCounts.data(), RosterSize, NCW, NTW);
+    } else {
+      MinSum = batchMinSumPortable(RosterCounts.data(), RosterSize, NCW, NTW);
+    }
+  }
+
+  /// Slot I's count pair lives at RosterCounts[2I] (CW) and
+  /// RosterCounts[2I+1] (TW) — the interleaved layout batchMinSum sweeps.
+  OPD_FORCE_INLINE uint32_t &cwAt(uint32_t I) {
+    return RosterCounts[2 * static_cast<size_t>(I)];
+  }
+  OPD_FORCE_INLINE uint32_t cwAt(uint32_t I) const {
+    return RosterCounts[2 * static_cast<size_t>(I)];
+  }
+  OPD_FORCE_INLINE uint32_t &twAt(uint32_t I) {
+    return RosterCounts[2 * static_cast<size_t>(I) + 1];
+  }
+  OPD_FORCE_INLINE uint32_t twAt(uint32_t I) const {
+    return RosterCounts[2 * static_cast<size_t>(I) + 1];
+  }
+
+  /// Per-site roster slot, or InvalidSlot while un-enrolled.
+  std::vector<uint32_t> Slot;
+  /// Packed SoA roster over the enrolled sites: the owning site per slot
+  /// plus the interleaved (cw, tw) count pairs the batch min-sum sweeps
+  /// contiguously.
+  std::vector<SiteIndex> RosterSites;
+  std::vector<uint32_t> RosterCounts;
+  uint32_t RosterSize = 0;
+
+  uint64_t NCW = 0;
+  uint64_t NTW = 0;
   uint64_t MinSum = 0;
+  /// Sound envelope around the true MinSum while Dirty (see markDirty);
+  /// meaningless when !Dirty (MinSum itself is exact then).
+  uint64_t BoundLo = 0;
+  uint64_t BoundHi = 0;
   /// double(NCW) * double(NTW); valid iff !Dirty and both totals nonzero.
   double Denom = 0.0;
   bool Dirty = false;
+  bool BatchEnabled = true;
 };
 
 /// Non-virtual mirror of ManhattanKernel. similarity() must keep the
@@ -413,7 +609,7 @@ public:
 
   void reset() { resetCounts(); }
 
-  void cwAdd(SiteIndex S) {
+  OPD_FORCE_INLINE void cwAdd(SiteIndex S) {
     assert(S < CWCounts.size() && "site out of range");
     touch(S);
     ++CWCounts[S];
@@ -422,13 +618,13 @@ public:
     this->observeValue(KernelQuantity::CWTotal, NCW);
   }
 
-  void cwRemove(SiteIndex S) {
+  OPD_FORCE_INLINE void cwRemove(SiteIndex S) {
     assert(CWCounts[S] != 0 && "removing a site not in the CW");
     --CWCounts[S];
     --NCW;
   }
 
-  void twAdd(SiteIndex S) {
+  OPD_FORCE_INLINE void twAdd(SiteIndex S) {
     assert(S < TWCounts.size() && "site out of range");
     touch(S);
     ++TWCounts[S];
@@ -437,7 +633,7 @@ public:
     this->observeValue(KernelQuantity::TWTotal, NTW);
   }
 
-  void twRemove(SiteIndex S) {
+  OPD_FORCE_INLINE void twRemove(SiteIndex S) {
     assert(TWCounts[S] != 0 && "removing a site not in the TW");
     --TWCounts[S];
     --NTW;
@@ -453,7 +649,7 @@ public:
     twRemove(Out);
     twAdd(In);
   }
-  void moveCWToTW(SiteIndex S) {
+  OPD_FORCE_INLINE void moveCWToTW(SiteIndex S) {
     cwRemove(S);
     twAdd(S);
   }
@@ -796,6 +992,9 @@ public:
   uint64_t consumed() const { return GlobalConsumed; }
   const WindowConfig &config() const { return Config; }
 
+  void setBatchKernels(bool Enabled) { TheKernel.setBatchEnabled(Enabled); }
+  bool batchKernelsEnabled() const { return TheKernel.batchEnabled(); }
+
 private:
   uint64_t offsetOfTWIndex(uint64_t I) const {
     return GlobalConsumed - (TWLen + CWLen) + I;
@@ -804,6 +1003,19 @@ private:
   uint64_t anchorPosition() const {
     assert(Head + TWLen + CWLen == Buffer.size() &&
            "window bookkeeping out of sync");
+    // Kernels with dense per-site CW counts dispatch the anchor scan to
+    // the blocked membership kernels: both scans return the index of the
+    // first matching element in scan order, exactly what the scalar
+    // loops below compute (core/BatchKernel.h documents the equivalence).
+    if constexpr (Kernel::HasDenseCW) {
+      if (TheKernel.batchEnabled()) {
+        const uint32_t *Counts = TheKernel.cwCountsData();
+        const SiteIndex *Window = Buffer.begin() + Head;
+        if (Config.Anchor == AnchorKind::RightmostNoisy)
+          return batchRightmostNoisy(Counts, Window, TWLen);
+        return batchLeftmostNonNoisy(Counts, Window, TWLen);
+      }
+    }
     if (Config.Anchor == AnchorKind::RightmostNoisy) {
       for (uint64_t I = TWLen; I != 0; --I)
         if (!TheKernel.inCW(Buffer[Head + I - 1]))
@@ -865,6 +1077,13 @@ public:
   }
 
   SiteIndex numSites() const override { return Sites; }
+
+  void setBatchKernels(bool Enabled) override {
+    Model.setBatchKernels(Enabled);
+  }
+  bool batchKernelsEnabled() const override {
+    return Model.batchKernelsEnabled();
+  }
 
   PhaseState processBatch(const SiteIndex *Elements, size_t N) override {
     return processBatchInline(Elements, N);

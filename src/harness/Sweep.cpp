@@ -8,6 +8,7 @@
 #include "harness/Sweep.h"
 
 #include "analysis/ConfigAnalysis.h"
+#include "analysis/KernelBounds.h"
 #include "core/DetectorRunner.h"
 #include "core/FastDetector.h"
 #include "support/Format.h"
@@ -59,7 +60,13 @@ public:
   DetectorRun Run;
 
   /// The fast detector for \p Config, reconfigured and ready to run.
-  OnlineDetector &acquire(const DetectorConfig &Config, SiteIndex Sites) {
+  /// \p BatchAdmitted is the KernelBounds admission verdict for the
+  /// config (admitsBatchLanes): a batch kernel must refuse a config
+  /// whose certificate does not admit its compiled lane plan, so the
+  /// arena applies the verdict on every acquire — the flag survives
+  /// reconfigure(), and consecutive runs of one shape may differ in it.
+  OnlineDetector &acquire(const DetectorConfig &Config, SiteIndex Sites,
+                          bool BatchAdmitted) {
     if (Sites != NumSites) {
       for (std::unique_ptr<FastDetectorBase> &S : Shapes)
         S.reset();
@@ -70,6 +77,7 @@ public:
       Slot->reconfigure(Config);
     else
       Slot = makeFastDetector(Config, Sites);
+    Slot->setBatchKernels(BatchAdmitted);
     return *Slot;
   }
 };
@@ -115,6 +123,17 @@ void runConfigs(const BranchTrace &Trace,
 
   std::vector<RunArena> Arenas(hardwareParallelism());
 
+  // Certificate-based batch-kernel admission, computed once per config
+  // against what the harness knows about this trace (its length bounds
+  // adaptive-TW growth and per-site multiplicity; the site-table size
+  // bounds the distinct counters). certifyKernel is pure arithmetic —
+  // microseconds against runs that stream hundreds of thousands of
+  // elements.
+  TraceBounds Bounds;
+  Bounds.TraceLen = Trace.size();
+  Bounds.MaxMultiplicity = 0; // unknown; TraceLen already bounds it
+  Bounds.NumSites = Trace.numSites();
+
   parallelFor(
       Order.size(),
       [&](size_t N, unsigned Worker) {
@@ -137,8 +156,10 @@ void runConfigs(const BranchTrace &Trace,
           R.Counters = Stats.counters();
           Timer.restart();
         } else {
+          bool BatchAdmitted =
+              admitsBatchLanes(certifyKernel(Config, Bounds));
           OnlineDetector &Detector =
-              Arena.acquire(Config, Trace.numSites());
+              Arena.acquire(Config, Trace.numSites(), BatchAdmitted);
           runDetector(Detector, Trace, Arena.Run);
           Run = &Arena.Run;
         }

@@ -115,9 +115,10 @@ TEST(ServeTruncation, PartialDeliveryNeverFailsTheSession) {
   ServeSession Sess(1, Limits, Cache);
   for (size_t I = 0; I != Hello.size(); ++I) {
     ASSERT_TRUE(Sess.feed(&Hello[I], 1));
-    if (I + 1 != Hello.size())
+    if (I + 1 != Hello.size()) {
       ASSERT_EQ(Sess.state(), ServeSession::State::AwaitHello)
           << "prefix of " << (I + 1) << " bytes changed the state";
+    }
   }
   EXPECT_EQ(Sess.state(), ServeSession::State::Streaming);
 }
