@@ -28,13 +28,69 @@ elements/sec over the single-thread offline fast detector, another
 machine-relative ratio — is checked the same way, with a wider default
 tolerance (50%) because it folds in scheduler and loopback variance.
 
-Usage: check_perf.py <smoke.json> <baseline.json> [tolerance] [serving.json]
+The sweep wall-clock entries are guarded the same way. Whenever the
+baseline carries both pruned_paper_sweep_seconds (per-config engine)
+and sweep_shared_seconds (shared-scan engine), their ratio must stay at
+or above SWEEP_RATIO_FLOOR — the committed baseline itself proves the
+shared-scan win. --sweep-shared / --sweep-per-config feed freshly
+measured timings in (seconds); each is held to the same >25% regression
+rule as the per-case entries (against its baseline entry, and on the
+machine-relative measured ratio when both are given). Pass "-" as the
+smoke file to run only the sweep checks.
+
+Usage: check_perf.py [--sweep-shared S] [--sweep-per-config S]
+                     <smoke.json|-> <baseline.json> [tolerance] [serving.json]
 """
 
 import json
 import sys
 
 SERVING_TOLERANCE = 0.5
+# The shared-scan engine's reason to exist: the committed baseline must
+# show at least this per-config/shared sweep wall-clock ratio.
+SWEEP_RATIO_FLOOR = 1.8
+
+
+def check_sweep(baseline, shared_s, per_config_s, tolerance):
+    """Returns True when a sweep-timing check failed."""
+    base_pc = baseline.get("pruned_paper_sweep_seconds")
+    base_sh = baseline.get("sweep_shared_seconds")
+    if base_pc is None or base_sh is None:
+        if shared_s is not None or per_config_s is not None:
+            print("perf: sweep: baseline lacks sweep entries "
+                  "(rerun scripts/bench.sh): FAILED")
+            return True
+        print("perf: sweep: no baseline entries; skipping")
+        return False
+
+    failed = False
+    base_ratio = base_pc / base_sh
+    verdict = "ok" if base_ratio >= SWEEP_RATIO_FLOOR else "REGRESSION"
+    print(f"perf: sweep: baseline per-config/shared {base_ratio:.2f}x "
+          f"(floor {SWEEP_RATIO_FLOOR:.2f}x) {verdict}")
+    failed |= base_ratio < SWEEP_RATIO_FLOOR
+
+    for name, measured, base in (
+            ("sweep_shared_seconds", shared_s, base_sh),
+            ("pruned_paper_sweep_seconds", per_config_s, base_pc)):
+        if measured is None:
+            continue
+        ceiling = base * (1.0 + tolerance)
+        verdict = "ok" if measured <= ceiling else "REGRESSION"
+        print(f"perf: sweep: {name} {measured:.1f}s "
+              f"(baseline {base:.1f}s, ceiling {ceiling:.1f}s) {verdict}")
+        failed |= measured > ceiling
+
+    if shared_s is not None and per_config_s is not None:
+        # Machine-relative, like the throughput ratios: both engines just
+        # ran on the same host.
+        ratio = per_config_s / shared_s
+        floor = base_ratio * (1.0 - tolerance)
+        verdict = "ok" if ratio >= floor else "REGRESSION"
+        print(f"perf: sweep: measured per-config/shared {ratio:.2f}x "
+              f"(baseline {base_ratio:.2f}x, floor {floor:.2f}x) {verdict}")
+        failed |= ratio < floor
+    return failed
 
 
 def check_serving(serving_path, baseline):
@@ -58,40 +114,58 @@ def check_serving(serving_path, baseline):
 
 
 def main():
-    smoke_path, baseline_path = sys.argv[1], sys.argv[2]
-    tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 0.25
-    serving_path = sys.argv[4] if len(sys.argv) > 4 else None
-
-    raw = json.load(open(smoke_path))
-    rates = {}
-    for bench in raw["benchmarks"]:
-        if "items_per_second" not in bench:  # skipped (error_occurred)
-            continue
-        path, case = bench["name"].split("/", 1)
-        rates.setdefault(case, {})[path] = bench["items_per_second"]
+    argv = sys.argv[1:]
+    sweep_shared = sweep_per_config = None
+    positional = []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--sweep-shared":
+            sweep_shared = float(argv[i + 1])
+            i += 2
+        elif argv[i] == "--sweep-per-config":
+            sweep_per_config = float(argv[i + 1])
+            i += 2
+        else:
+            positional.append(argv[i])
+            i += 1
+    smoke_path, baseline_path = positional[0], positional[1]
+    tolerance = float(positional[2]) if len(positional) > 2 else 0.25
+    serving_path = positional[3] if len(positional) > 3 else None
 
     baseline_all = json.load(open(baseline_path))
     baseline = baseline_all["cases"]
 
     failed = False
-    for case, expected in sorted(baseline.items()):
-        fast_bench = expected.get("fast_bench", "BM_FastDetector")
-        ref_bench = expected.get("ref_bench", "BM_Detector")
-        bench_case = expected.get("bench_case", case)
-        pair = rates.get(bench_case, {})
-        if fast_bench not in pair or ref_bench not in pair:
-            print(f"perf: {case}: MISSING from smoke run "
-                  f"(needs {fast_bench}/{bench_case} and "
-                  f"{ref_bench}/{bench_case})")
-            failed = True
-            continue
-        ratio = pair[fast_bench] / pair[ref_bench]
-        floor = expected["ratio"] * (1.0 - tolerance)
-        verdict = "ok" if ratio >= floor else "REGRESSION"
-        print(f"perf: {case}: fast/ref {ratio:.2f}x "
-              f"(baseline {expected['ratio']:.2f}x, floor {floor:.2f}x) "
-              f"{verdict}")
-        failed |= ratio < floor
+    if smoke_path != "-":
+        raw = json.load(open(smoke_path))
+        rates = {}
+        for bench in raw["benchmarks"]:
+            if "items_per_second" not in bench:  # skipped (error_occurred)
+                continue
+            path, case = bench["name"].split("/", 1)
+            rates.setdefault(case, {})[path] = bench["items_per_second"]
+
+        for case, expected in sorted(baseline.items()):
+            fast_bench = expected.get("fast_bench", "BM_FastDetector")
+            ref_bench = expected.get("ref_bench", "BM_Detector")
+            bench_case = expected.get("bench_case", case)
+            pair = rates.get(bench_case, {})
+            if fast_bench not in pair or ref_bench not in pair:
+                print(f"perf: {case}: MISSING from smoke run "
+                      f"(needs {fast_bench}/{bench_case} and "
+                      f"{ref_bench}/{bench_case})")
+                failed = True
+                continue
+            ratio = pair[fast_bench] / pair[ref_bench]
+            floor = expected["ratio"] * (1.0 - tolerance)
+            verdict = "ok" if ratio >= floor else "REGRESSION"
+            print(f"perf: {case}: fast/ref {ratio:.2f}x "
+                  f"(baseline {expected['ratio']:.2f}x, floor {floor:.2f}x) "
+                  f"{verdict}")
+            failed |= ratio < floor
+
+    failed |= check_sweep(baseline_all, sweep_shared, sweep_per_config,
+                          tolerance)
 
     if serving_path is not None:
         failed |= check_serving(serving_path, baseline_all)

@@ -17,12 +17,12 @@
 #   clang:        a clang++ configuration so -Wthread-safety verifies the
 #                 locking annotations (skips when clang++ is absent)
 #   simd-matrix:  the SIMD/portable batch-kernel matrix — the kernel
-#                 differential, batch-kernel, and KernelBounds suites run
-#                 (a) on the AVX2-enabled plain build with OPD_SIMD=off
-#                 forcing the portable dispatch fallback, and (b) on a
-#                 separate -DOPD_DISABLE_SIMD=ON build with the AVX2 code
-#                 compiled out entirely; the default-dispatch leg is the
-#                 plain stage's full ctest
+#                 differential, batch-kernel, KernelBounds, and
+#                 shared-scan suites run (a) on the AVX2-enabled plain
+#                 build with OPD_SIMD=off forcing the portable dispatch
+#                 fallback, and (b) on a separate -DOPD_DISABLE_SIMD=ON
+#                 build with the AVX2 code compiled out entirely; the
+#                 default-dispatch leg is the plain stage's full ctest
 #   asan-ubsan:   full ctest under Address + UndefinedBehaviorSanitizer
 #   ubsan-int:    the kernel/detector/batch arithmetic suites under
 #                 clang's -fsanitize=undefined,integer (gcc fallback:
@@ -38,9 +38,15 @@
 #   tsan:         ThreadSanitizer over the concurrency-exercising tests,
 #                 with OPD_THREADS=4 so single-core runners still run
 #                 real threads
+#   sweep-shared: the shared-scan engine's bit-identity differential
+#                 (tests/SharedScanTest.cpp) on the default and portable
+#                 dispatches, then a Release pruned paper sweep under
+#                 both engines timed against the BENCH_PERF.json sweep
+#                 entries (scripts/check_perf.py --sweep-*)
 #   perf:         Release perf smoke vs BENCH_PERF.json — the fast and
 #                 batch-backend detector ratios within 25%, the serving
-#                 ratio within 50% (scripts/check_perf.py)
+#                 ratio within 50%, and the committed per-config/shared
+#                 sweep ratio at or above 1.8x (scripts/check_perf.py)
 #
 # All ctest configurations include the jp_lint_* / config_check_* tests,
 # which lint the bundled .jp workloads and the shipped sweep specs. The
@@ -63,8 +69,8 @@ cd "$(dirname "$0")/.."
 . scripts/serve_common.sh
 
 ALL_STAGES=(plain kernel-check serve-check tidy clang simd-matrix
-  asan-ubsan ubsan-int serve-smoke tsan perf)
-SIMD_TESTS='BatchKernel|FastDetector|KernelBounds'
+  asan-ubsan ubsan-int serve-smoke tsan sweep-shared perf)
+SIMD_TESTS='BatchKernel|FastDetector|KernelBounds|SharedScan'
 
 SELECTED=()
 PREFIX=""
@@ -212,6 +218,44 @@ stage_tsan() {
   configure_build tsan -DOPD_SANITIZE=thread
   OPD_THREADS=4 ctest --test-dir "${PREFIX}-tsan" --output-on-failure \
     -j "$JOBS" -R 'Parallel|Sweep|Observ|Config|Serve'
+}
+
+stage_sweep_shared() {
+  # The shared-scan engine ships on a bit-identity contract
+  # (core/SharedScan.h): the differential suite must hold under both the
+  # default and the forced-portable dispatch, and the engine's wall-clock
+  # win over the per-config path must not regress. The Release tree is
+  # shared with the perf stage.
+  local dir="${PREFIX}-perf"
+  echo "=== [sweep-shared] configure + build (Release) ==="
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$dir" -j "$JOBS" --target shared_scan_test sweep_tool
+  echo "=== [sweep-shared] differential (default dispatch) ==="
+  "$dir/tests/shared_scan_test"
+  echo "=== [sweep-shared] differential (OPD_SIMD=off) ==="
+  OPD_SIMD=off "$dir/tests/shared_scan_test"
+  echo "=== [sweep-shared] pruned paper sweep, both engines ==="
+  # Best of 2 per engine: the timings are checked against a ceiling, and
+  # the minimum is robust to a run landing in a host throttle window
+  # (it can only err in the optimistic direction, which the committed
+  # ratio floor still guards).
+  time_engine() {
+    local best="" s t0 t1
+    for _ in 1 2; do
+      t0=$(date +%s.%N)
+      "$dir/examples/sweep_tool" --preset paper --prune --engine "$1" \
+        --workloads jess --mpls 10K > /dev/null
+      t1=$(date +%s.%N)
+      s=$(python3 -c "print($t1 - $t0)")
+      best=$(python3 -c "print(min($s, ${best:-$s}))")
+    done
+    echo "$best"
+  }
+  local shared_s per_config_s
+  shared_s=$(time_engine shared)
+  per_config_s=$(time_engine per-config)
+  python3 scripts/check_perf.py --sweep-shared "$shared_s" \
+    --sweep-per-config "$per_config_s" - BENCH_PERF.json
 }
 
 stage_perf() {

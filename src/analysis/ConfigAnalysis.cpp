@@ -8,6 +8,7 @@
 #include "analysis/ConfigAnalysis.h"
 
 #include "analysis/KernelBounds.h"
+#include "core/SharedScan.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -344,6 +345,15 @@ SweepAnalysis opd::analyzeSweep(const SweepSpec &Spec,
   for (const ConfigClass &Class : Analysis.Partition.Classes)
     for (MergeRule Rule : Class.Rules)
       Analysis.ClassesByRule[static_cast<size_t>(Rule)] += 1;
+  // The shared-scan plan covers what a pruned sweep actually runs: one
+  // representative per class.
+  std::vector<DetectorConfig> Representatives;
+  Representatives.reserve(Analysis.Partition.Classes.size());
+  for (const ConfigClass &Class : Analysis.Partition.Classes)
+    Representatives.push_back(Analysis.Configs[Class.Representative]);
+  SharedScanPlan Plan = planSharedScan(Representatives);
+  Analysis.NumSharedGroups = Plan.Groups.size();
+  Analysis.LargestSharedGroup = Plan.largestGroup();
   return Analysis;
 }
 
@@ -370,6 +380,10 @@ Table opd::sweepPlanTable(const SweepAnalysis &Analysis,
   std::snprintf(Summary, sizeof(Summary), "%zu of %zu runs (%.1f%%)",
                 Analysis.RunsPruned, Analysis.NumConfigs, Pct);
   T.addRow({"pruned", Summary, ""});
+  std::snprintf(Summary, sizeof(Summary), "%zu passes (largest %zu)",
+                Analysis.NumSharedGroups, Analysis.LargestSharedGroup);
+  T.addRow({"shared-scan groups", Summary,
+            "one trace pass per window-kernel shape"});
   return T;
 }
 
@@ -387,6 +401,10 @@ std::string opd::renderSweepAnalysisJSON(const SweepAnalysis &Analysis,
   char PctBuf[16];
   std::snprintf(PctBuf, sizeof(PctBuf), "%.1f", Pct);
   Out += std::string("  \"pruned_pct\": ") + PctBuf + ",\n";
+  Out += "  \"shared_groups\": " + std::to_string(Analysis.NumSharedGroups) +
+         ",\n";
+  Out += "  \"largest_shared_group\": " +
+         std::to_string(Analysis.LargestSharedGroup) + ",\n";
   Out += "  \"rules\": [";
   bool First = true;
   for (size_t R = 0; R < NumRules; ++R) {

@@ -144,6 +144,12 @@ struct SweepAnalysis {
   /// static_cast<size_t>(MergeRule). A class citing several rules counts
   /// toward each.
   std::vector<size_t> ClassesByRule;
+  /// Shared-scan execution plan over the runs a pruned sweep executes
+  /// (the class representatives): trace passes the shared-scan engine
+  /// makes (core/SharedScan.h groups by window-kernel shape), and the
+  /// member count of the biggest group — the best-case amortization.
+  size_t NumSharedGroups = 0;
+  size_t LargestSharedGroup = 0;
 };
 
 /// Enumerates \p Spec and partitions the result.

@@ -37,12 +37,18 @@ void opd::runDetector(OnlineDetector &Detector, const BranchTrace &Trace,
   Detector.consumeTrace(Elements.data(), Elements.size(), Run.States,
                         AnchoredStarts);
 
+  finalizeAnchoredPhases(Run, AnchoredStarts);
+}
+
+void opd::finalizeAnchoredPhases(DetectorRun &Run,
+                                 const std::vector<uint64_t> &AnchoredStarts) {
   Run.States.phasesInto(Run.DetectedPhases);
   assert(AnchoredStarts.size() == Run.DetectedPhases.size() &&
          "one anchored start per detected phase");
 
   // Build the anchor-corrected phases: each start is pulled back to the
   // anchor estimate, clamped so the list stays sorted and disjoint.
+  Run.AnchoredPhases.clear();
   Run.AnchoredPhases.reserve(Run.DetectedPhases.size());
   uint64_t PrevEnd = 0;
   for (size_t I = 0; I != Run.DetectedPhases.size(); ++I) {

@@ -58,6 +58,16 @@ DetectorRun runDetector(OnlineDetector &Detector, const BranchTrace &Trace);
 void runDetector(OnlineDetector &Detector, const BranchTrace &Trace,
                  DetectorRun &Run);
 
+/// Derives \p Run's phase lists from its populated States: fills
+/// DetectedPhases from the InPhase intervals and builds AnchoredPhases
+/// by pulling each start back to the matching entry of
+/// \p AnchoredStarts (one per detected phase, in order), clamped so the
+/// list stays sorted and disjoint. Shared by runDetector and the
+/// shared-scan engine (core/SharedScan.h) so both paths finalize runs
+/// identically.
+void finalizeAnchoredPhases(DetectorRun &Run,
+                            const std::vector<uint64_t> &AnchoredStarts);
+
 /// As above; when \p Observer is non-null it is attached to the detector
 /// for the duration of the run (detached again before returning) and
 /// additionally receives the stream-level events: onRunBegin/onRunEnd

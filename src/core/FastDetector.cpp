@@ -5,1059 +5,37 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// The templates here mirror core/WindowedModel.cpp and the unobserved
-// path of core/PhaseDetector.cpp statement for statement; the deltas are
-// concrete kernel/analyzer types (so every call inlines), the TW policy
-// as a compile-time constant, and two decision-identical substitutions:
+// The per-config execution engine over the monomorphic kernel/model
+// templates in core/FastKernels.h: FastPhaseDetector is PhaseDetector's
+// unobserved processBatchImpl with every model/analyzer call resolved at
+// compile time, two decision-identical substitutions documented on the
+// kernel classes (dropped confidence bookkeeping; shared-product MinSum
+// deltas), and a consumeTrace() that accumulates state runs in
+// registers. Like the reference kernels, every fast kernel is
+// parameterized by an arithmetic policy (PlainKernelArith in production,
+// compiled to the exact pre-policy arithmetic; CheckedKernelArith in the
+// KernelBounds shadow mode, where every step is overflow-checked and
+// recorded).
 //
-//  * The fast analyzers drop the confidence bookkeeping. OnlineDetector
-//    exposes no confidence accessor, LastConfidence never feeds a P/T
-//    decision, and the Average analyzer's decisions read only the
-//    running mean — so the margin divisions and the Welford
-//    variance/min/max updates are dead work on this interface. Every
-//    decision compares the same doubles in the same order as the
-//    reference analyzer, so the emitted states are bit-identical.
-//
-//  * FastWeightedSetKernel computes the replace-operation MinSum deltas
-//    from shared products (4 multiplies instead of 8), in the same
-//    non-wrapping gain/loss form as the reference kernel: the gain and
-//    the loss are computed from the identical products and applied in
-//    the identical order, so MinSum matches bit for bit.
-//
-// Like the reference kernels, every fast kernel is parameterized by an
-// arithmetic policy (PlainKernelArith in production, compiled to the
-// exact pre-policy arithmetic; CheckedKernelArith in the KernelBounds
-// shadow mode, where every step is overflow-checked and recorded).
-//
-//  * Threshold decisions skip the similarity division when the integer
-//    numerator is outside a conservative rounding margin of
-//    threshold * denominator; inside the margin the exact reference
-//    division runs, so every decision is still bit-identical (see
-//    FastWeightedSetKernel::similarityAtLeast). While the weighted
-//    kernel is dirty the decision further consults a sound integer
-//    envelope around the true MinSum, skipping the O(roster) recompute
-//    entirely whenever either envelope edge clears the margin — the
-//    quotient is monotone in the numerator, so the skipped recompute
-//    provably decides identically.
-//
-// Any behavioral change to the reference detector must be replicated
-// here — FastDetectorTest runs every sweep configuration shape through
-// both paths and requires bit-identical output, so a missed replication
-// fails loudly.
+// The average analyzer's similarity() calls and the threshold
+// analyzer's division-free similarityAtLeast() decisions here are the
+// semantics the shared-scan engine (core/SharedScan.cpp) replicates
+// cursor-by-cursor; FastDetectorTest and SharedScanTest require
+// bit-identical output from all paths, so a missed replication of any
+// reference change fails loudly.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/FastDetector.h"
 
-#include "core/BatchKernel.h"
-#include "support/Format.h"
+#include "core/FastKernels.h"
 
 #include <algorithm>
-#include <cstring>
 
 using namespace opd;
+using namespace opd::fastkernels;
 
 namespace {
-
-// The fast kernels only pay off if the per-element operations dissolve
-// into the consume loop, but the fully-inlined loop is large enough that
-// the compiler's inline-growth budget starts refusing them (measured:
-// gcc -O3 leaves twReplace/similarity as out-of-line calls). Force the
-// hot operations in.
-#if defined(__GNUC__) || defined(__clang__)
-#define OPD_FORCE_INLINE inline __attribute__((always_inline))
-#define OPD_NOINLINE __attribute__((noinline))
-#else
-#define OPD_FORCE_INLINE inline
-#define OPD_NOINLINE
-#endif
-
-//===----------------------------------------------------------------------===//
-// Non-virtual kernels
-//
-// The reference kernels are virtual classes; even though the fast models
-// hold them by concrete value (so every call site is direct), the
-// compiler emits the virtual overrides as standalone functions and — in
-// the large fully-inlined consume loop — refuses to inline them, leaving
-// two or three function calls per element. These kernels are the same
-// algorithms as plain inline members with no vtable at all, which is
-// what lets the per-element loop absorb them.
-//===----------------------------------------------------------------------===//
-
-/// The state and touched-site machinery of SimilarityKernel without the
-/// vtable.
-class FastKernelBase {
-public:
-  explicit FastKernelBase(SiteIndex NumSites)
-      : CWCounts(NumSites, 0), TWCounts(NumSites, 0),
-        SiteTouched(NumSites, 0) {}
-
-  bool inCW(SiteIndex S) const {
-    assert(S < CWCounts.size() && "site out of range");
-    return CWCounts[S] != 0;
-  }
-  uint64_t cwTotal() const { return NCW; }
-  uint64_t twTotal() const { return NTW; }
-  SiteIndex numSites() const {
-    return static_cast<SiteIndex>(CWCounts.size());
-  }
-
-  /// Kernels with dense per-site CW counts support the blocked anchor
-  /// membership scans (core/BatchKernel.h) directly over this array.
-  static constexpr bool HasDenseCW = true;
-  const uint32_t *cwCountsData() const { return CWCounts.data(); }
-
-  void setBatchEnabled(bool Enabled) { BatchEnabled = Enabled; }
-  bool batchEnabled() const { return BatchEnabled; }
-
-protected:
-  /// Same contract as SimilarityKernel::touch().
-  OPD_FORCE_INLINE void touch(SiteIndex S) {
-    if (!SiteTouched[S]) {
-      SiteTouched[S] = 1;
-      TouchedSites.push_back(S);
-    }
-  }
-
-  /// O(distinct sites touched) count reset, as SimilarityKernel::reset().
-  void resetCounts() {
-    for (SiteIndex S : TouchedSites) {
-      CWCounts[S] = 0;
-      TWCounts[S] = 0;
-      SiteTouched[S] = 0;
-    }
-    TouchedSites.clear();
-    NCW = NTW = 0;
-  }
-
-  std::vector<uint32_t> CWCounts;
-  std::vector<uint32_t> TWCounts;
-  uint64_t NCW = 0;
-  uint64_t NTW = 0;
-  std::vector<uint8_t> SiteTouched;
-  std::vector<SiteIndex> TouchedSites;
-  bool BatchEnabled = true;
-};
-
-/// Non-virtual mirror of UnweightedSetKernel. The arithmetic policy is
-/// a private base so the empty production policy occupies no storage
-/// (empty-base optimization keeps the layout identical to a policy-free
-/// kernel).
-template <typename ArithT = PlainKernelArith>
-class FastUnweightedSetKernel : public FastKernelBase, private ArithT {
-public:
-  explicit FastUnweightedSetKernel(SiteIndex NumSites, ArithT A = ArithT())
-      : FastKernelBase(NumSites), ArithT(A) {}
-
-  void reset() {
-    resetCounts();
-    CWDistinct = 0;
-    BothDistinct = 0;
-  }
-
-  OPD_FORCE_INLINE void cwAdd(SiteIndex S) {
-    assert(S < CWCounts.size() && "site out of range");
-    touch(S);
-    if (CWCounts[S]++ == 0) {
-      ++CWDistinct;
-      this->observeValue(KernelQuantity::CWDistinct, CWDistinct);
-      if (TWCounts[S] != 0) {
-        ++BothDistinct;
-        this->observeValue(KernelQuantity::BothDistinct, BothDistinct);
-      }
-    }
-    this->observeCount(KernelQuantity::CWCount, CWCounts[S]);
-    ++NCW;
-    this->observeValue(KernelQuantity::CWTotal, NCW);
-  }
-
-  OPD_FORCE_INLINE void cwRemove(SiteIndex S) {
-    assert(S < CWCounts.size() && "site out of range");
-    assert(CWCounts[S] != 0 && "removing a site not in the CW");
-    if (--CWCounts[S] == 0) {
-      --CWDistinct;
-      if (TWCounts[S] != 0)
-        --BothDistinct;
-    }
-    --NCW;
-  }
-
-  OPD_FORCE_INLINE void twAdd(SiteIndex S) {
-    assert(S < TWCounts.size() && "site out of range");
-    touch(S);
-    if (TWCounts[S]++ == 0 && CWCounts[S] != 0) {
-      ++BothDistinct;
-      this->observeValue(KernelQuantity::BothDistinct, BothDistinct);
-    }
-    this->observeCount(KernelQuantity::TWCount, TWCounts[S]);
-    ++NTW;
-    this->observeValue(KernelQuantity::TWTotal, NTW);
-  }
-
-  OPD_FORCE_INLINE void twRemove(SiteIndex S) {
-    assert(S < TWCounts.size() && "site out of range");
-    assert(TWCounts[S] != 0 && "removing a site not in the TW");
-    if (--TWCounts[S] == 0 && CWCounts[S] != 0)
-      --BothDistinct;
-    --NTW;
-  }
-
-  // Remove before add: the totals never exceed the window bound, even
-  // transiently, matching the KernelBounds-certified invariant.
-  OPD_FORCE_INLINE void cwReplace(SiteIndex In, SiteIndex Out) {
-    cwRemove(Out);
-    cwAdd(In);
-  }
-  OPD_FORCE_INLINE void twReplace(SiteIndex In, SiteIndex Out) {
-    twRemove(Out);
-    twAdd(In);
-  }
-  OPD_FORCE_INLINE void moveCWToTW(SiteIndex S) {
-    cwRemove(S);
-    twAdd(S);
-  }
-
-  OPD_FORCE_INLINE double similarity() {
-    if (CWDistinct == 0)
-      return 0.0;
-    return static_cast<double>(BothDistinct) /
-           static_cast<double>(CWDistinct);
-  }
-
-  OPD_FORCE_INLINE bool similarityAtLeast(double T) {
-    return similarity() >= T;
-  }
-
-private:
-  uint64_t CWDistinct = 0;
-  uint64_t BothDistinct = 0;
-};
-
-/// Non-virtual weighted-set kernel, restructured as a structure-of-
-/// arrays batch kernel: instead of dense per-site count arrays plus a
-/// touched-site index list (whose recompute gathers counts through the
-/// list), the touched sites live in a packed roster — interleaved
-/// (cw, tw) count-pair lanes plus the owning site per slot, with a
-/// per-site slot map for O(1) lookup. The min-sum recompute that
-/// dominates the weighted-adaptive shape (it runs per element while an
-/// adaptive TW grows) then becomes one contiguous sweep over the count
-/// pairs, dispatched to the AVX2 or portable block kernel
-/// (core/BatchKernel.h); the interleaving also lands a site's two counts
-/// on the same cache line for the replace-delta path. The sum is an
-/// integer sum of non-negative terms, so neither the roster order nor
-/// the lane evaluation order can perturb it — bit-identical to the
-/// reference kernel's touched-list recompute.
-///
-/// The replace-operation MinSum delta is computed from shared products:
-/// min(cw*NTW, tw*NCW) before and after a count bump reuses the same two
-/// products, halving the multiplies of the reference WeightedSetKernel
-/// on the steady-state path, and similarity() divides by a cached
-/// double(NCW)*double(NTW). Both are the same arithmetic the reference
-/// kernel performs, so MinSum and the returned similarity are
-/// bit-identical.
-///
-/// Under the CheckedKernelArith shadow policy the recompute keeps the
-/// scalar per-step instrumented loop (the probe must observe every
-/// product and partial sum), so certificates are validated against the
-/// exact same sequence of observations as before.
-template <typename ArithT = PlainKernelArith>
-class FastWeightedSetKernel : private ArithT {
-public:
-  explicit FastWeightedSetKernel(SiteIndex NumSites, ArithT A = ArithT())
-      : ArithT(A), Slot(NumSites, InvalidSlot), RosterSites(NumSites),
-        RosterCounts(2 * static_cast<size_t>(NumSites)) {}
-
-  bool inCW(SiteIndex S) const {
-    assert(S < Slot.size() && "site out of range");
-    uint32_t I = Slot[S];
-    return I != InvalidSlot && cwAt(I) != 0;
-  }
-  uint64_t cwTotal() const { return NCW; }
-  uint64_t twTotal() const { return NTW; }
-  SiteIndex numSites() const { return static_cast<SiteIndex>(Slot.size()); }
-
-  /// The CW counts live in packed roster lanes, not densely by site, so
-  /// the anchor scans take the scalar inCW path (anchoring runs once per
-  /// phase transition; the win here is the per-element recompute).
-  static constexpr bool HasDenseCW = false;
-  const uint32_t *cwCountsData() const { return nullptr; }
-
-  void setBatchEnabled(bool Enabled) { BatchEnabled = Enabled; }
-  bool batchEnabled() const { return BatchEnabled; }
-
-  void reset() {
-    // O(roster) un-enrollment, the counterpart of FastKernelBase's
-    // O(touched) resetCounts(): only enrolled sites have live slots.
-    for (uint32_t I = 0; I != RosterSize; ++I)
-      Slot[RosterSites[I]] = InvalidSlot;
-    RosterSize = 0;
-    NCW = NTW = 0;
-    MinSum = 0;
-    BoundLo = BoundHi = 0;
-    Dirty = false;
-  }
-
-  OPD_FORCE_INLINE void cwAdd(SiteIndex S) {
-    assert(S < Slot.size() && "site out of range");
-    uint32_t I = slotOf(S);
-    ++cwAt(I);
-    this->observeCount(KernelQuantity::CWCount, cwAt(I));
-    ++NCW;
-    this->observeValue(KernelQuantity::CWTotal, NCW);
-    // cw[S] and NCW rise, nothing falls: every term is nondecreasing,
-    // and the total rise is at most sum_i tw_i + NTW = 2*NTW (each
-    // term's tw-side operand gains tw_i from the NCW bump, and term S
-    // gains at most max(NTW, tw_S) <= NTW on top).
-    markDirty();
-    widenUp(saturatingDouble(NTW));
-  }
-
-  OPD_FORCE_INLINE void cwRemove(SiteIndex S) {
-    assert(Slot[S] != InvalidSlot && cwAt(Slot[S]) != 0 &&
-           "removing a site not in the CW");
-    --cwAt(Slot[S]);
-    --NCW;
-    // Mirror of cwAdd: everything is nonincreasing, by at most 2*NTW.
-    markDirty();
-    widenDown(saturatingDouble(NTW));
-  }
-
-  OPD_FORCE_INLINE void twAdd(SiteIndex S) {
-    assert(S < Slot.size() && "site out of range");
-    uint32_t I = slotOf(S);
-    ++twAt(I);
-    this->observeCount(KernelQuantity::TWCount, twAt(I));
-    ++NTW;
-    this->observeValue(KernelQuantity::TWTotal, NTW);
-    // tw[S] and NTW rise: every term is nondecreasing, total rise at
-    // most sum_i cw_i + NCW = 2*NCW (the symmetric cwAdd argument).
-    markDirty();
-    widenUp(saturatingDouble(NCW));
-  }
-
-  OPD_FORCE_INLINE void twRemove(SiteIndex S) {
-    assert(Slot[S] != InvalidSlot && twAt(Slot[S]) != 0 &&
-           "removing a site not in the TW");
-    --twAt(Slot[S]);
-    --NTW;
-    // Mirror of twAdd: everything is nonincreasing, by at most 2*NCW.
-    markDirty();
-    widenDown(saturatingDouble(NCW));
-  }
-
-  OPD_FORCE_INLINE void cwReplace(SiteIndex In, SiteIndex Out) {
-    assert(In < Slot.size() && Out < Slot.size() && "site out of range");
-    assert(Slot[Out] != InvalidSlot && cwAt(Slot[Out]) != 0 &&
-           "replacing a site not in the CW");
-    if (In == Out)
-      return;
-    uint32_t II = slotOf(In);
-    uint32_t OI = Slot[Out];
-    if (Dirty) {
-      ++cwAt(II);
-      --cwAt(OI);
-      // Totals are unchanged; In's term rises by at most NTW and Out's
-      // falls by at most NTW.
-      widenUp(NTW);
-      widenDown(NTW);
-      return;
-    }
-    // term(S) = min(cw*NTW, tw*NCW); after ++cw[In]/--cw[Out] only the
-    // first operand moves, by +-NTW (cw[Out] >= 1, so no underflow).
-    // Gain/loss form: In's term only rises, Out's only falls, and the
-    // loss is one of MinSum's summands — so with the certified bound
-    // MinSum <= NCW*NTW no step here can wrap (see SimilarityKernel.h).
-    uint64_t AIn =
-        this->mul(KernelQuantity::ProductCWTW, cwAt(II), NTW);
-    uint64_t BIn =
-        this->mul(KernelQuantity::ProductTWCW, twAt(II), NCW);
-    uint64_t AOut =
-        this->mul(KernelQuantity::ProductCWTW, cwAt(OI), NTW);
-    uint64_t BOut =
-        this->mul(KernelQuantity::ProductTWCW, twAt(OI), NCW);
-    uint64_t AInNew = this->add(KernelQuantity::ProductCWTW, AIn, NTW);
-    uint64_t AOutNew = this->sub(KernelQuantity::ProductCWTW, AOut, NTW);
-    ++cwAt(II);
-    this->observeCount(KernelQuantity::CWCount, cwAt(II));
-    --cwAt(OI);
-    uint64_t Gain = this->sub(KernelQuantity::MinSum,
-                              std::min(AInNew, BIn), std::min(AIn, BIn));
-    uint64_t Loss = this->sub(KernelQuantity::MinSum, std::min(AOut, BOut),
-                              std::min(AOutNew, BOut));
-    MinSum = this->add(KernelQuantity::MinSum, MinSum, Gain);
-    MinSum = this->sub(KernelQuantity::MinSum, MinSum, Loss);
-  }
-
-  /// Precondition (which every FastWindowedModel call site satisfies):
-  /// In has already been added to a window since the last reset() — in
-  /// the model, twReplace only moves the element leaving the CW into
-  /// the TW, and everything that entered the CW was enrolled on the way
-  /// in. That makes the enrollment check a guaranteed no-op here, so it
-  /// is elided from this per-element path.
-  OPD_FORCE_INLINE void twReplace(SiteIndex In, SiteIndex Out) {
-    assert(In < Slot.size() && Out < Slot.size() && "site out of range");
-    assert(Slot[Out] != InvalidSlot && twAt(Slot[Out]) != 0 &&
-           "replacing a site not in the TW");
-    assert(Slot[In] != InvalidSlot && "twReplace of a never-enrolled site");
-    if (In == Out)
-      return;
-    uint32_t II = Slot[In];
-    uint32_t OI = Slot[Out];
-    if (Dirty) {
-      ++twAt(II);
-      --twAt(OI);
-      // Totals are unchanged; In's term rises by at most NCW and Out's
-      // falls by at most NCW.
-      widenUp(NCW);
-      widenDown(NCW);
-      return;
-    }
-    // Same gain/loss argument as cwReplace, with the TW count moving.
-    uint64_t AIn =
-        this->mul(KernelQuantity::ProductTWCW, twAt(II), NCW);
-    uint64_t BIn =
-        this->mul(KernelQuantity::ProductCWTW, cwAt(II), NTW);
-    uint64_t AOut =
-        this->mul(KernelQuantity::ProductTWCW, twAt(OI), NCW);
-    uint64_t BOut =
-        this->mul(KernelQuantity::ProductCWTW, cwAt(OI), NTW);
-    uint64_t AInNew = this->add(KernelQuantity::ProductTWCW, AIn, NCW);
-    uint64_t AOutNew = this->sub(KernelQuantity::ProductTWCW, AOut, NCW);
-    ++twAt(II);
-    this->observeCount(KernelQuantity::TWCount, twAt(II));
-    --twAt(OI);
-    uint64_t Gain = this->sub(KernelQuantity::MinSum,
-                              std::min(AInNew, BIn), std::min(AIn, BIn));
-    uint64_t Loss = this->sub(KernelQuantity::MinSum, std::min(AOut, BOut),
-                              std::min(AOutNew, BOut));
-    MinSum = this->add(KernelQuantity::MinSum, MinSum, Gain);
-    MinSum = this->sub(KernelQuantity::MinSum, MinSum, Loss);
-  }
-
-  OPD_FORCE_INLINE void moveCWToTW(SiteIndex S) {
-    cwRemove(S);
-    twAdd(S);
-  }
-
-  OPD_FORCE_INLINE double similarity() {
-    if (NCW == 0 || NTW == 0)
-      return 0.0;
-    if (Dirty) {
-      recomputeMinSum();
-      // The same product the reference divides by, computed once per
-      // totals change instead of per element.
-      Denom = static_cast<double>(NCW) * static_cast<double>(NTW);
-      Dirty = false;
-    }
-    return static_cast<double>(MinSum) / Denom;
-  }
-
-  /// similarity() >= T without the per-element division. Outside a
-  /// conservative relative margin (1e-12, thousands of ulps wider than
-  /// the half-ulp each of the division and the T * Denom product can
-  /// contribute) the rounded quotient provably lands on the same side
-  /// of T; inside the margin the exact reference division decides. The
-  /// result is therefore bit-identical to similarity() >= T for every
-  /// input, including T <= 0 (the comparison against a non-positive
-  /// bound is always true, as is similarity() >= T).
-  ///
-  /// While the kernel is dirty, the decision first consults the
-  /// [BoundLo, BoundHi] envelope the mutators maintain around the true
-  /// MinSum: the quotient is monotone in the numerator, so when even the
-  /// lower bound clears the threshold (or even the upper bound misses
-  /// it, each by the same margin) the exact recompute provably decides
-  /// the same way and is skipped — MinSum stays stale, Dirty stays set,
-  /// and the next similarity() recompute restores exactness. Only the
-  /// indecisive band pays the O(roster) sweep, which is what makes the
-  /// threshold analyzer's weighted-adaptive path cheap between
-  /// recomputes while remaining decision-identical to the reference.
-  OPD_FORCE_INLINE bool similarityAtLeast(double T) {
-    if (NCW == 0 || NTW == 0)
-      return similarity() >= T;
-    if (Dirty) {
-      if constexpr (ArithT::Checked)
-        // The shadow probe must observe the recompute arithmetic at
-        // every reference decision point, so the checked kernel never
-        // defers.
-        return similarity() >= T;
-      double D = static_cast<double>(NCW) * static_cast<double>(NTW);
-      double Bound = T * D;
-      if (static_cast<double>(BoundLo) >= Bound + Bound * 1e-12)
-        return true;
-      if (static_cast<double>(BoundHi) <= Bound - Bound * 1e-12)
-        return false;
-      return similarity() >= T;
-    }
-    double Num = static_cast<double>(MinSum);
-    double Bound = T * Denom;
-    if (Num >= Bound + Bound * 1e-12)
-      return true;
-    if (Num <= Bound - Bound * 1e-12)
-      return false;
-    return static_cast<double>(MinSum) / Denom >= T;
-  }
-
-private:
-  static constexpr uint32_t InvalidSlot = UINT32_MAX;
-
-  /// Transitions to the dirty state, seeding the MinSum bound envelope
-  /// from the last exact value. While dirty, every mutator widens the
-  /// envelope by a sound per-operation delta bound (see the mutators),
-  /// so BoundLo <= true MinSum <= BoundHi holds at every decision point.
-  OPD_FORCE_INLINE void markDirty() {
-    if (!Dirty) {
-      Dirty = true;
-      BoundLo = BoundHi = MinSum;
-    }
-  }
-
-  /// 2*X, saturating (the per-op envelope deltas; saturation keeps the
-  /// bounds sound even for absurd totals near 2^63).
-  static OPD_FORCE_INLINE uint64_t saturatingDouble(uint64_t X) {
-    return X > UINT64_MAX / 2 ? UINT64_MAX : 2 * X;
-  }
-
-  OPD_FORCE_INLINE void widenUp(uint64_t X) {
-    BoundHi = BoundHi > UINT64_MAX - X ? UINT64_MAX : BoundHi + X;
-  }
-
-  OPD_FORCE_INLINE void widenDown(uint64_t X) {
-    BoundLo = BoundLo > X ? BoundLo - X : 0;
-  }
-
-  /// Slot of site \p S, enrolling it into the roster on first use (the
-  /// counterpart of FastKernelBase::touch): both count lanes start at
-  /// zero, since reset() leaves stale lane values behind the sentinel.
-  OPD_FORCE_INLINE uint32_t slotOf(SiteIndex S) {
-    uint32_t I = Slot[S];
-    if (I == InvalidSlot) {
-      I = RosterSize++;
-      Slot[S] = I;
-      RosterSites[I] = S;
-      cwAt(I) = 0;
-      twAt(I) = 0;
-    }
-    return I;
-  }
-
-  OPD_FORCE_INLINE void recomputeMinSum() {
-    if constexpr (ArithT::Checked) {
-      // The shadow probe must observe every product and partial sum, so
-      // the checked recompute stays a scalar per-step instrumented loop
-      // (roster order is enrollment order — the same first-touch order
-      // the pre-roster TouchedSites recompute observed in).
-      uint64_t Sum = 0;
-      for (uint32_t I = 0; I != RosterSize; ++I)
-        Sum = this->add(
-            KernelQuantity::MinSum, Sum,
-            std::min(
-                this->mul(KernelQuantity::ProductCWTW, cwAt(I), NTW),
-                this->mul(KernelQuantity::ProductTWCW, twAt(I), NCW)));
-      MinSum = Sum;
-    } else if (BatchEnabled) {
-      MinSum = batchMinSum(RosterCounts.data(), RosterSize, NCW, NTW);
-    } else {
-      MinSum = batchMinSumPortable(RosterCounts.data(), RosterSize, NCW, NTW);
-    }
-  }
-
-  /// Slot I's count pair lives at RosterCounts[2I] (CW) and
-  /// RosterCounts[2I+1] (TW) — the interleaved layout batchMinSum sweeps.
-  OPD_FORCE_INLINE uint32_t &cwAt(uint32_t I) {
-    return RosterCounts[2 * static_cast<size_t>(I)];
-  }
-  OPD_FORCE_INLINE uint32_t cwAt(uint32_t I) const {
-    return RosterCounts[2 * static_cast<size_t>(I)];
-  }
-  OPD_FORCE_INLINE uint32_t &twAt(uint32_t I) {
-    return RosterCounts[2 * static_cast<size_t>(I) + 1];
-  }
-  OPD_FORCE_INLINE uint32_t twAt(uint32_t I) const {
-    return RosterCounts[2 * static_cast<size_t>(I) + 1];
-  }
-
-  /// Per-site roster slot, or InvalidSlot while un-enrolled.
-  std::vector<uint32_t> Slot;
-  /// Packed SoA roster over the enrolled sites: the owning site per slot
-  /// plus the interleaved (cw, tw) count pairs the batch min-sum sweeps
-  /// contiguously.
-  std::vector<SiteIndex> RosterSites;
-  std::vector<uint32_t> RosterCounts;
-  uint32_t RosterSize = 0;
-
-  uint64_t NCW = 0;
-  uint64_t NTW = 0;
-  uint64_t MinSum = 0;
-  /// Sound envelope around the true MinSum while Dirty (see markDirty);
-  /// meaningless when !Dirty (MinSum itself is exact then).
-  uint64_t BoundLo = 0;
-  uint64_t BoundHi = 0;
-  /// double(NCW) * double(NTW); valid iff !Dirty and both totals nonzero.
-  double Denom = 0.0;
-  bool Dirty = false;
-  bool BatchEnabled = true;
-};
-
-/// Non-virtual mirror of ManhattanKernel. similarity() must keep the
-/// reference's full ascending floating-point loop: FP addition is not
-/// associative, so any reordering would break bit-identity.
-template <typename ArithT = PlainKernelArith>
-class FastManhattanKernel : public FastKernelBase, private ArithT {
-public:
-  explicit FastManhattanKernel(SiteIndex NumSites, ArithT A = ArithT())
-      : FastKernelBase(NumSites), ArithT(A) {}
-
-  void reset() { resetCounts(); }
-
-  OPD_FORCE_INLINE void cwAdd(SiteIndex S) {
-    assert(S < CWCounts.size() && "site out of range");
-    touch(S);
-    ++CWCounts[S];
-    this->observeCount(KernelQuantity::CWCount, CWCounts[S]);
-    ++NCW;
-    this->observeValue(KernelQuantity::CWTotal, NCW);
-  }
-
-  OPD_FORCE_INLINE void cwRemove(SiteIndex S) {
-    assert(CWCounts[S] != 0 && "removing a site not in the CW");
-    --CWCounts[S];
-    --NCW;
-  }
-
-  OPD_FORCE_INLINE void twAdd(SiteIndex S) {
-    assert(S < TWCounts.size() && "site out of range");
-    touch(S);
-    ++TWCounts[S];
-    this->observeCount(KernelQuantity::TWCount, TWCounts[S]);
-    ++NTW;
-    this->observeValue(KernelQuantity::TWTotal, NTW);
-  }
-
-  OPD_FORCE_INLINE void twRemove(SiteIndex S) {
-    assert(TWCounts[S] != 0 && "removing a site not in the TW");
-    --TWCounts[S];
-    --NTW;
-  }
-
-  // Remove before add: the totals never exceed the window bound, even
-  // transiently, matching the KernelBounds-certified invariant.
-  OPD_FORCE_INLINE void cwReplace(SiteIndex In, SiteIndex Out) {
-    cwRemove(Out);
-    cwAdd(In);
-  }
-  OPD_FORCE_INLINE void twReplace(SiteIndex In, SiteIndex Out) {
-    twRemove(Out);
-    twAdd(In);
-  }
-  OPD_FORCE_INLINE void moveCWToTW(SiteIndex S) {
-    cwRemove(S);
-    twAdd(S);
-  }
-
-  OPD_FORCE_INLINE double similarity() {
-    if (NCW == 0 || NTW == 0)
-      return 0.0;
-    double Distance = 0.0;
-    double InvCW = 1.0 / static_cast<double>(NCW);
-    double InvTW = 1.0 / static_cast<double>(NTW);
-    for (SiteIndex S = 0, E = numSites(); S != E; ++S) {
-      double Diff = static_cast<double>(CWCounts[S]) * InvCW -
-                    static_cast<double>(TWCounts[S]) * InvTW;
-      Distance += Diff < 0 ? -Diff : Diff;
-    }
-    return 1.0 - Distance / 2.0;
-  }
-
-  OPD_FORCE_INLINE bool similarityAtLeast(double T) {
-    return similarity() >= T;
-  }
-};
-
-template <ModelKind M, typename ArithT> struct KernelOf;
-template <typename ArithT> struct KernelOf<ModelKind::UnweightedSet, ArithT> {
-  using type = FastUnweightedSetKernel<ArithT>;
-};
-template <typename ArithT> struct KernelOf<ModelKind::WeightedSet, ArithT> {
-  using type = FastWeightedSetKernel<ArithT>;
-};
-template <typename ArithT> struct KernelOf<ModelKind::ManhattanBBV, ArithT> {
-  using type = FastManhattanKernel<ArithT>;
-};
-
-/// Decision-identical threshold analyzer without the confidence margin
-/// computation (see file comment).
-class FastThresholdAnalyzer {
-  double Threshold;
-
-public:
-  explicit FastThresholdAnalyzer(double Threshold) : Threshold(Threshold) {}
-
-  double threshold() const { return Threshold; }
-
-  PhaseState processValue(double Similarity) {
-    return Similarity >= Threshold ? PhaseState::InPhase
-                                   : PhaseState::Transition;
-  }
-  void resetStats() {}
-  void updateStats(double Similarity) { (void)Similarity; }
-  void reset() {}
-
-  std::string describe() const {
-    return std::string("threshold ") + formatDouble(Threshold, 2);
-  }
-};
-
-/// Mean-only Welford accumulator: the identical Mean update sequence as
-/// RunningStats::push (the M2/min/max folds it drops never feed Mean).
-class FastMeanStats {
-  uint64_t N = 0;
-  double Mean = 0.0;
-
-public:
-  void reset() { *this = FastMeanStats(); }
-  void push(double X) {
-    ++N;
-    Mean += (X - Mean) / static_cast<double>(N);
-  }
-  bool empty() const { return N == 0; }
-  double mean() const { return N == 0 ? 0.0 : Mean; }
-};
-
-/// Decision-identical average analyzer: same entry gate, same
-/// mean-minus-delta comparison on the same running mean.
-class FastAverageAnalyzer {
-  double Delta;
-  double EntryThreshold;
-  FastMeanStats Stats;
-
-public:
-  explicit FastAverageAnalyzer(double Delta, double EntryThreshold = -1.0)
-      : Delta(Delta), EntryThreshold(EntryThreshold) {}
-
-  PhaseState processValue(double Similarity) {
-    if (Stats.empty()) {
-      if (EntryThreshold >= 0.0 && Similarity < EntryThreshold)
-        return PhaseState::Transition;
-      return PhaseState::InPhase;
-    }
-    return Similarity >= Stats.mean() - Delta ? PhaseState::InPhase
-                                              : PhaseState::Transition;
-  }
-  void resetStats() { Stats.reset(); }
-  void updateStats(double Similarity) { Stats.push(Similarity); }
-  void reset() { Stats.reset(); }
-
-  std::string describe() const {
-    return std::string("average d=") + formatDouble(Delta, 2);
-  }
-};
-
-/// Decision-identical hysteresis analyzer.
-class FastHysteresisAnalyzer {
-  double EnterThreshold;
-  double ExitThreshold;
-  PhaseState State = PhaseState::Transition;
-
-public:
-  FastHysteresisAnalyzer(double EnterThreshold, double ExitThreshold)
-      : EnterThreshold(EnterThreshold), ExitThreshold(ExitThreshold) {
-    assert(ExitThreshold <= EnterThreshold &&
-           "exit threshold must not exceed the enter threshold");
-  }
-
-  PhaseState processValue(double Similarity) {
-    double Threshold = State == PhaseState::InPhase ? ExitThreshold
-                                                    : EnterThreshold;
-    State = Similarity >= Threshold ? PhaseState::InPhase
-                                    : PhaseState::Transition;
-    return State;
-  }
-  void resetStats() {}
-  void updateStats(double Similarity) { (void)Similarity; }
-  void reset() { State = PhaseState::Transition; }
-
-  std::string describe() const {
-    return std::string("hysteresis ") + formatDouble(EnterThreshold, 2) +
-           "/" + formatDouble(ExitThreshold, 2);
-  }
-};
-
-template <AnalyzerKind A> struct AnalyzerOf;
-template <> struct AnalyzerOf<AnalyzerKind::Threshold> {
-  using type = FastThresholdAnalyzer;
-};
-template <> struct AnalyzerOf<AnalyzerKind::Average> {
-  using type = FastAverageAnalyzer;
-};
-template <> struct AnalyzerOf<AnalyzerKind::Hysteresis> {
-  using type = FastHysteresisAnalyzer;
-};
-
-/// Mirrors makeAnalyzer()'s parameter mapping exactly (including the
-/// hysteresis exit-threshold derivation).
-template <AnalyzerKind A>
-typename AnalyzerOf<A>::type buildAnalyzer(double Param) {
-  if constexpr (A == AnalyzerKind::Threshold)
-    return FastThresholdAnalyzer(Param);
-  else if constexpr (A == AnalyzerKind::Average)
-    return FastAverageAnalyzer(Param);
-  else
-    return FastHysteresisAnalyzer(Param, Param >= 0.15 ? Param - 0.15 : 0.0);
-}
-
-/// Minimal growable array for the model's element buffer. Exists only
-/// because std::vector::push_back is too large for the compiler to
-/// inline into the fully-expanded consume loop (measured: gcc -O3
-/// emits it as an out-of-line call per element, and the call forces
-/// every cached kernel pointer back to memory around it). The hot push
-/// is a compare, a store, and an increment; growth stays out of line.
-class ElementBuffer {
-public:
-  ElementBuffer() = default;
-  ~ElementBuffer() { delete[] Data; }
-  ElementBuffer(const ElementBuffer &) = delete;
-  ElementBuffer &operator=(const ElementBuffer &) = delete;
-
-  OPD_FORCE_INLINE void push_back(SiteIndex S) {
-    if (Size == Cap)
-      grow();
-    Data[Size++] = S;
-  }
-  SiteIndex operator[](size_t I) const {
-    assert(I < Size && "buffer index out of range");
-    return Data[I];
-  }
-  size_t size() const { return Size; }
-  SiteIndex *begin() { return Data; }
-  const SiteIndex *begin() const { return Data; }
-  SiteIndex *end() { return Data + Size; }
-  const SiteIndex *end() const { return Data + Size; }
-  void clear() { Size = 0; }
-  /// Shrink to the first N elements (endPhase keeps only the seed).
-  void truncate(size_t N) {
-    assert(N <= Size && "truncate cannot grow the buffer");
-    Size = N;
-  }
-  /// Drop the first N elements, sliding the rest down (compaction).
-  void dropFront(size_t N) {
-    assert(N <= Size && "dropping more than the buffer holds");
-    std::memmove(Data, Data + N, (Size - N) * sizeof(SiteIndex));
-    Size -= N;
-  }
-
-private:
-  OPD_NOINLINE void grow() {
-    size_t NewCap = Cap ? Cap * 2 : 1024;
-    SiteIndex *NewData = new SiteIndex[NewCap];
-    std::copy(Data, Data + Size, NewData);
-    delete[] Data;
-    Data = NewData;
-    Cap = NewCap;
-  }
-
-  SiteIndex *Data = nullptr;
-  size_t Size = 0;
-  size_t Cap = 0;
-};
-
-/// WindowedModel with the kernel held by concrete value and the TW
-/// policy fixed at compile time. Field-for-field and statement-for-
-/// statement mirror of WindowedModel/WindowedModel.cpp.
-template <ModelKind M, TWPolicyKind Policy,
-          typename ArithT = PlainKernelArith>
-class FastWindowedModel {
-  using Kernel = typename KernelOf<M, ArithT>::type;
-
-public:
-  FastWindowedModel(const WindowConfig &Config, SiteIndex NumSites,
-                    ArithT Arith = ArithT())
-      : Config(Config), TheKernel(NumSites, Arith) {
-    assert(Config.TWPolicy == Policy && "config does not match this shape");
-    assert(Config.CWSize > 0 && "current window must be nonempty");
-    assert(Config.TWSize > 0 && "trailing window must be nonempty");
-    assert(Config.SkipFactor > 0 && "skip factor must be positive");
-  }
-
-  OPD_FORCE_INLINE void consume(SiteIndex S) {
-    ++GlobalConsumed;
-    Buffer.push_back(S);
-
-    if (CWLen < Config.CWSize) {
-      consumeFill(S);
-      return;
-    }
-
-    SiteIndex Y = Buffer[Head + TWLen];
-    TheKernel.cwReplace(S, Y);
-    bool TWGrows = (Policy == TWPolicyKind::Adaptive && InPhaseGrowth) ||
-                   TWLen < Config.TWSize;
-    if (TWGrows) {
-      TheKernel.twAdd(Y);
-      ++TWLen;
-    } else {
-      SiteIndex Z = Buffer[Head];
-      TheKernel.twReplace(Y, Z);
-      ++Head;
-    }
-    compactBuffer();
-  }
-
-  /// The CW-fill path, kept out of the hot loop: it only runs for the
-  /// first CWSize elements after a flush, where per-element cost is
-  /// dominated by the kernel add anyway.
-  OPD_NOINLINE void consumeFill(SiteIndex S) {
-    ++CWLen;
-    TheKernel.cwAdd(S);
-    if (PartialCW && CWLen == Config.CWSize)
-      PartialCW = false;
-  }
-
-  bool windowsFull() const {
-    if (PhaseOpen)
-      return TWLen > 0 && CWLen > 0;
-    return CWLen == Config.CWSize && TWLen >= Config.TWSize;
-  }
-
-  OPD_FORCE_INLINE double similarity() { return TheKernel.similarity(); }
-
-  OPD_FORCE_INLINE bool similarityAtLeast(double T) {
-    return TheKernel.similarityAtLeast(T);
-  }
-
-  uint64_t computeAnchorOffset() const {
-    return offsetOfTWIndex(anchorPosition());
-  }
-
-  void startPhase() {
-    if constexpr (Policy == TWPolicyKind::Adaptive) {
-      uint64_t A = anchorPosition();
-      if (Config.Resize == ResizeKind::Slide) {
-        uint64_t Take = std::min(A, CWLen);
-        dropTWPrefix(A);
-        for (uint64_t I = 0; I != Take; ++I) {
-          SiteIndex X = Buffer[Head + TWLen];
-          TheKernel.moveCWToTW(X);
-          ++TWLen;
-          --CWLen;
-        }
-        if (CWLen < Config.CWSize)
-          PartialCW = true;
-      } else {
-        dropTWPrefix(A);
-      }
-      InPhaseGrowth = true;
-    }
-    PhaseOpen = true;
-  }
-
-  void endPhase() {
-    uint64_t Keep = std::min<uint64_t>(
-        std::min<uint64_t>(Config.SkipFactor, Config.CWSize),
-        TWLen + CWLen);
-    std::copy(Buffer.end() - static_cast<ptrdiff_t>(Keep), Buffer.end(),
-              Buffer.begin());
-    Buffer.truncate(Keep);
-    Head = 0;
-    TWLen = 0;
-    CWLen = Keep;
-    TheKernel.reset();
-    for (SiteIndex S : Buffer)
-      TheKernel.cwAdd(S);
-    InPhaseGrowth = false;
-    PartialCW = false;
-    PhaseOpen = false;
-  }
-
-  void reset() {
-    Buffer.clear();
-    Head = 0;
-    TWLen = CWLen = 0;
-    InPhaseGrowth = PartialCW = PhaseOpen = false;
-    GlobalConsumed = 0;
-    TheKernel.reset();
-  }
-
-  /// Swaps in a new same-policy window configuration; the kernel keeps
-  /// its per-site arrays (reset() zeroes only the touched entries).
-  void reconfigure(const WindowConfig &NewConfig) {
-    assert(NewConfig.TWPolicy == Policy &&
-           "config does not match this shape");
-    assert(NewConfig.CWSize > 0 && "current window must be nonempty");
-    assert(NewConfig.TWSize > 0 && "trailing window must be nonempty");
-    assert(NewConfig.SkipFactor > 0 && "skip factor must be positive");
-    Config = NewConfig;
-    reset();
-  }
-
-  uint64_t consumed() const { return GlobalConsumed; }
-  const WindowConfig &config() const { return Config; }
-
-  void setBatchKernels(bool Enabled) { TheKernel.setBatchEnabled(Enabled); }
-  bool batchKernelsEnabled() const { return TheKernel.batchEnabled(); }
-
-private:
-  uint64_t offsetOfTWIndex(uint64_t I) const {
-    return GlobalConsumed - (TWLen + CWLen) + I;
-  }
-
-  uint64_t anchorPosition() const {
-    assert(Head + TWLen + CWLen == Buffer.size() &&
-           "window bookkeeping out of sync");
-    // Kernels with dense per-site CW counts dispatch the anchor scan to
-    // the blocked membership kernels: both scans return the index of the
-    // first matching element in scan order, exactly what the scalar
-    // loops below compute (core/BatchKernel.h documents the equivalence).
-    if constexpr (Kernel::HasDenseCW) {
-      if (TheKernel.batchEnabled()) {
-        const uint32_t *Counts = TheKernel.cwCountsData();
-        const SiteIndex *Window = Buffer.begin() + Head;
-        if (Config.Anchor == AnchorKind::RightmostNoisy)
-          return batchRightmostNoisy(Counts, Window, TWLen);
-        return batchLeftmostNonNoisy(Counts, Window, TWLen);
-      }
-    }
-    if (Config.Anchor == AnchorKind::RightmostNoisy) {
-      for (uint64_t I = TWLen; I != 0; --I)
-        if (!TheKernel.inCW(Buffer[Head + I - 1]))
-          return I;
-      return 0;
-    }
-    for (uint64_t I = 0; I != TWLen; ++I)
-      if (TheKernel.inCW(Buffer[Head + I]))
-        return I;
-    return TWLen;
-  }
-
-  void dropTWPrefix(uint64_t N) {
-    assert(N <= TWLen && "dropping more than the TW holds");
-    for (uint64_t I = 0; I != N; ++I)
-      TheKernel.twRemove(Buffer[Head + I]);
-    Head += N;
-    TWLen -= N;
-  }
-
-  void compactBuffer() {
-    if (Head > WindowedModel::CompactionThreshold &&
-        Head * 2 > Buffer.size()) {
-      Buffer.dropFront(Head);
-      Head = 0;
-    }
-  }
-
-  WindowConfig Config;
-  Kernel TheKernel;
-
-  ElementBuffer Buffer;
-  size_t Head = 0;
-  uint64_t TWLen = 0;
-  uint64_t CWLen = 0;
-
-  bool PhaseOpen = false;
-  bool InPhaseGrowth = false;
-  bool PartialCW = false;
-
-  uint64_t GlobalConsumed = 0;
-};
 
 /// The monomorphic detector: PhaseDetector's unobserved processBatchImpl
 /// with every model/analyzer call resolved at compile time, plus a

@@ -11,6 +11,7 @@
 #include "analysis/KernelBounds.h"
 #include "core/DetectorRunner.h"
 #include "core/FastDetector.h"
+#include "core/SharedScan.h"
 #include "support/Format.h"
 #include "support/Parallel.h"
 #include "support/Timer.h"
@@ -99,6 +100,111 @@ bool costlierConfig(const DetectorConfig &A, const DetectorConfig &B) {
          static_cast<uint64_t>(WB.CWSize) + WB.TWSize;
 }
 
+/// Scores \p Run into \p R against every baseline, exactly once per
+/// execution path so both engines score identically.
+void scoreRun(const DetectorRun &Run,
+              const std::vector<BaselineSolution> &Baselines,
+              const SweepOptions &Options, RunScores &R) {
+  R.PerMPL.reserve(Baselines.size());
+  for (const BaselineSolution &B : Baselines)
+    R.PerMPL.push_back(scoreDetection(Run.States, B.states()));
+  if (Options.ScoreAnchored) {
+    R.AnchoredPerMPL.reserve(Baselines.size());
+    for (const BaselineSolution &B : Baselines)
+      R.AnchoredPerMPL.push_back(
+          scoreDetection(Run.AnchoredPhases, B.states()));
+  }
+}
+
+/// Shared-scan execution (core/SharedScan.h): the runs at \p Indices
+/// are grouped by window-kernel shape and each group rides a single
+/// trace pass. LPT scheduling moves from configs to groups — a group's
+/// cost is one shared window advance plus each member's evaluation rate
+/// (inverse skip) and, for adaptive members, their in-phase shard
+/// advances — and per-worker arenas hold one engine per model (cursor
+/// arrays, shard pools, and kernel state all reused across the groups a
+/// worker claims).
+void runConfigsShared(const BranchTrace &Trace,
+                      const std::vector<BaselineSolution> &Baselines,
+                      const std::vector<DetectorConfig> &Configs,
+                      const std::vector<size_t> &Indices,
+                      const SweepOptions &Options, SweepAccumulator &Acc,
+                      std::vector<RunScores> &Results) {
+  std::vector<DetectorConfig> Planned;
+  Planned.reserve(Indices.size());
+  for (size_t I : Indices)
+    Planned.push_back(Configs[I]);
+  SharedScanPlan Plan = planSharedScan(Planned);
+
+  std::vector<size_t> Order(Plan.Groups.size());
+  std::iota(Order.begin(), Order.end(), size_t{0});
+  auto GroupCost = [&](const SharedScanGroup &G) {
+    double Cost = 1.0; // The shared window advance.
+    for (size_t Member : G.Members) {
+      const WindowConfig &W = Planned[Member].Window;
+      Cost += 1.0 / static_cast<double>(W.SkipFactor);
+      if (W.TWPolicy == TWPolicyKind::Adaptive)
+        Cost += 0.5; // Rough in-phase shard-advance share.
+    }
+    return Cost;
+  };
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return GroupCost(Plan.Groups[A]) > GroupCost(Plan.Groups[B]);
+  });
+
+  TraceBounds Bounds;
+  Bounds.TraceLen = Trace.size();
+  Bounds.MaxMultiplicity = 0; // unknown; TraceLen already bounds it
+  Bounds.NumSites = Trace.numSites();
+
+  /// Per-worker engine arena: one reusable engine per model plus the
+  /// group-sized run storage.
+  struct EngineArena {
+    std::array<std::unique_ptr<SharedScanEngineBase>, 3> Engines;
+    std::vector<DetectorRun> Runs;
+  };
+  std::vector<EngineArena> Arenas(hardwareParallelism());
+
+  parallelFor(
+      Order.size(),
+      [&](size_t N, unsigned Worker) {
+        const SharedScanGroup &G = Plan.Groups[Order[N]];
+        EngineArena &Arena = Arenas[Worker];
+
+        std::unique_ptr<SharedScanEngineBase> &Slot =
+            Arena.Engines[static_cast<size_t>(G.Key.Model)];
+        if (!Slot || Slot->numSites() != Trace.numSites())
+          Slot = makeSharedScanEngine(G.Key.Model, Trace.numSites());
+
+        // Group-level batch admission: the shared kernel and its shards
+        // serve every member, so the group only batches if every
+        // member's certificate admits its lane plan (certificates of
+        // different detector shapes cannot be merged, so the verdicts
+        // are combined instead — equivalent, since a merged certificate
+        // admits exactly when its worst member does). Refusal means the
+        // portable paths: same bits, fewer lanes.
+        bool Admitted = true;
+        for (size_t Member : G.Members)
+          Admitted = Admitted &&
+                     admitsBatchLanes(certifyKernel(Planned[Member], Bounds));
+        Slot->setBatchKernels(Admitted);
+
+        if (Arena.Runs.size() < G.Members.size())
+          Arena.Runs.resize(G.Members.size());
+        Slot->run(Planned, G.Members, Trace.elements().data(), Trace.size(),
+                  Arena.Runs);
+
+        for (size_t I = 0; I != G.Members.size(); ++I) {
+          size_t Global = Indices[G.Members[I]];
+          RunScores &R = Results[Global];
+          R.Config = Configs[Global];
+          scoreRun(Arena.Runs[I], Baselines, Options, R);
+          Acc.addRun(R.DetectSeconds, R.ScoreSeconds);
+        }
+      },
+      /*Grain=*/1);
+}
+
 /// Executes the detector runs for the configurations at \p Indices,
 /// writing each result into Results[Indices[I]].
 ///
@@ -106,12 +212,12 @@ bool costlierConfig(const DetectorConfig &A, const DetectorConfig &B) {
 /// arenas; with CollectStats it instantiates the reference PhaseDetector
 /// instead, which alone emits the internal observer events the counters
 /// are built from. Both produce bit-identical scores.
-void runConfigs(const BranchTrace &Trace,
-                const std::vector<BaselineSolution> &Baselines,
-                const std::vector<DetectorConfig> &Configs,
-                const std::vector<size_t> &Indices,
-                const SweepOptions &Options, SweepAccumulator &Acc,
-                std::vector<RunScores> &Results) {
+void runConfigsPerConfig(const BranchTrace &Trace,
+                         const std::vector<BaselineSolution> &Baselines,
+                         const std::vector<DetectorConfig> &Configs,
+                         const std::vector<size_t> &Indices,
+                         const SweepOptions &Options, SweepAccumulator &Acc,
+                         std::vector<RunScores> &Results) {
   // Dynamic scheduling in LPT order: workers claim runs expensive-first
   // off the shared counter, so the final runs in flight are the cheap
   // ones and the workers finish together.
@@ -164,20 +270,30 @@ void runConfigs(const BranchTrace &Trace,
           Run = &Arena.Run;
         }
 
-        R.PerMPL.reserve(Baselines.size());
-        for (const BaselineSolution &B : Baselines)
-          R.PerMPL.push_back(scoreDetection(Run->States, B.states()));
-        if (Options.ScoreAnchored) {
-          R.AnchoredPerMPL.reserve(Baselines.size());
-          for (const BaselineSolution &B : Baselines)
-            R.AnchoredPerMPL.push_back(
-                scoreDetection(Run->AnchoredPhases, B.states()));
-        }
+        scoreRun(*Run, Baselines, Options, R);
         if (Options.CollectStats)
           R.ScoreSeconds = Timer.seconds();
         Acc.addRun(R.DetectSeconds, R.ScoreSeconds);
       },
       /*Grain=*/1);
+}
+
+/// Dispatches the runs at \p Indices to the shared-scan engine (the
+/// default execution plan) or the per-config path (the differential
+/// oracle, and the only path that can carry observers for
+/// CollectStats). Both produce bit-identical scores.
+void runConfigs(const BranchTrace &Trace,
+                const std::vector<BaselineSolution> &Baselines,
+                const std::vector<DetectorConfig> &Configs,
+                const std::vector<size_t> &Indices,
+                const SweepOptions &Options, SweepAccumulator &Acc,
+                std::vector<RunScores> &Results) {
+  if (Options.SharedScan && !Options.CollectStats)
+    runConfigsShared(Trace, Baselines, Configs, Indices, Options, Acc,
+                     Results);
+  else
+    runConfigsPerConfig(Trace, Baselines, Configs, Indices, Options, Acc,
+                        Results);
 }
 
 } // namespace

@@ -62,6 +62,15 @@ struct SweepOptions {
   /// anchored scoring is on (ScoreAnchored), so anchor-affecting fields
   /// are only merged when the anchored output is not being observed.
   bool Prune = false;
+  /// Execute the runs through the shared-scan engine
+  /// (core/SharedScan.h): configs are grouped by window-kernel shape
+  /// and each group rides a single trace pass, with per-config state
+  /// reduced to an analyzer cursor (plus a detached window shard while
+  /// an adaptive config is in phase). Output is bit-identical to the
+  /// per-config path — SharedScan=false keeps that path as the
+  /// differential oracle. Ignored under CollectStats, whose observer
+  /// events only the reference detector emits.
+  bool SharedScan = true;
 };
 
 /// Work accounting of one runSweep() call.

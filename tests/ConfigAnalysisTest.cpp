@@ -376,6 +376,25 @@ TEST(PartitionTest, PaperCrossProductPrunesAtLeast20Percent) {
   }
 }
 
+// The paper preset's shared-scan plan: the pruned space collapses to
+// one trace pass per (model, CW, TW) shape. 28 passes cover every
+// representative; the largest group's size depends on how far the
+// canonicalizer merges (anchored scoring forbids the anchor-field
+// merge, leaving more representatives per shape). A change here means
+// either the paper space or the plan keying moved — both are
+// deliberate events.
+TEST(PartitionTest, PaperCrossProductSharedScanPlanIsPinned) {
+  for (bool Anchored : {false, true}) {
+    SweepAnalysisOptions Options;
+    Options.Canon.AnchoredScoring = Anchored;
+    Options.RawCrossProduct = true;
+    SweepAnalysis Analysis = analyzeSweep(paperCrossSpec(), Options);
+    EXPECT_EQ(Analysis.NumSharedGroups, 28u) << "anchored=" << Anchored;
+    EXPECT_EQ(Analysis.LargestSharedGroup, Anchored ? 260u : 210u)
+        << "anchored=" << Anchored;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Pruned sweeps
 //===----------------------------------------------------------------------===//

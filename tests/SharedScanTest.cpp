@@ -1,0 +1,315 @@
+//===- tests/SharedScanTest.cpp - Shared-scan differential tests --------------===//
+//
+// Part of the OPD project: a reproduction of "Online Phase Detection
+// Algorithms" (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared-scan engine (core/SharedScan.h) is only admissible
+/// because it is bit-identical to running each config through its own
+/// detector. This suite is the guard: it drives the full configuration
+/// shape grid through the engine and requires equal StateSequences,
+/// detected phases, and anchored phases against both the per-config
+/// fast path and the reference PhaseDetector, on both the batch and
+/// portable kernel backends; it holds the sweep harness's shared and
+/// per-config engines to bit-identical scores (pruned and unpruned);
+/// and it pins the paper preset's group structure so plan regressions
+/// are loud.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/DetectorRunner.h"
+#include "core/FastDetector.h"
+#include "core/SharedScan.h"
+#include "harness/Experiment.h"
+#include "harness/Sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <memory>
+
+using namespace opd;
+
+namespace {
+
+/// One small-scale workload shared by all differential tests.
+const BenchmarkData &testBenchmark() {
+  static const std::vector<BenchmarkData> Data =
+      prepareBenchmarks({"jess"}, {1000, 10000}, /*Scale=*/0.1);
+  return Data.front();
+}
+
+/// The shape-and-corner-case cross product FastDetectorTest also uses:
+/// all three models, both TW policies, all three analyzer kinds, both
+/// anchors and resizes, a skip factor above the CW size, and Fixed
+/// Interval.
+std::vector<DetectorConfig> differentialConfigs() {
+  SweepSpec Spec;
+  Spec.CWSizes = {50, 400};
+  Spec.TWFactors = {1, 2};
+  Spec.SkipFactors = {1, 10, 500};
+  Spec.IncludeFixedInterval = true;
+  Spec.Models = {ModelKind::UnweightedSet, ModelKind::WeightedSet,
+                 ModelKind::ManhattanBBV};
+  Spec.Analyzers = {{AnalyzerKind::Threshold, 0.5},
+                    {AnalyzerKind::Threshold, 0.8},
+                    {AnalyzerKind::Average, 0.01},
+                    {AnalyzerKind::Average, 0.3},
+                    {AnalyzerKind::Hysteresis, 0.6},
+                    {AnalyzerKind::Hysteresis, 0.1}};
+  Spec.Anchors = {AnchorKind::RightmostNoisy, AnchorKind::LeftmostNonNoisy};
+  Spec.Resizes = {ResizeKind::Slide, ResizeKind::Move};
+  return enumerateCrossProduct(Spec);
+}
+
+void expectRunsEqual(const DetectorRun &Expected, const DetectorRun &Actual,
+                     const DetectorConfig &Config, const char *Leg) {
+  std::string Desc = Config.describe() + " [" + Leg + "]";
+  ASSERT_EQ(Expected.States.size(), Actual.States.size()) << Desc;
+  const std::vector<StateRun> &ER = Expected.States.runs();
+  const std::vector<StateRun> &AR = Actual.States.runs();
+  ASSERT_EQ(ER.size(), AR.size()) << Desc;
+  for (size_t I = 0; I != ER.size(); ++I) {
+    ASSERT_EQ(ER[I].Begin, AR[I].Begin) << Desc << " run " << I;
+    ASSERT_EQ(ER[I].Length, AR[I].Length) << Desc << " run " << I;
+    ASSERT_EQ(ER[I].State, AR[I].State) << Desc << " run " << I;
+  }
+  ASSERT_EQ(Expected.DetectedPhases, Actual.DetectedPhases) << Desc;
+  ASSERT_EQ(Expected.AnchoredPhases, Actual.AnchoredPhases) << Desc;
+}
+
+/// Runs \p Configs through the shared-scan engine the way the sweep
+/// harness does — grouped by planSharedScan, one reused engine per
+/// model — and returns one DetectorRun per config, in config order.
+std::vector<DetectorRun>
+runShared(const std::vector<DetectorConfig> &Configs,
+          const BranchTrace &Trace, bool BatchKernels) {
+  SharedScanPlan Plan = planSharedScan(Configs);
+  std::array<std::unique_ptr<SharedScanEngineBase>, 3> Engines;
+  std::vector<DetectorRun> Out(Configs.size());
+  std::vector<DetectorRun> GroupRuns;
+  for (const SharedScanGroup &G : Plan.Groups) {
+    std::unique_ptr<SharedScanEngineBase> &Engine =
+        Engines[static_cast<size_t>(G.Key.Model)];
+    if (!Engine)
+      Engine = makeSharedScanEngine(G.Key.Model, Trace.numSites());
+    Engine->setBatchKernels(BatchKernels);
+    if (GroupRuns.size() < G.Members.size())
+      GroupRuns.resize(G.Members.size());
+    Engine->run(Configs, G.Members, Trace.elements().data(), Trace.size(),
+                GroupRuns);
+    for (size_t I = 0; I != G.Members.size(); ++I)
+      Out[G.Members[I]] = GroupRuns[I];
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(SharedScanTest, PlanPartitionsByWindowKernelShape) {
+  std::vector<DetectorConfig> Configs = differentialConfigs();
+  SharedScanPlan Plan = planSharedScan(Configs);
+
+  // Every config lands in exactly one group, under its own key.
+  std::vector<size_t> Seen(Configs.size(), 0);
+  for (const SharedScanGroup &G : Plan.Groups) {
+    EXPECT_FALSE(G.Members.empty());
+    for (size_t Member : G.Members) {
+      ASSERT_LT(Member, Configs.size());
+      ++Seen[Member];
+      EXPECT_TRUE(sharedScanKey(Configs[Member]) == G.Key);
+    }
+  }
+  for (size_t Count : Seen)
+    EXPECT_EQ(Count, 1u);
+
+  // Exactly one group per distinct (model, CW, TW) shape.
+  std::map<SharedScanKey, size_t> Distinct;
+  for (const DetectorConfig &C : Configs)
+    ++Distinct[sharedScanKey(C)];
+  EXPECT_EQ(Plan.Groups.size(), Distinct.size());
+  EXPECT_EQ(Plan.largestGroup(),
+            [&] {
+              size_t Largest = 0;
+              for (const auto &[Key, Count] : Distinct)
+                Largest = std::max(Largest, Count);
+              return Largest;
+            }());
+
+  // The plan is deterministic.
+  SharedScanPlan Again = planSharedScan(Configs);
+  ASSERT_EQ(Plan.Groups.size(), Again.Groups.size());
+  for (size_t I = 0; I != Plan.Groups.size(); ++I) {
+    EXPECT_TRUE(Plan.Groups[I].Key == Again.Groups[I].Key);
+    EXPECT_EQ(Plan.Groups[I].Members, Again.Groups[I].Members);
+  }
+}
+
+// The load-bearing test: every configuration in the shape/corner-case
+// cross product produces bit-identical output through the shared scan,
+// the per-config fast path, and the reference detector — on both the
+// batch and portable kernel backends.
+TEST(SharedScanTest, BitIdenticalToFastAndReferenceAcrossTheConfigSpace) {
+  const BenchmarkData &B = testBenchmark();
+  std::vector<DetectorConfig> Configs = differentialConfigs();
+  ASSERT_GT(Configs.size(), 500u);
+
+  std::vector<DetectorRun> Shared =
+      runShared(Configs, B.Trace, /*BatchKernels=*/true);
+  std::vector<DetectorRun> Portable =
+      runShared(Configs, B.Trace, /*BatchKernels=*/false);
+
+  for (size_t I = 0; I != Configs.size(); ++I) {
+    const DetectorConfig &Config = Configs[I];
+    std::unique_ptr<FastDetectorBase> Fast =
+        makeFastDetector(Config, B.Trace.numSites());
+    DetectorRun FastRun = runDetector(*Fast, B.Trace);
+    expectRunsEqual(FastRun, Shared[I], Config, "shared vs fast");
+    expectRunsEqual(FastRun, Portable[I], Config,
+                    "shared portable vs fast");
+
+    std::unique_ptr<PhaseDetector> Reference =
+        makeDetector(Config, B.Trace.numSites());
+    DetectorRun ReferenceRun = runDetector(*Reference, B.Trace);
+    expectRunsEqual(ReferenceRun, Shared[I], Config, "shared vs reference");
+  }
+}
+
+// Window/stride corners the grid's fixed sizes miss: a skip that never
+// divides the trace, a skip exceeding the trace length (one short batch
+// covers everything), and windows larger than the trace (never full —
+// a single forced-Transition run).
+TEST(SharedScanTest, StrideAndWindowCornerCases) {
+  const BenchmarkData &B = testBenchmark();
+  uint64_t TraceLen = B.Trace.size();
+  ASSERT_GT(TraceLen, 0u);
+
+  std::vector<DetectorConfig> Configs;
+  for (ModelKind M : {ModelKind::UnweightedSet, ModelKind::WeightedSet})
+    for (TWPolicyKind P : {TWPolicyKind::Constant, TWPolicyKind::Adaptive})
+      for (uint32_t Skip :
+           {uint32_t{97}, static_cast<uint32_t>(TraceLen + 13)}) {
+        DetectorConfig C;
+        C.Window.CWSize = 100;
+        C.Window.TWSize = 100;
+        C.Window.SkipFactor = Skip;
+        C.Window.TWPolicy = P;
+        C.Model = M;
+        C.TheAnalyzer = AnalyzerKind::Threshold;
+        C.AnalyzerParam = 0.6;
+        Configs.push_back(C);
+      }
+  // Windows that never fill: every evaluation is a forced Transition.
+  DetectorConfig Huge;
+  Huge.Window.CWSize = static_cast<uint32_t>(TraceLen);
+  Huge.Window.TWSize = static_cast<uint32_t>(TraceLen);
+  Huge.Window.SkipFactor = 50;
+  Huge.Model = ModelKind::UnweightedSet;
+  Huge.TheAnalyzer = AnalyzerKind::Threshold;
+  Huge.AnalyzerParam = 0.5;
+  Configs.push_back(Huge);
+  ASSERT_NE(TraceLen % 97, 0u);
+
+  std::vector<DetectorRun> Shared =
+      runShared(Configs, B.Trace, /*BatchKernels=*/true);
+  for (size_t I = 0; I != Configs.size(); ++I) {
+    std::unique_ptr<FastDetectorBase> Fast =
+        makeFastDetector(Configs[I], B.Trace.numSites());
+    DetectorRun FastRun = runDetector(*Fast, B.Trace);
+    expectRunsEqual(FastRun, Shared[I], Configs[I], "corner");
+  }
+}
+
+// The sweep harness's two engines — shared-scan (default) and
+// per-config — must produce bit-identical scores, pruned or not.
+TEST(SharedScanTest, SweepSharedEngineMatchesPerConfigScores) {
+  const BenchmarkData &B = testBenchmark();
+  SweepSpec Spec;
+  Spec.CWSizes = {250};
+  Spec.SkipFactors = {1, 10};
+  Spec.Models = {ModelKind::UnweightedSet, ModelKind::WeightedSet};
+  Spec.Analyzers = {{AnalyzerKind::Threshold, 0.6},
+                    {AnalyzerKind::Average, 0.05},
+                    {AnalyzerKind::Hysteresis, 0.4}};
+  Spec.Anchors = {AnchorKind::RightmostNoisy, AnchorKind::LeftmostNonNoisy};
+  Spec.Resizes = {ResizeKind::Slide, ResizeKind::Move};
+  std::vector<DetectorConfig> Configs = enumerateConfigs(Spec);
+
+  for (bool Prune : {false, true}) {
+    SweepOptions SharedOptions;
+    SharedOptions.ScoreAnchored = true;
+    SharedOptions.Prune = Prune;
+    SharedOptions.SharedScan = true;
+    SweepOptions PerConfigOptions = SharedOptions;
+    PerConfigOptions.SharedScan = false;
+
+    SweepStats SharedStats;
+    std::vector<RunScores> Shared =
+        runSweep(B.Trace, B.Baselines, Configs, SharedOptions, &SharedStats);
+    std::vector<RunScores> PerConfig =
+        runSweep(B.Trace, B.Baselines, Configs, PerConfigOptions);
+
+    EXPECT_EQ(SharedStats.NumConfigs, Configs.size());
+    EXPECT_EQ(SharedStats.RunsExecuted + SharedStats.RunsPruned,
+              Configs.size());
+
+    ASSERT_EQ(Shared.size(), PerConfig.size());
+    for (size_t I = 0; I != Shared.size(); ++I) {
+      ASSERT_EQ(Shared[I].PerMPL.size(), PerConfig[I].PerMPL.size());
+      for (size_t M = 0; M != Shared[I].PerMPL.size(); ++M) {
+        EXPECT_EQ(Shared[I].PerMPL[M].Score, PerConfig[I].PerMPL[M].Score);
+        EXPECT_EQ(Shared[I].PerMPL[M].Correlation,
+                  PerConfig[I].PerMPL[M].Correlation);
+        EXPECT_EQ(Shared[I].PerMPL[M].Sensitivity,
+                  PerConfig[I].PerMPL[M].Sensitivity);
+        EXPECT_EQ(Shared[I].PerMPL[M].FalsePositives,
+                  PerConfig[I].PerMPL[M].FalsePositives);
+      }
+      ASSERT_EQ(Shared[I].AnchoredPerMPL.size(),
+                PerConfig[I].AnchoredPerMPL.size());
+      for (size_t M = 0; M != Shared[I].AnchoredPerMPL.size(); ++M)
+        EXPECT_EQ(Shared[I].AnchoredPerMPL[M].Score,
+                  PerConfig[I].AnchoredPerMPL[M].Score);
+    }
+  }
+}
+
+// An engine is an arena: running a group must not be affected by the
+// groups the engine ran before (cursor arrays, shard pools, and kernel
+// state are all reused). Run the groups twice through one engine set,
+// in opposite orders, and require identical output.
+TEST(SharedScanTest, EngineReuseAcrossGroupsMatchesFreshEngines) {
+  const BenchmarkData &B = testBenchmark();
+  std::vector<DetectorConfig> Configs = differentialConfigs();
+  SharedScanPlan Plan = planSharedScan(Configs);
+  ASSERT_GT(Plan.Groups.size(), 1u);
+
+  std::array<std::unique_ptr<SharedScanEngineBase>, 3> Engines;
+  for (size_t I = 0; I != 3; ++I)
+    Engines[I] = makeSharedScanEngine(static_cast<ModelKind>(I),
+                                      B.Trace.numSites());
+
+  std::vector<DetectorRun> Forward(Configs.size());
+  std::vector<DetectorRun> GroupRuns;
+  for (const SharedScanGroup &G : Plan.Groups) {
+    GroupRuns.resize(std::max(GroupRuns.size(), G.Members.size()));
+    Engines[static_cast<size_t>(G.Key.Model)]->run(
+        Configs, G.Members, B.Trace.elements().data(), B.Trace.size(),
+        GroupRuns);
+    for (size_t I = 0; I != G.Members.size(); ++I)
+      Forward[G.Members[I]] = GroupRuns[I];
+  }
+  // Reverse pass through the same (now warm) engines.
+  for (auto It = Plan.Groups.rbegin(); It != Plan.Groups.rend(); ++It) {
+    const SharedScanGroup &G = *It;
+    Engines[static_cast<size_t>(G.Key.Model)]->run(
+        Configs, G.Members, B.Trace.elements().data(), B.Trace.size(),
+        GroupRuns);
+    for (size_t I = 0; I != G.Members.size(); ++I)
+      expectRunsEqual(Forward[G.Members[I]], GroupRuns[I],
+                      Configs[G.Members[I]], "warm reuse");
+  }
+}
